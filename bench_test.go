@@ -1,0 +1,407 @@
+// Package antace's benchmarks regenerate every table and figure of the
+// paper's evaluation (§6) plus the ablations DESIGN.md calls out. Run
+// with:
+//
+//	go test -bench=. -benchmem                     # reduced scale
+//	go test -bench=Paper -benchtime=1x -timeout=2h # full paper scale
+//
+// Benchmarks report the reproduced quantities as custom metrics
+// (seconds, bytes, accuracy) so `go test -bench` output documents the
+// artifact; cmd/acebench prints the same data as formatted tables.
+package ace
+
+import (
+	"io"
+	"testing"
+
+	"antace/internal/bootstrap"
+	"antace/internal/ckks"
+	"antace/internal/ckksir"
+	"antace/internal/core"
+	"antace/internal/costmodel"
+	"antace/internal/experiments"
+	"antace/internal/ir"
+	"antace/internal/nnir"
+	"antace/internal/onnx"
+	"antace/internal/poly"
+	"antace/internal/ring"
+	"antace/internal/sihe"
+	"antace/internal/tensor"
+	"antace/internal/vecir"
+)
+
+// --- Figure 5: compile times -------------------------------------------
+
+func benchCompile(b *testing.B, spec experiments.ModelSpec, scale experiments.Scale) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		m, err := experiments.BuildModel(spec, scale)
+		if err != nil {
+			b.Fatal(err)
+		}
+		cfg := experiments.ReducedConfig()
+		if scale == experiments.ScalePaper {
+			cfg = experiments.PaperConfig()
+		}
+		cfg.SkipPoly = false
+		c, err := core.Compile(m, cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			for level, d := range c.LevelBreakdown() {
+				b.ReportMetric(d.Seconds(), level+"-s")
+			}
+		}
+	}
+}
+
+func BenchmarkFigure5CompileTimes(b *testing.B) {
+	for _, spec := range experiments.ReducedModels() {
+		b.Run(spec.Name, func(b *testing.B) { benchCompile(b, spec, experiments.ScaleReduced) })
+	}
+}
+
+func BenchmarkFigure5CompileTimesPaper(b *testing.B) {
+	if testing.Short() {
+		b.Skip("paper scale")
+	}
+	for _, spec := range experiments.PaperModels()[:2] {
+		b.Run(spec.Name, func(b *testing.B) { benchCompile(b, spec, experiments.ScalePaper) })
+	}
+}
+
+// --- Figure 6: inference time, ACE vs Expert ---------------------------
+
+func BenchmarkFigure6Inference(b *testing.B) {
+	cal := costmodel.DefaultCalibration()
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.Figure6(io.Discard, experiments.ScaleReduced, cal)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			for _, r := range rows {
+				b.ReportMetric(r.Speedup, "speedup-"+shorten(r.Model))
+			}
+		}
+	}
+}
+
+// --- Figure 7: memory --------------------------------------------------
+
+func BenchmarkFigure7Memory(b *testing.B) {
+	cal := costmodel.DefaultCalibration()
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.Figure7(io.Discard, experiments.ScaleReduced, cal)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			for _, r := range rows {
+				b.ReportMetric(100*r.Saving, "saving%-"+shorten(r.Model))
+				b.ReportMetric(100*r.KeyShare, "keyshare%-"+shorten(r.Model))
+			}
+		}
+	}
+}
+
+// --- Table 10: parameter selection --------------------------------------
+
+func BenchmarkTable10Params(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.Table10(io.Discard, experiments.ScaleReduced)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			for _, r := range rows {
+				b.ReportMetric(float64(r.LogN), "logN-"+shorten(r.Model))
+			}
+		}
+	}
+}
+
+// --- Table 11: accuracy --------------------------------------------------
+
+func BenchmarkTable11Accuracy(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.Table11(io.Discard, 100, 20)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			for _, r := range rows {
+				b.ReportMetric(100*r.Unencrypted, "plain%-"+shorten(r.Model))
+				b.ReportMetric(100*r.Encrypted, "enc%-"+shorten(r.Model))
+			}
+		}
+	}
+}
+
+// --- End-to-end encrypted inference (real FHE, reduced scale) ----------
+
+func BenchmarkEncryptedInference(b *testing.B) {
+	m, err := onnx.BuildResNet(onnx.ResNetConfig{Depth: 8, InputSize: 8, BaseChannels: 4, Classes: 10})
+	if err != nil {
+		b.Fatal(err)
+	}
+	prog, err := Compile(m, TestProfile())
+	if err != nil {
+		b.Fatal(err)
+	}
+	rt, err := NewRuntime(prog)
+	if err != nil {
+		b.Fatal(err)
+	}
+	image := tensor.New(1, 3, 8, 8)
+	for i := range image.Data {
+		image.Data[i] = float64(i%16)/16 - 0.5
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := rt.Infer(image); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- Ablations (DESIGN.md) ----------------------------------------------
+
+// Ablation 1: cross-channel rotation sharing vs naive conv lowering.
+func BenchmarkAblationConvRotationSharing(b *testing.B) {
+	m, _ := onnx.BuildResNet(onnx.ResNetConfig{Depth: 8, InputSize: 8, BaseChannels: 4, Classes: 10})
+	for i := 0; i < b.N; i++ {
+		nn, err := nnir.Import(m)
+		if err != nil {
+			b.Fatal(err)
+		}
+		pm := &ir.PassManager{}
+		pm.Add(nnir.FuseConvBatchNorm(), ir.DCE())
+		if err := pm.Run(nn); err != nil {
+			b.Fatal(err)
+		}
+		shared, err := vecir.Lower(nn, vecir.Options{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		naive, err := vecir.Lower(nn, vecir.Options{NaiveConv: true})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.ReportMetric(float64(vecir.Analyze(shared.Module.Main()).Rotations), "rot-shared")
+			b.ReportMetric(float64(vecir.Analyze(naive.Module.Main()).Rotations), "rot-naive")
+		}
+	}
+}
+
+// Ablation 2: lazy (waterline) vs eager rescaling.
+func BenchmarkAblationLazyRescale(b *testing.B) {
+	m, _ := onnx.BuildSmallCNN(onnx.SmallCNNConfig{InputSize: 8, Channels: 4, Classes: 4})
+	for i := 0; i < b.N; i++ {
+		nn, _ := nnir.Import(m)
+		pm := &ir.PassManager{}
+		pm.Add(nnir.FuseConvBatchNorm(), ir.DCE())
+		if err := pm.Run(nn); err != nil {
+			b.Fatal(err)
+		}
+		if err := nnir.CalibrateReLUBounds(nn.Main(), 2, 1.5, 1); err != nil {
+			b.Fatal(err)
+		}
+		vres, _ := vecir.Lower(nn, vecir.Options{})
+		sm, _ := sihe.Lower(vres.Module, sihe.Options{ReLUAlpha: 5, ReLUEps: 0.125})
+		res, err := ckksir.Lower(sm, ckksir.Options{Mode: ckksir.BootstrapNever, IgnoreSecurity: true})
+		if err != nil {
+			b.Fatal(err)
+		}
+		eager, _ := ckksir.CountOps(res.Module.Main())
+		pm2 := &ir.PassManager{}
+		pm2.Add(ckksir.LazyRescale(), ir.DCE())
+		if err := pm2.Run(res.Module); err != nil {
+			b.Fatal(err)
+		}
+		lazy, _ := ckksir.CountOps(res.Module.Main())
+		if i == 0 {
+			b.ReportMetric(float64(eager["ckks.rescale"]), "rescales-eager")
+			b.ReportMetric(float64(lazy["ckks.rescale"]), "rescales-lazy")
+		}
+	}
+}
+
+// Ablation 3: minimal-level vs full-level bootstrapping (cost model).
+func BenchmarkAblationBootstrapLevel(b *testing.B) {
+	cal := costmodel.DefaultCalibration()
+	m, _ := onnx.BuildSmallCNN(onnx.SmallCNNConfig{InputSize: 8, Channels: 4, Classes: 4})
+	for i := 0; i < b.N; i++ {
+		var totals [2]float64
+		for j, slack := range []int{0, 4} {
+			cfg := experiments.ReducedConfig()
+			cfg.CKKS.ExpertSlack = slack
+			c, err := core.Compile(m, cfg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			model := &costmodel.Model{Cal: cal, LogN: 16, Alpha: 2, K: 2}
+			totals[j] = model.InferenceCost(c.CKKS).Bootstrap
+		}
+		if i == 0 {
+			b.ReportMetric(totals[1]/totals[0], "fullvsmin-ratio")
+		}
+	}
+}
+
+// Ablation 4: key-switching digit count (dnum sweep, runtime measured).
+func BenchmarkAblationKeySwitchDigits(b *testing.B) {
+	for _, logP := range [][]int{{60}, {60, 60}, {50, 50, 50}} {
+		name := map[int]string{1: "alpha1", 2: "alpha2", 3: "alpha3"}[len(logP)]
+		b.Run(name, func(b *testing.B) {
+			params, err := ckks.NewParameters(ckks.ParametersLiteral{
+				LogN: 12, LogQ: []int{50, 40, 40, 40, 40, 40, 40}, LogP: logP, LogScale: 40,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			kg := ckks.NewKeyGenerator(params, ring.SeedFromInt(1))
+			sk := kg.GenSecretKey()
+			keys := &ckks.EvaluationKeySet{Rlk: kg.GenRelinearizationKey(sk)}
+			enc := ckks.NewEncoder(params)
+			encryptor := ckks.NewEncryptorFromSecretKey(params, sk)
+			eval := ckks.NewEvaluator(params, keys)
+			vals := make([]float64, params.Slots())
+			for i := range vals {
+				vals[i] = 0.5
+			}
+			pt, _ := enc.EncodeReal(vals, params.MaxLevel(), params.DefaultScale())
+			ct := encryptor.Encrypt(pt)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := eval.MulRelin(ct, ct); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// --- Runtime microbenchmarks (calibration substrate) --------------------
+
+func BenchmarkRuntimeNTT(b *testing.B) {
+	params, err := ckks.NewParameters(ckks.ParametersLiteral{LogN: 13, LogQ: []int{50, 40, 40}, LogP: []int{50}, LogScale: 40})
+	if err != nil {
+		b.Fatal(err)
+	}
+	rQ := params.RingQ()
+	p := rQ.NewPoly(rQ.MaxLevel())
+	s := ring.NewSampler(rQ, ring.SeedFromInt(2))
+	s.Uniform(p)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rQ.NTT(p, p)
+	}
+}
+
+func BenchmarkRuntimeRotate(b *testing.B) {
+	params, err := ckks.NewParameters(ckks.ParametersLiteral{LogN: 12, LogQ: []int{50, 40, 40, 40}, LogP: []int{50, 50}, LogScale: 40})
+	if err != nil {
+		b.Fatal(err)
+	}
+	kg := ckks.NewKeyGenerator(params, ring.SeedFromInt(3))
+	sk := kg.GenSecretKey()
+	keys := &ckks.EvaluationKeySet{Galois: kg.GenGaloisKeys([]int{1}, false, sk)}
+	enc := ckks.NewEncoder(params)
+	encryptor := ckks.NewEncryptorFromSecretKey(params, sk)
+	eval := ckks.NewEvaluator(params, keys)
+	vals := make([]float64, params.Slots())
+	pt, _ := enc.EncodeReal(vals, params.MaxLevel(), params.DefaultScale())
+	ct := encryptor.Encrypt(pt)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := eval.Rotate(ct, 1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkRuntimeBootstrap(b *testing.B) {
+	logQ := []int{60, 40, 40}
+	for i := 0; i < 12; i++ {
+		logQ = append(logQ, 60)
+	}
+	params, err := ckks.NewParameters(ckks.ParametersLiteral{LogN: 8, LogQ: logQ, LogP: []int{61, 61}, LogScale: 40})
+	if err != nil {
+		b.Fatal(err)
+	}
+	bt, err := bootstrap.NewBootstrapper(params, bootstrap.Parameters{}, params.DefaultScale())
+	if err != nil {
+		b.Fatal(err)
+	}
+	kg := ckks.NewKeyGenerator(params, ring.SeedFromInt(6))
+	sk := kg.GenSecretKey()
+	keys := &ckks.EvaluationKeySet{
+		Rlk:    kg.GenRelinearizationKey(sk),
+		Galois: kg.GenGaloisKeys(bt.RequiredRotations(), true, sk),
+	}
+	enc := ckks.NewEncoder(params)
+	encryptor := ckks.NewEncryptorFromSecretKey(params, sk)
+	eval := ckks.NewEvaluator(params, keys)
+	vals := make([]float64, params.Slots())
+	for i := range vals {
+		vals[i] = 0.25
+	}
+	pt, _ := enc.EncodeReal(vals, params.MaxLevel(), params.DefaultScale())
+	ct := encryptor.Encrypt(pt)
+	eval.DropLevel(ct, ct.Level())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := bt.Bootstrap(eval, ct, bt.MaxOutputLevel()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// ReLU polynomial evaluation (the dominant compute outside bootstrap).
+func BenchmarkRuntimeReLU(b *testing.B) {
+	logQ := []int{50}
+	for i := 0; i < 16; i++ {
+		logQ = append(logQ, 40)
+	}
+	params, err := ckks.NewParameters(ckks.ParametersLiteral{LogN: 10, LogQ: logQ, LogP: []int{50, 50}, LogScale: 40})
+	if err != nil {
+		b.Fatal(err)
+	}
+	kg := ckks.NewKeyGenerator(params, ring.SeedFromInt(4))
+	sk := kg.GenSecretKey()
+	keys := &ckks.EvaluationKeySet{Rlk: kg.GenRelinearizationKey(sk)}
+	enc := ckks.NewEncoder(params)
+	encryptor := ckks.NewEncryptorFromSecretKey(params, sk)
+	eval := ckks.NewEvaluator(params, keys)
+	stages, err := poly.SignComposite(0.125, 6)
+	if err != nil {
+		b.Fatal(err)
+	}
+	vals := make([]float64, params.Slots())
+	for i := range vals {
+		vals[i] = float64(i%17)/17 - 0.5
+	}
+	pt, _ := enc.EncodeReal(vals, params.MaxLevel(), params.DefaultScale())
+	ct := encryptor.Encrypt(pt)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := eval.EvaluateReLU(ct, stages, 1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func shorten(s string) string {
+	var b []byte
+	for i := 0; i < len(s) && len(b) < 10; i++ {
+		c := s[i]
+		if c == ' ' || c == '(' || c == ')' || c == '*' {
+			continue
+		}
+		b = append(b, c)
+	}
+	return string(b)
+}

@@ -1,0 +1,92 @@
+// approx_relu demonstrates the nonlinear-function machinery the SIHE IR
+// uses (§4.3): composite minimax sign polynomials for ReLU, the Remez
+// solver, and a direct homomorphic evaluation of the resulting
+// composition on a ciphertext.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+
+	"antace/internal/ckks"
+	"antace/internal/poly"
+	"antace/internal/ring"
+)
+
+func main() {
+	// 1. Build sign compositions at a few precisions and report their
+	// depth/error trade-off.
+	fmt.Println("sign(x) composite approximations on [-1,1] \\ (-eps,eps):")
+	fmt.Printf("%8s %6s %8s %8s %12s\n", "eps", "alpha", "stages", "depth", "max error")
+	for _, cfg := range []struct {
+		eps   float64
+		alpha int
+	}{{1.0 / 8, 5}, {1.0 / 16, 9}, {1.0 / 32, 11}} {
+		stages, err := poly.SignComposite(cfg.eps, cfg.alpha)
+		if err != nil {
+			log.Fatal(err)
+		}
+		worst := 0.0
+		for x := cfg.eps; x <= 1; x += 1e-3 {
+			if e := math.Abs(poly.EvalComposite(stages, x) - 1); e > worst {
+				worst = e
+			}
+		}
+		fmt.Printf("%8.4f %6d %8d %8d %12.2e\n", cfg.eps, cfg.alpha, len(stages), poly.CompositeDepth(stages), worst)
+	}
+
+	// 2. The Remez exchange algorithm on its own.
+	p, eps, err := poly.Remez(math.Sqrt, 0.25, 1, 8, 30)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nRemez: degree-8 minimax of sqrt on [0.25,1]: levelled error %.2e (measured %.2e)\n",
+		eps, poly.MaxError(p, math.Sqrt, 0.25, 1, 4000))
+
+	// 3. Homomorphic ReLU on a real ciphertext.
+	params, err := ckks.NewParameters(ckks.ParametersLiteral{
+		LogN: 9, LogQ: append([]int{50}, repeat(40, 17)...), LogP: []int{50, 50}, LogScale: 40,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	kg := ckks.NewKeyGenerator(params, ring.SeedFromInt(5))
+	sk := kg.GenSecretKey()
+	keys := &ckks.EvaluationKeySet{Rlk: kg.GenRelinearizationKey(sk)}
+	enc := ckks.NewEncoder(params)
+	encryptor := ckks.NewEncryptorFromSecretKey(params, sk)
+	dec := ckks.NewDecryptor(params, sk)
+	eval := ckks.NewEvaluator(params, keys)
+
+	bound := 8.0
+	vals := make([]float64, params.Slots())
+	for i := range vals {
+		vals[i] = -bound + 2*bound*float64(i)/float64(len(vals)-1)
+	}
+	pt, _ := enc.EncodeReal(vals, params.MaxLevel(), params.DefaultScale())
+	ct := encryptor.Encrypt(pt)
+
+	stages, err := poly.SignComposite(0.125, 6)
+	if err != nil {
+		log.Fatal(err)
+	}
+	out, err := eval.EvaluateReLU(ct, stages, bound)
+	if err != nil {
+		log.Fatal(err)
+	}
+	got := enc.DecodeReal(dec.Decrypt(out), len(vals))
+	fmt.Printf("\nhomomorphic ReLU over [-%g, %g] (levels consumed: %d):\n", bound, bound, params.MaxLevel()-out.Level())
+	fmt.Printf("%10s %12s %12s\n", "x", "relu_fhe(x)", "max(0,x)")
+	for _, idx := range []int{0, len(vals) / 4, len(vals) / 2, 3 * len(vals) / 4, len(vals) - 1} {
+		fmt.Printf("%10.3f %12.5f %12.5f\n", vals[idx], got[idx], math.Max(0, vals[idx]))
+	}
+}
+
+func repeat(v, n int) []int {
+	out := make([]int, n)
+	for i := range out {
+		out[i] = v
+	}
+	return out
+}

@@ -1,0 +1,60 @@
+// Quickstart: compile a small model and run encrypted inference end to
+// end — the fastest path from an ONNX graph to FHE execution.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand/v2"
+	"os"
+
+	"antace"
+	"antace/internal/onnx"
+	"antace/internal/tensor"
+)
+
+func main() {
+	// 1. A model: a 64-feature, 10-class linear classifier (the kind of
+	// gemv workload the paper's running example uses). Real users load
+	// an exported file with ace.LoadONNX.
+	model, err := onnx.BuildLinear(64, 10, 42)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// 2. Compile. TestProfile selects a reduced ring degree so this demo
+	// finishes in well under a second; PaperProfile gives 128-bit
+	// security.
+	prog, err := ace.Compile(model, ace.TestProfile())
+	if err != nil {
+		log.Fatal(err)
+	}
+	ace.Describe(prog, os.Stdout)
+
+	// 3. Instantiate keys and encrypt an input.
+	rt, err := ace.NewRuntime(prog)
+	if err != nil {
+		log.Fatal(err)
+	}
+	rng := rand.New(rand.NewPCG(1, 2))
+	image := tensor.New(1, 64)
+	for i := range image.Data {
+		image.Data[i] = rng.Float64()*2 - 1
+	}
+
+	// 4. Encrypted inference vs the plaintext reference.
+	encrypted, err := rt.Infer(image)
+	if err != nil {
+		log.Fatal(err)
+	}
+	plain, err := ace.InferPlain(prog, image)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nclass  encrypted   plaintext")
+	for k := 0; k < 10; k++ {
+		fmt.Printf("%5d  %9.5f  %9.5f\n", k, encrypted.Data[k], plain.Data[k])
+	}
+	fmt.Printf("\npredicted class (encrypted): %d, (plaintext): %d\n",
+		tensor.ArgMax(encrypted), tensor.ArgMax(plain))
+}

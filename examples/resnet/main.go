@@ -1,0 +1,68 @@
+// resnet compiles a reduced residual network (the topology of the
+// paper's evaluation models at CI scale) with compiler-planned
+// bootstrapping, and runs real encrypted inference: every ReLU is
+// approximated by a composite sign polynomial, and the ciphertext is
+// refreshed to the minimal level before each one.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"math/rand/v2"
+	"os"
+	"time"
+
+	"antace"
+	"antace/internal/onnx"
+	"antace/internal/tensor"
+)
+
+func main() {
+	depth := flag.Int("depth", 8, "ResNet depth (6k+2)")
+	flag.Parse()
+
+	model, err := onnx.BuildResNet(onnx.ResNetConfig{
+		Depth: *depth, InputSize: 8, BaseChannels: 4, Classes: 10,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	start := time.Now()
+	prog, err := ace.Compile(model, ace.TestProfile())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("compiled ResNet-%d in %s\n", *depth, time.Since(start).Round(time.Millisecond))
+	ace.Describe(prog, os.Stdout)
+
+	start = time.Now()
+	rt, err := ace.NewRuntime(prog)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("key generation (%d Galois keys): %s\n", rt.KeyCount(), time.Since(start).Round(time.Millisecond))
+
+	rng := rand.New(rand.NewPCG(9, 9))
+	image := tensor.New(1, 3, 8, 8)
+	for i := range image.Data {
+		image.Data[i] = rng.Float64()*2 - 1
+	}
+
+	start = time.Now()
+	enc, err := rt.Infer(image)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("encrypted inference: %s\n\n", time.Since(start).Round(time.Millisecond))
+
+	plain, _ := ace.InferPlain(prog, image)
+	sim, _ := ace.InferSim(prog, image)
+	fmt.Println("class  encrypted    simulator    plaintext")
+	for k := 0; k < 10; k++ {
+		fmt.Printf("%5d  %9.4f  %11.4f  %11.4f\n", k, enc.Data[k], sim.Data[k], plain.Data[k])
+	}
+	fmt.Printf("\nargmax: encrypted=%d simulator=%d plaintext=%d\n",
+		tensor.ArgMax(enc), tensor.ArgMax(sim), tensor.ArgMax(plain))
+}

@@ -1,0 +1,3 @@
+module antace
+
+go 1.22

@@ -1,0 +1,73 @@
+package ckks
+
+// MulByXPow multiplies the ciphertext by the monomial X^k: exact, free of
+// noise growth, and scale-preserving. X^(N/2) multiplies every slot by i,
+// which the bootstrapper uses to recombine real and imaginary parts.
+func (ev *Evaluator) MulByXPow(ct *Ciphertext, k int) *Ciphertext {
+	rQ := ev.params.RingQ()
+	level := ct.Level()
+	mono := rQ.NewPoly(level)
+	kk := ((k % (2 * rQ.N)) + 2*rQ.N) % (2 * rQ.N)
+	for i := range mono.Coeffs {
+		if kk < rQ.N {
+			mono.Coeffs[i][kk] = 1
+		} else {
+			mono.Coeffs[i][kk-rQ.N] = rQ.Moduli[i] - 1
+		}
+	}
+	rQ.NTT(mono, mono)
+	out := NewCiphertext(ev.params, ct.Degree(), level)
+	out.Scale = ct.Scale
+	for i := range ct.Value {
+		rQ.MulCoeffs(ct.Value[i], mono, out.Value[i])
+	}
+	return out
+}
+
+// MulByI multiplies every slot by the imaginary unit.
+func (ev *Evaluator) MulByI(ct *Ciphertext) *Ciphertext {
+	return ev.MulByXPow(ct, ev.params.N()/2)
+}
+
+// ModRaise re-interprets a level-0 ciphertext modulo the larger modulus
+// Q_toLevel: decryption afterwards yields t = m + q0*I(X) for a small
+// integer polynomial I. The declared scale is preserved.
+func (ev *Evaluator) ModRaise(ct *Ciphertext, toLevel int) *Ciphertext {
+	rQ := ev.params.RingQ()
+	if ct.Level() != 0 {
+		panic("ckks: ModRaise expects a level-0 ciphertext")
+	}
+	q0 := rQ.Moduli[0]
+	out := NewCiphertext(ev.params, ct.Degree(), toLevel)
+	out.Scale = ct.Scale
+	for i := range ct.Value {
+		c := ct.Value[i].CopyNew()
+		rQ.INTT(c, c)
+		row0 := c.Coeffs[0]
+		for l := 0; l <= toLevel; l++ {
+			ql := rQ.Moduli[l]
+			dst := out.Value[i].Coeffs[l]
+			for j := range row0 {
+				v := row0[j]
+				if v > q0/2 {
+					// Centered lift: v - q0 (negative).
+					dst[j] = ql - (q0-v)%ql
+					if dst[j] == ql {
+						dst[j] = 0
+					}
+				} else {
+					dst[j] = v % ql
+				}
+			}
+		}
+		rQ.NTT(out.Value[i], out.Value[i])
+	}
+	return out
+}
+
+// SpecialFFT exposes the decoding-direction special FFT (for building
+// bootstrapping matrices).
+func (e *Encoder) SpecialFFT(vals []complex128) { e.specialFFT(vals) }
+
+// SpecialFFTInv exposes the encoding-direction special FFT.
+func (e *Encoder) SpecialFFTInv(vals []complex128) { e.specialFFTInv(vals) }

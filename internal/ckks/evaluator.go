@@ -1,0 +1,426 @@
+package ckks
+
+import (
+	"fmt"
+	"math"
+	"math/big"
+
+	"antace/internal/nt"
+	"antace/internal/ring"
+)
+
+// Evaluator performs homomorphic operations on ciphertexts. It is not
+// safe for concurrent use (it owns scratch buffers); create one per
+// goroutine.
+type Evaluator struct {
+	params *Parameters
+	keys   *EvaluationKeySet
+
+	autIndexCache map[uint64][]int
+}
+
+// NewEvaluator creates an evaluator with the given key set (which may be
+// nil for evaluators that only add/multiply by plaintexts).
+func NewEvaluator(params *Parameters, keys *EvaluationKeySet) *Evaluator {
+	return &Evaluator{params: params, keys: keys, autIndexCache: map[uint64][]int{}}
+}
+
+// Params returns the evaluator's parameters.
+func (ev *Evaluator) Params() *Parameters { return ev.params }
+
+// scaleClose reports whether two scales agree to within 1 part in 2^20.
+func scaleClose(a, b float64) bool {
+	if a == b {
+		return true
+	}
+	return math.Abs(a-b) <= math.Max(a, b)*math.Exp2(-20)
+}
+
+// alignLevels drops both ciphertexts to their common level, returning
+// copies when truncation is needed.
+func (ev *Evaluator) alignLevels(a, b *Ciphertext) (*Ciphertext, *Ciphertext) {
+	la, lb := a.Level(), b.Level()
+	if la == lb {
+		return a, b
+	}
+	if la > lb {
+		a = a.CopyNew()
+		ev.DropLevel(a, la-lb)
+	} else {
+		b = b.CopyNew()
+		ev.DropLevel(b, lb-la)
+	}
+	return a, b
+}
+
+// Add returns a + b. Scales must match; levels are aligned automatically.
+func (ev *Evaluator) Add(a, b *Ciphertext) (*Ciphertext, error) {
+	if !scaleClose(a.Scale, b.Scale) {
+		return nil, fmt.Errorf("ckks: addition scale mismatch: %g vs %g", a.Scale, b.Scale)
+	}
+	a, b = ev.alignLevels(a, b)
+	rQ := ev.params.RingQ()
+	deg := max(a.Degree(), b.Degree())
+	out := NewCiphertext(ev.params, deg, a.Level())
+	out.Scale = math.Max(a.Scale, b.Scale)
+	for i := 0; i <= deg; i++ {
+		switch {
+		case i <= a.Degree() && i <= b.Degree():
+			rQ.Add(a.Value[i], b.Value[i], out.Value[i])
+		case i <= a.Degree():
+			a.Value[i].Copy(out.Value[i])
+		default:
+			b.Value[i].Copy(out.Value[i])
+		}
+	}
+	return out, nil
+}
+
+// Sub returns a - b.
+func (ev *Evaluator) Sub(a, b *Ciphertext) (*Ciphertext, error) {
+	nb := ev.Neg(b)
+	return ev.Add(a, nb)
+}
+
+// Neg returns -a.
+func (ev *Evaluator) Neg(a *Ciphertext) *Ciphertext {
+	rQ := ev.params.RingQ()
+	out := NewCiphertext(ev.params, a.Degree(), a.Level())
+	out.Scale = a.Scale
+	for i := range a.Value {
+		rQ.Neg(a.Value[i], out.Value[i])
+	}
+	return out
+}
+
+// AddPlain returns a + pt. The plaintext scale must match.
+func (ev *Evaluator) AddPlain(a *Ciphertext, pt *Plaintext) (*Ciphertext, error) {
+	if !scaleClose(a.Scale, pt.Scale) {
+		return nil, fmt.Errorf("ckks: plaintext addition scale mismatch: %g vs %g", a.Scale, pt.Scale)
+	}
+	level := min(a.Level(), pt.Level())
+	out := a.CopyNew()
+	ev.DropLevel(out, a.Level()-level)
+	ev.params.RingQ().Add(out.Value[0], pt.Value, out.Value[0])
+	return out, nil
+}
+
+// SubPlain returns a - pt.
+func (ev *Evaluator) SubPlain(a *Ciphertext, pt *Plaintext) (*Ciphertext, error) {
+	if !scaleClose(a.Scale, pt.Scale) {
+		return nil, fmt.Errorf("ckks: plaintext subtraction scale mismatch: %g vs %g", a.Scale, pt.Scale)
+	}
+	level := min(a.Level(), pt.Level())
+	out := a.CopyNew()
+	ev.DropLevel(out, a.Level()-level)
+	ev.params.RingQ().Sub(out.Value[0], pt.Value, out.Value[0])
+	return out, nil
+}
+
+// MulPlain returns a * pt; the output scale is the product of scales.
+func (ev *Evaluator) MulPlain(a *Ciphertext, pt *Plaintext) *Ciphertext {
+	rQ := ev.params.RingQ()
+	level := min(a.Level(), pt.Level())
+	out := NewCiphertext(ev.params, a.Degree(), level)
+	out.Scale = a.Scale * pt.Scale
+	for i := range a.Value {
+		rQ.MulCoeffs(a.Value[i], pt.Value, out.Value[i])
+	}
+	return out
+}
+
+// Mul returns the degree-2 tensor product a*b (no relinearisation).
+// Inputs must be degree-1.
+func (ev *Evaluator) Mul(a, b *Ciphertext) (*Ciphertext, error) {
+	if a.Degree() != 1 || b.Degree() != 1 {
+		return nil, fmt.Errorf("ckks: Mul requires degree-1 inputs (got %d and %d); relinearise first", a.Degree(), b.Degree())
+	}
+	a, b = ev.alignLevels(a, b)
+	rQ := ev.params.RingQ()
+	out := NewCiphertext(ev.params, 2, a.Level())
+	out.Scale = a.Scale * b.Scale
+	rQ.MulCoeffs(a.Value[0], b.Value[0], out.Value[0])
+	tmp := ev.params.RingQ().NewPoly(a.Level())
+	rQ.MulCoeffs(a.Value[0], b.Value[1], out.Value[1])
+	rQ.MulCoeffs(a.Value[1], b.Value[0], tmp)
+	rQ.Add(out.Value[1], tmp, out.Value[1])
+	rQ.MulCoeffs(a.Value[1], b.Value[1], out.Value[2])
+	return out, nil
+}
+
+// MulRelin returns relin(a*b).
+func (ev *Evaluator) MulRelin(a, b *Ciphertext) (*Ciphertext, error) {
+	ct, err := ev.Mul(a, b)
+	if err != nil {
+		return nil, err
+	}
+	return ev.Relinearize(ct)
+}
+
+// Relinearize converts a degree-2 ciphertext back to degree 1 using the
+// relinearisation key.
+func (ev *Evaluator) Relinearize(ct *Ciphertext) (*Ciphertext, error) {
+	if ct.Degree() == 1 {
+		return ct, nil
+	}
+	if ct.Degree() != 2 {
+		return nil, fmt.Errorf("ckks: cannot relinearise degree-%d ciphertext", ct.Degree())
+	}
+	if ev.keys == nil || ev.keys.Rlk == nil {
+		return nil, fmt.Errorf("ckks: no relinearisation key")
+	}
+	d0, d1, err := ev.keySwitch(ct.Value[2], &ev.keys.Rlk.SwitchingKey)
+	if err != nil {
+		return nil, err
+	}
+	rQ := ev.params.RingQ()
+	out := NewCiphertext(ev.params, 1, ct.Level())
+	out.Scale = ct.Scale
+	rQ.Add(ct.Value[0], d0, out.Value[0])
+	rQ.Add(ct.Value[1], d1, out.Value[1])
+	return out, nil
+}
+
+// Rescale divides the ciphertext by its last prime, dropping one level
+// and dividing the scale accordingly.
+func (ev *Evaluator) Rescale(ct *Ciphertext) (*Ciphertext, error) {
+	level := ct.Level()
+	if level == 0 {
+		return nil, fmt.Errorf("ckks: cannot rescale at level 0")
+	}
+	rQ := ev.params.RingQ()
+	ql := rQ.Moduli[level]
+	out := &Ciphertext{Value: make([]*ring.Poly, len(ct.Value)), Scale: ct.Scale / float64(ql)}
+	for i := range ct.Value {
+		out.Value[i] = rQ.NewPoly(level)
+		rQ.DivRoundByLastModulusNTT(ct.Value[i], out.Value[i])
+	}
+	return out, nil
+}
+
+// DropLevel truncates the ciphertext by n levels in place (exact RNS
+// modulus switching: the scale is unchanged).
+func (ev *Evaluator) DropLevel(ct *Ciphertext, n int) {
+	if n <= 0 {
+		return
+	}
+	level := ct.Level()
+	if n > level {
+		panic("ckks: DropLevel below 0")
+	}
+	for i := range ct.Value {
+		ct.Value[i].Resize(level-n, ev.params.N())
+	}
+}
+
+// ScaleUp multiplies the ciphertext by the integer u and declares the
+// scale multiplied by u: the underlying message is unchanged. This is the
+// paper's "upscale" operation, used to align scales before additions.
+func (ev *Evaluator) ScaleUp(ct *Ciphertext, u uint64) *Ciphertext {
+	rQ := ev.params.RingQ()
+	out := NewCiphertext(ev.params, ct.Degree(), ct.Level())
+	out.Scale = ct.Scale * float64(u)
+	for i := range ct.Value {
+		rQ.MulScalar(ct.Value[i], u, out.Value[i])
+	}
+	return out
+}
+
+// constResidues rounds v to the nearest integer (via big.Int when |v|
+// exceeds the exact float64 integer range) and returns its residues
+// modulo the first level+1 primes.
+func (ev *Evaluator) constResidues(v float64, level int) []uint64 {
+	rQ := ev.params.RingQ()
+	out := make([]uint64, level+1)
+	if math.Abs(v) < float64(1<<62) {
+		neg := v < 0
+		u := uint64(math.Round(math.Abs(v)))
+		for i := 0; i <= level; i++ {
+			r := nt.BRedAdd(u, rQ.Mods[i])
+			if neg {
+				r = nt.Neg(r, rQ.Moduli[i])
+			}
+			out[i] = r
+		}
+		return out
+	}
+	b := new(big.Int)
+	scaleToBig(v, b)
+	tmp := new(big.Int)
+	for i := 0; i <= level; i++ {
+		tmp.Mod(b, new(big.Int).SetUint64(rQ.Moduli[i]))
+		out[i] = tmp.Uint64()
+	}
+	return out
+}
+
+// MulByConst multiplies the ciphertext by a real constant, consuming no
+// level: the constant is rounded at the given auxiliary scale and the
+// ciphertext scale is multiplied by it. A follow-up Rescale restores the
+// waterline.
+func (ev *Evaluator) MulByConst(ct *Ciphertext, c float64, constScale float64) *Ciphertext {
+	rQ := ev.params.RingQ()
+	level := ct.Level()
+	res := ev.constResidues(c*constScale, level)
+	out := NewCiphertext(ev.params, ct.Degree(), level)
+	out.Scale = ct.Scale * constScale
+	for i := range ct.Value {
+		for l := 0; l <= level; l++ {
+			q := rQ.Moduli[l]
+			u := res[l]
+			uShoup := nt.ShoupPrec(u, q)
+			a, b := ct.Value[i].Coeffs[l], out.Value[i].Coeffs[l]
+			for j := range a {
+				b[j] = nt.MulModShoup(a[j], u, uShoup, q)
+			}
+		}
+	}
+	return out
+}
+
+// AddConst adds a real constant to the ciphertext without changing its
+// scale or level: adding c*scale to every NTT evaluation point adds the
+// constant polynomial, i.e. c to every slot.
+func (ev *Evaluator) AddConst(ct *Ciphertext, c float64) *Ciphertext {
+	rQ := ev.params.RingQ()
+	out := ct.CopyNew()
+	level := ct.Level()
+	res := ev.constResidues(c*ct.Scale, level)
+	for i := 0; i <= level; i++ {
+		q := rQ.Moduli[i]
+		u := res[i]
+		row := out.Value[0].Coeffs[i]
+		for j := range row {
+			row[j] = nt.Add(row[j], u, q)
+		}
+	}
+	return out
+}
+
+// SetScale re-targets the ciphertext to exactly the given scale at the
+// cost of one level (a constant multiplication by ~1 plus a rescale).
+func (ev *Evaluator) SetScale(ct *Ciphertext, target float64) (*Ciphertext, error) {
+	ql := ev.params.RingQ().Moduli[ct.Level()]
+	cs := target * float64(ql) / ct.Scale
+	if cs < 1 {
+		return nil, fmt.Errorf("ckks: SetScale ratio %g below 1 (target %g from %g)", cs, target, ct.Scale)
+	}
+	out, err := ev.Rescale(ev.MulByConst(ct, 1, cs))
+	if err != nil {
+		return nil, err
+	}
+	out.Scale = target
+	return out, nil
+}
+
+// Rotate cyclically rotates the slot vector by k positions (positive k
+// rotates towards lower indices, matching the VECTOR IR roll semantics).
+func (ev *Evaluator) Rotate(ct *Ciphertext, k int) (*Ciphertext, error) {
+	if k == 0 {
+		return ct.CopyNew(), nil
+	}
+	gal := ev.params.RingQ().GaloisElementForRotation(k)
+	return ev.automorphism(ct, gal)
+}
+
+// Conjugate applies complex conjugation to the slots.
+func (ev *Evaluator) Conjugate(ct *Ciphertext) (*Ciphertext, error) {
+	gal := ev.params.RingQ().GaloisElementForConjugation()
+	return ev.automorphism(ct, gal)
+}
+
+func (ev *Evaluator) automorphism(ct *Ciphertext, gal uint64) (*Ciphertext, error) {
+	if ct.Degree() != 1 {
+		return nil, fmt.Errorf("ckks: automorphism requires a degree-1 ciphertext")
+	}
+	key, err := ev.keys.GaloisKeyFor(gal)
+	if err != nil {
+		return nil, err
+	}
+	rQ := ev.params.RingQ()
+	idx, ok := ev.autIndexCache[gal]
+	if !ok {
+		idx = rQ.AutomorphismNTTIndex(gal)
+		ev.autIndexCache[gal] = idx
+	}
+	level := ct.Level()
+	out := NewCiphertext(ev.params, 1, level)
+	out.Scale = ct.Scale
+	// phi(ct) decrypts under phi(s); key-switch phi(c1) back to s.
+	phi0 := rQ.NewPoly(level)
+	phi1 := rQ.NewPoly(level)
+	rQ.AutomorphismNTT(ct.Value[0], idx, phi0)
+	rQ.AutomorphismNTT(ct.Value[1], idx, phi1)
+	d0, d1, err := ev.keySwitch(phi1, &key.SwitchingKey)
+	if err != nil {
+		return nil, err
+	}
+	rQ.Add(phi0, d0, out.Value[0])
+	d1.Copy(out.Value[1])
+	return out, nil
+}
+
+// keySwitch computes (d0, d1) with d0 + d1*s ~= c1*sFrom, for c1 in NTT
+// domain at its level, using hybrid RNS-digit key switching.
+func (ev *Evaluator) keySwitch(c1 *ring.Poly, swk *SwitchingKey) (d0, d1 *ring.Poly, err error) {
+	params := ev.params
+	rQ, rP := params.RingQ(), params.RingP()
+	be := params.BasisExtender()
+	level := c1.Level()
+	alpha := params.Alpha()
+	digits := (level + 1 + alpha - 1) / alpha
+	if digits > len(swk.BQ) {
+		return nil, nil, fmt.Errorf("ckks: switching key has %d digits, need %d", len(swk.BQ), digits)
+	}
+
+	c1c := c1.CopyNew()
+	rQ.INTT(c1c, c1c)
+
+	accQ0 := rQ.NewPoly(level)
+	accQ1 := rQ.NewPoly(level)
+	accP0 := rP.NewPoly(rP.MaxLevel())
+	accP1 := rP.NewPoly(rP.MaxLevel())
+	tQ := rQ.NewPoly(level)
+	tP := rP.NewPoly(rP.MaxLevel())
+
+	for d := 0; d < digits; d++ {
+		start := d * alpha
+		end := start + alpha
+		if end > level+1 {
+			end = level + 1
+		}
+		be.ModUpDigitQP(c1c, start, end, level, tQ, tP)
+		rQ.NTT(tQ, tQ)
+		rP.NTT(tP, tP)
+		rQ.MulCoeffsThenAdd(tQ, swk.BQ[d], accQ0)
+		rP.MulCoeffsThenAdd(tP, swk.BP[d], accP0)
+		rQ.MulCoeffsThenAdd(tQ, swk.AQ[d], accQ1)
+		rP.MulCoeffsThenAdd(tP, swk.AP[d], accP1)
+	}
+
+	rQ.INTT(accQ0, accQ0)
+	rP.INTT(accP0, accP0)
+	be.ModDownQP(accQ0, accP0)
+	rQ.NTT(accQ0, accQ0)
+
+	rQ.INTT(accQ1, accQ1)
+	rP.INTT(accP1, accP1)
+	be.ModDownQP(accQ1, accP1)
+	rQ.NTT(accQ1, accQ1)
+
+	return accQ0, accQ1, nil
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,39 @@
+package ckks
+
+import "testing"
+
+func TestHoistedVsPlainLinearTransform(t *testing.T) {
+	tc := newTestContext(t, nil)
+	slots := tc.params.Slots()
+	m := make([][]complex128, slots)
+	for i := range m {
+		m[i] = make([]complex128, slots)
+		for j := range m[i] {
+			if (i+j)%7 == 0 {
+				m[i][j] = complex(float64(i-j)/float64(slots), 0.25)
+			}
+		}
+	}
+	lt := NewLinearTransformFromMatrix(m)
+	kg := tc.kg
+	keys := tc.eval.keys
+	keys.Galois = kg.GenGaloisKeys(lt.Rotations(), true, tc.sk)
+
+	values := randomComplexVector(slots, 1, 321)
+	pt, _ := tc.enc.Encode(values, tc.params.MaxLevel(), tc.params.DefaultScale())
+	ct := tc.encPk.Encrypt(pt)
+
+	want := lt.MulVec(values)
+	for _, hoisted := range []bool{false, true} {
+		useHoistedBabies = hoisted
+		out, err := tc.eval.EvaluateLinearTransform(ct, lt, tc.enc, tc.params.DefaultScale())
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := tc.enc.Decode(tc.dec.Decrypt(out), slots)
+		if e := maxErr(got, want); e > 1e-3 {
+			t.Errorf("hoisted=%v: max error %.3e", hoisted, e)
+		}
+	}
+	useHoistedBabies = true
+}

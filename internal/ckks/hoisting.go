@@ -1,0 +1,153 @@
+package ckks
+
+import (
+	"fmt"
+
+	"antace/internal/ring"
+)
+
+// Hoisted rotations (Halevi–Shoup): the expensive part of a rotation is
+// decomposing c1 into key-switching digits (INTT, base extension, forward
+// NTTs). Digit decomposition commutes with Galois automorphisms, so many
+// rotations of the same ciphertext can share one decomposition: each
+// rotation then only permutes the decomposed digits, multiplies by its
+// key and mod-downs. Linear transforms (and the bootstrapping DFTs built
+// on them) use this for their baby-step rotations.
+
+// hoistedDecomp holds the NTT-domain digit decomposition of one
+// polynomial over the basis Q∪P.
+type hoistedDecomp struct {
+	level int
+	tQ    []*ring.Poly // per digit, rows 0..level
+	tP    []*ring.Poly // per digit, all P rows
+}
+
+// decomposeForKeySwitch computes the shared digit decomposition of c1
+// (NTT domain, at its level).
+func (ev *Evaluator) decomposeForKeySwitch(c1 *ring.Poly) *hoistedDecomp {
+	params := ev.params
+	rQ, rP := params.RingQ(), params.RingP()
+	be := params.BasisExtender()
+	level := c1.Level()
+	alpha := params.Alpha()
+	digits := (level + 1 + alpha - 1) / alpha
+
+	c1c := c1.CopyNew()
+	rQ.INTT(c1c, c1c)
+
+	h := &hoistedDecomp{level: level}
+	for d := 0; d < digits; d++ {
+		start := d * alpha
+		end := start + alpha
+		if end > level+1 {
+			end = level + 1
+		}
+		tQ := rQ.NewPoly(level)
+		tP := rP.NewPoly(rP.MaxLevel())
+		be.ModUpDigitQP(c1c, start, end, level, tQ, tP)
+		rQ.NTT(tQ, tQ)
+		rP.NTT(tP, tP)
+		h.tQ = append(h.tQ, tQ)
+		h.tP = append(h.tP, tP)
+	}
+	return h
+}
+
+// applyKeySwitchHoisted finishes a key switch from a (possibly permuted)
+// decomposition: multiply-accumulate against the key digits and divide
+// by P.
+func (ev *Evaluator) applyKeySwitchHoisted(h *hoistedDecomp, swk *SwitchingKey) (d0, d1 *ring.Poly, err error) {
+	params := ev.params
+	rQ, rP := params.RingQ(), params.RingP()
+	be := params.BasisExtender()
+	if len(h.tQ) > len(swk.BQ) {
+		return nil, nil, fmt.Errorf("ckks: switching key has %d digits, need %d", len(swk.BQ), len(h.tQ))
+	}
+	accQ0 := rQ.NewPoly(h.level)
+	accQ1 := rQ.NewPoly(h.level)
+	accP0 := rP.NewPoly(rP.MaxLevel())
+	accP1 := rP.NewPoly(rP.MaxLevel())
+	for d := range h.tQ {
+		rQ.MulCoeffsThenAdd(h.tQ[d], swk.BQ[d], accQ0)
+		rP.MulCoeffsThenAdd(h.tP[d], swk.BP[d], accP0)
+		rQ.MulCoeffsThenAdd(h.tQ[d], swk.AQ[d], accQ1)
+		rP.MulCoeffsThenAdd(h.tP[d], swk.AP[d], accP1)
+	}
+	rQ.INTT(accQ0, accQ0)
+	rP.INTT(accP0, accP0)
+	be.ModDownQP(accQ0, accP0)
+	rQ.NTT(accQ0, accQ0)
+
+	rQ.INTT(accQ1, accQ1)
+	rP.INTT(accP1, accP1)
+	be.ModDownQP(accQ1, accP1)
+	rQ.NTT(accQ1, accQ1)
+	return accQ0, accQ1, nil
+}
+
+// permute applies a Galois automorphism (as an NTT index table) to every
+// digit, yielding the decomposition of the rotated polynomial.
+func (h *hoistedDecomp) permute(rQ, rP *ring.Ring, idxQ, idxP []int) *hoistedDecomp {
+	out := &hoistedDecomp{level: h.level}
+	for d := range h.tQ {
+		tQ := rQ.NewPoly(h.level)
+		tP := rP.NewPoly(rP.MaxLevel())
+		rQ.AutomorphismNTT(h.tQ[d], idxQ, tQ)
+		rP.AutomorphismNTT(h.tP[d], idxP, tP)
+		out.tQ = append(out.tQ, tQ)
+		out.tP = append(out.tP, tP)
+	}
+	return out
+}
+
+// RotateHoisted rotates ct by every offset in ks, sharing one digit
+// decomposition across all of them. Offsets of 0 return a copy. The
+// result map is keyed by offset.
+func (ev *Evaluator) RotateHoisted(ct *Ciphertext, ks []int) (map[int]*Ciphertext, error) {
+	if ct.Degree() != 1 {
+		return nil, fmt.Errorf("ckks: hoisted rotation requires a degree-1 ciphertext")
+	}
+	out := make(map[int]*Ciphertext, len(ks))
+	var h *hoistedDecomp
+	rQ, rP := ev.params.RingQ(), ev.params.RingP()
+	level := ct.Level()
+	for _, k := range ks {
+		if _, done := out[k]; done {
+			continue
+		}
+		if k == 0 {
+			out[0] = ct.CopyNew()
+			continue
+		}
+		if h == nil {
+			h = ev.decomposeForKeySwitch(ct.Value[1])
+		}
+		gal := rQ.GaloisElementForRotation(k)
+		key, err := ev.keys.GaloisKeyFor(gal)
+		if err != nil {
+			return nil, err
+		}
+		idxQ, ok := ev.autIndexCache[gal]
+		if !ok {
+			idxQ = rQ.AutomorphismNTTIndex(gal)
+			ev.autIndexCache[gal] = idxQ
+		}
+		// P uses the same degree, so the index table is identical.
+		idxP := idxQ
+		if rP.N != rQ.N {
+			idxP = rP.AutomorphismNTTIndex(gal)
+		}
+		hk := h.permute(rQ, rP, idxQ, idxP)
+		d0, d1, err := ev.applyKeySwitchHoisted(hk, &key.SwitchingKey)
+		if err != nil {
+			return nil, err
+		}
+		res := NewCiphertext(ev.params, 1, level)
+		res.Scale = ct.Scale
+		rQ.AutomorphismNTT(ct.Value[0], idxQ, res.Value[0])
+		rQ.Add(res.Value[0], d0, res.Value[0])
+		d1.Copy(res.Value[1])
+		out[k] = res
+	}
+	return out, nil
+}

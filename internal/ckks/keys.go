@@ -1,0 +1,253 @@
+package ckks
+
+import (
+	"fmt"
+	"math/big"
+
+	"antace/internal/nt"
+	"antace/internal/ring"
+)
+
+// SecretKey is a ternary secret held in NTT domain over both the Q and P
+// bases.
+type SecretKey struct {
+	Q *ring.Poly // all Q rows, NTT domain
+	P *ring.Poly // all P rows, NTT domain
+}
+
+// PublicKey is an encryption of zero under the secret key: (b, a) with
+// b = -(a*s + e), in NTT domain at the top level.
+type PublicKey struct {
+	B, A *ring.Poly
+}
+
+// SwitchingKey re-encrypts (the product with) one secret under another:
+// per key-switching digit i it stores (b_i, a_i) over the basis Q ∪ P with
+// b_i = -(a_i*s + e_i) + P*w_i*sFrom, where w_i is the RNS gadget
+// selecting digit i.
+type SwitchingKey struct {
+	BQ, BP []*ring.Poly // [digit]
+	AQ, AP []*ring.Poly
+}
+
+// RelinearizationKey switches s^2 -> s.
+type RelinearizationKey struct{ SwitchingKey }
+
+// GaloisKey switches phi_gal(s) -> s, enabling rotation/conjugation.
+type GaloisKey struct {
+	GaloisElement uint64
+	SwitchingKey
+}
+
+// EvaluationKeySet bundles the keys an evaluator may need.
+type EvaluationKeySet struct {
+	Rlk    *RelinearizationKey
+	Galois map[uint64]*GaloisKey
+}
+
+// GaloisKeyFor returns the key for the given Galois element, or an error
+// naming the missing element (the compiler's key analysis should have
+// planned for it).
+func (s *EvaluationKeySet) GaloisKeyFor(gal uint64) (*GaloisKey, error) {
+	if s == nil || s.Galois == nil {
+		return nil, fmt.Errorf("ckks: no Galois keys available")
+	}
+	k, ok := s.Galois[gal]
+	if !ok {
+		return nil, fmt.Errorf("ckks: missing Galois key for element %d", gal)
+	}
+	return k, nil
+}
+
+// KeyGenerator produces all key material.
+type KeyGenerator struct {
+	params   *Parameters
+	sampler  *ring.Sampler
+	samplerP *ring.Sampler
+}
+
+// NewKeyGenerator creates a key generator. A nil seed uses crypto/rand.
+func NewKeyGenerator(params *Parameters, seed *[32]byte) *KeyGenerator {
+	var seedP *[32]byte
+	if seed != nil {
+		s2 := *seed
+		s2[31] ^= 0xAA
+		seedP = &s2
+	}
+	return &KeyGenerator{
+		params:   params,
+		sampler:  ring.NewSampler(params.RingQ(), seed),
+		samplerP: ring.NewSampler(params.RingP(), seedP),
+	}
+}
+
+// SecretHammingWeight is the number of nonzero coefficients in secret
+// keys. Sparse ternary secrets (h=192, the HE-standard bootstrapping
+// convention) keep the ModRaise overflow polynomial I small independent
+// of the ring degree, which the bootstrapper's EvalMod range (K) relies
+// on.
+const SecretHammingWeight = 192
+
+// GenSecretKey samples a fresh sparse ternary secret key.
+func (kg *KeyGenerator) GenSecretKey() *SecretKey {
+	rQ, rP := kg.params.RingQ(), kg.params.RingP()
+	sk := &SecretKey{
+		Q: rQ.NewPoly(rQ.MaxLevel()),
+		P: rP.NewPoly(rP.MaxLevel()),
+	}
+	h := SecretHammingWeight
+	if h > rQ.N/2 {
+		h = rQ.N / 2
+	}
+	kg.sampler.TernarySparse(sk.Q, h)
+	// Mirror the same integer secret into the P basis: re-derive the
+	// signed values from the Q representation.
+	signed := signedFromRNS(rQ, sk.Q)
+	rP.SetSigned(sk.P, signed)
+	rQ.NTT(sk.Q, sk.Q)
+	rP.NTT(sk.P, sk.P)
+	return sk
+}
+
+// signedFromRNS reads back a small signed polynomial from row 0.
+func signedFromRNS(r *ring.Ring, p *ring.Poly) []int64 {
+	q := r.Moduli[0]
+	out := make([]int64, r.N)
+	for j := 0; j < r.N; j++ {
+		v := p.Coeffs[0][j]
+		if v > q/2 {
+			out[j] = -int64(q - v)
+		} else {
+			out[j] = int64(v)
+		}
+	}
+	return out
+}
+
+// GenPublicKey derives a public key from sk.
+func (kg *KeyGenerator) GenPublicKey(sk *SecretKey) *PublicKey {
+	rQ := kg.params.RingQ()
+	a := rQ.NewPoly(rQ.MaxLevel())
+	kg.sampler.Uniform(a) // uniform in NTT domain is uniform
+	e := rQ.NewPoly(rQ.MaxLevel())
+	kg.sampler.Gaussian(e)
+	rQ.NTT(e, e)
+	b := rQ.NewPoly(rQ.MaxLevel())
+	rQ.MulCoeffs(a, sk.Q, b)
+	rQ.Neg(b, b)
+	rQ.Add(b, e, b)
+	return &PublicKey{B: b, A: a}
+}
+
+// GenSwitchingKey produces a key switching sFrom -> sk. Both secrets are
+// in NTT domain over Q (sFrom only needs its Q representation).
+func (kg *KeyGenerator) GenSwitchingKey(sFrom *ring.Poly, sk *SecretKey) *SwitchingKey {
+	params := kg.params
+	rQ, rP := params.RingQ(), params.RingP()
+	L := rQ.MaxLevel()
+	K := rP.MaxLevel()
+	alpha := params.Alpha()
+	dnum := (L + 1 + alpha - 1) / alpha
+
+	swk := &SwitchingKey{
+		BQ: make([]*ring.Poly, dnum), BP: make([]*ring.Poly, dnum),
+		AQ: make([]*ring.Poly, dnum), AP: make([]*ring.Poly, dnum),
+	}
+	P := rP.ModulusAtLevel(K)
+	Q := rQ.ModulusAtLevel(L)
+	for d := 0; d < dnum; d++ {
+		start := d * alpha
+		end := start + alpha
+		if end > L+1 {
+			end = L + 1
+		}
+		// Gadget w_d = P * (Q/D_d) * ((Q/D_d)^-1 mod D_d) mod q_i, and 0 mod p_j
+		// contributions handled by construction below (w_d mod p_j is
+		// P*... ≡ 0 mod p_j since P | w_d... it is not: w_d contains P as a
+		// factor so w_d ≡ 0 mod every p_j).
+		D := big.NewInt(1)
+		for i := start; i < end; i++ {
+			D.Mul(D, new(big.Int).SetUint64(rQ.Moduli[i]))
+		}
+		QoverD := new(big.Int).Quo(Q, D)
+		inv := new(big.Int).ModInverse(new(big.Int).Mod(QoverD, D), D)
+		w := new(big.Int).Mul(QoverD, inv)
+		w.Mul(w, P)
+
+		aQ := rQ.NewPoly(L)
+		aP := rP.NewPoly(K)
+		kg.sampler.Uniform(aQ)
+		kg.samplerP.Uniform(aP)
+		eQ := rQ.NewPoly(L)
+		eP := rP.NewPoly(K)
+		kg.sampler.Gaussian(eQ)
+		// The error must be the same integer polynomial across Q and P.
+		rP.SetSigned(eP, signedFromRNS(rQ, eQ))
+		rQ.NTT(eQ, eQ)
+		rP.NTT(eP, eP)
+
+		bQ := rQ.NewPoly(L)
+		bP := rP.NewPoly(K)
+		rQ.MulCoeffs(aQ, sk.Q, bQ)
+		rQ.Neg(bQ, bQ)
+		rQ.Add(bQ, eQ, bQ)
+		rP.MulCoeffs(aP, sk.P, bP)
+		rP.Neg(bP, bP)
+		rP.Add(bP, eP, bP)
+
+		// Add w_d * sFrom on the Q side (w_d ≡ 0 mod p_j, so P side
+		// receives nothing).
+		tmp := rQ.NewPoly(L)
+		wm := new(big.Int)
+		for i := 0; i <= L; i++ {
+			qi := new(big.Int).SetUint64(rQ.Moduli[i])
+			wi := wm.Mod(w, qi).Uint64()
+			wiShoup := nt.ShoupPrec(wi, rQ.Moduli[i])
+			row := tmp.Coeffs[i]
+			src := sFrom.Coeffs[i]
+			for j := 0; j < rQ.N; j++ {
+				row[j] = nt.MulModShoup(src[j], wi, wiShoup, rQ.Moduli[i])
+			}
+		}
+		rQ.Add(bQ, tmp, bQ)
+
+		swk.BQ[d], swk.BP[d] = bQ, bP
+		swk.AQ[d], swk.AP[d] = aQ, aP
+	}
+	return swk
+}
+
+// GenRelinearizationKey produces the s^2 -> s key.
+func (kg *KeyGenerator) GenRelinearizationKey(sk *SecretKey) *RelinearizationKey {
+	rQ := kg.params.RingQ()
+	s2 := rQ.NewPoly(rQ.MaxLevel())
+	rQ.MulCoeffs(sk.Q, sk.Q, s2)
+	return &RelinearizationKey{*kg.GenSwitchingKey(s2, sk)}
+}
+
+// GenGaloisKey produces the key for one Galois element.
+func (kg *KeyGenerator) GenGaloisKey(gal uint64, sk *SecretKey) *GaloisKey {
+	rQ := kg.params.RingQ()
+	idx := rQ.AutomorphismNTTIndex(gal)
+	sGal := rQ.NewPoly(rQ.MaxLevel())
+	rQ.AutomorphismNTT(sk.Q, idx, sGal)
+	return &GaloisKey{GaloisElement: gal, SwitchingKey: *kg.GenSwitchingKey(sGal, sk)}
+}
+
+// GenGaloisKeys produces keys for a set of rotations (by slot offset) and
+// optionally conjugation.
+func (kg *KeyGenerator) GenGaloisKeys(rotations []int, conjugate bool, sk *SecretKey) map[uint64]*GaloisKey {
+	rQ := kg.params.RingQ()
+	out := make(map[uint64]*GaloisKey)
+	for _, k := range rotations {
+		gal := rQ.GaloisElementForRotation(k)
+		if _, ok := out[gal]; !ok {
+			out[gal] = kg.GenGaloisKey(gal, sk)
+		}
+	}
+	if conjugate {
+		gal := rQ.GaloisElementForConjugation()
+		out[gal] = kg.GenGaloisKey(gal, sk)
+	}
+	return out
+}

@@ -1,0 +1,193 @@
+package ckks
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"antace/internal/ring"
+)
+
+// Binary serialization for the client/server boundary of the threat
+// model (Figure 2 of the paper): the client ships an encrypted image and
+// the public evaluation keys to the server; the server returns the
+// encrypted result. The format is little-endian and versioned.
+
+const marshalMagic = 0xACE0
+
+// putHeader writes magic, version and a kind tag.
+func putHeader(buf []byte, kind uint16) []byte {
+	buf = binary.LittleEndian.AppendUint16(buf, marshalMagic)
+	buf = binary.LittleEndian.AppendUint16(buf, 1)
+	return binary.LittleEndian.AppendUint16(buf, kind)
+}
+
+func checkHeader(data []byte, kind uint16) ([]byte, error) {
+	if len(data) < 6 {
+		return nil, fmt.Errorf("ckks: truncated header")
+	}
+	if binary.LittleEndian.Uint16(data) != marshalMagic {
+		return nil, fmt.Errorf("ckks: bad magic")
+	}
+	if v := binary.LittleEndian.Uint16(data[2:]); v != 1 {
+		return nil, fmt.Errorf("ckks: unsupported version %d", v)
+	}
+	if k := binary.LittleEndian.Uint16(data[4:]); k != kind {
+		return nil, fmt.Errorf("ckks: wrong object kind %d, want %d", k, kind)
+	}
+	return data[6:], nil
+}
+
+const (
+	kindCiphertext uint16 = iota + 1
+	kindPlaintext
+	kindPublicKey
+)
+
+// appendPoly serializes an RNS polynomial.
+func appendPoly(buf []byte, p *ring.Poly) []byte {
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(p.Coeffs)))
+	if len(p.Coeffs) > 0 {
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(len(p.Coeffs[0])))
+	} else {
+		buf = binary.LittleEndian.AppendUint32(buf, 0)
+	}
+	for _, row := range p.Coeffs {
+		for _, v := range row {
+			buf = binary.LittleEndian.AppendUint64(buf, v)
+		}
+	}
+	return buf
+}
+
+func readPoly(data []byte) (*ring.Poly, []byte, error) {
+	if len(data) < 8 {
+		return nil, nil, fmt.Errorf("ckks: truncated polynomial header")
+	}
+	rows := int(binary.LittleEndian.Uint32(data))
+	n := int(binary.LittleEndian.Uint32(data[4:]))
+	data = data[8:]
+	if rows < 0 || rows > 64 || n < 0 || n > 1<<20 {
+		return nil, nil, fmt.Errorf("ckks: implausible polynomial dimensions %dx%d", rows, n)
+	}
+	need := rows * n * 8
+	if len(data) < need {
+		return nil, nil, fmt.Errorf("ckks: truncated polynomial body (%d < %d)", len(data), need)
+	}
+	p := &ring.Poly{Coeffs: make([][]uint64, rows)}
+	for i := 0; i < rows; i++ {
+		row := make([]uint64, n)
+		for j := 0; j < n; j++ {
+			row[j] = binary.LittleEndian.Uint64(data[8*(i*n+j):])
+		}
+		p.Coeffs[i] = row
+	}
+	return p, data[need:], nil
+}
+
+// MarshalBinary serializes the ciphertext.
+func (ct *Ciphertext) MarshalBinary() ([]byte, error) {
+	buf := putHeader(nil, kindCiphertext)
+	buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(ct.Scale))
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(ct.Value)))
+	for _, p := range ct.Value {
+		buf = appendPoly(buf, p)
+	}
+	return buf, nil
+}
+
+// UnmarshalBinary deserializes a ciphertext.
+func (ct *Ciphertext) UnmarshalBinary(data []byte) error {
+	rest, err := checkHeader(data, kindCiphertext)
+	if err != nil {
+		return err
+	}
+	if len(rest) < 12 {
+		return fmt.Errorf("ckks: truncated ciphertext")
+	}
+	ct.Scale = math.Float64frombits(binary.LittleEndian.Uint64(rest))
+	count := int(binary.LittleEndian.Uint32(rest[8:]))
+	rest = rest[12:]
+	if count < 1 || count > 4 {
+		return fmt.Errorf("ckks: implausible ciphertext degree %d", count-1)
+	}
+	ct.Value = make([]*ring.Poly, count)
+	for i := range ct.Value {
+		var p *ring.Poly
+		p, rest, err = readPoly(rest)
+		if err != nil {
+			return err
+		}
+		ct.Value[i] = p
+	}
+	if len(rest) != 0 {
+		return fmt.Errorf("ckks: %d trailing bytes", len(rest))
+	}
+	return nil
+}
+
+// MarshalBinary serializes the plaintext.
+func (pt *Plaintext) MarshalBinary() ([]byte, error) {
+	buf := putHeader(nil, kindPlaintext)
+	buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(pt.Scale))
+	return appendPoly(buf, pt.Value), nil
+}
+
+// UnmarshalBinary deserializes a plaintext.
+func (pt *Plaintext) UnmarshalBinary(data []byte) error {
+	rest, err := checkHeader(data, kindPlaintext)
+	if err != nil {
+		return err
+	}
+	if len(rest) < 8 {
+		return fmt.Errorf("ckks: truncated plaintext")
+	}
+	pt.Scale = math.Float64frombits(binary.LittleEndian.Uint64(rest))
+	p, rest, err := readPoly(rest[8:])
+	if err != nil {
+		return err
+	}
+	if len(rest) != 0 {
+		return fmt.Errorf("ckks: %d trailing bytes", len(rest))
+	}
+	pt.Value = p
+	return nil
+}
+
+// MarshalBinary serializes the public key.
+func (pk *PublicKey) MarshalBinary() ([]byte, error) {
+	buf := putHeader(nil, kindPublicKey)
+	buf = appendPoly(buf, pk.B)
+	return appendPoly(buf, pk.A), nil
+}
+
+// UnmarshalBinary deserializes a public key.
+func (pk *PublicKey) UnmarshalBinary(data []byte) error {
+	rest, err := checkHeader(data, kindPublicKey)
+	if err != nil {
+		return err
+	}
+	b, rest, err := readPoly(rest)
+	if err != nil {
+		return err
+	}
+	a, rest, err := readPoly(rest)
+	if err != nil {
+		return err
+	}
+	if len(rest) != 0 {
+		return fmt.Errorf("ckks: %d trailing bytes", len(rest))
+	}
+	pk.B, pk.A = b, a
+	return nil
+}
+
+// Size returns the serialized size in bytes of the ciphertext (the
+// paper's communication-cost unit).
+func (ct *Ciphertext) Size() int {
+	total := 6 + 8 + 4
+	for _, p := range ct.Value {
+		total += 8 + len(p.Coeffs)*p.N()*8
+	}
+	return total
+}

@@ -1,0 +1,103 @@
+package ckks
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestCiphertextRoundTrip(t *testing.T) {
+	tc := newTestContext(t, nil)
+	values := randomComplexVector(tc.params.Slots(), 1, 77)
+	pt, _ := tc.enc.Encode(values, tc.params.MaxLevel(), tc.params.DefaultScale())
+	ct := tc.encPk.Encrypt(pt)
+
+	data, err := ct.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(data) != ct.Size() {
+		t.Fatalf("Size() %d != serialized %d", ct.Size(), len(data))
+	}
+	var back Ciphertext
+	if err := back.UnmarshalBinary(data); err != nil {
+		t.Fatal(err)
+	}
+	if back.Scale != ct.Scale || back.Degree() != ct.Degree() || back.Level() != ct.Level() {
+		t.Fatal("metadata lost")
+	}
+	// The deserialized ciphertext must decrypt identically.
+	got := tc.enc.Decode(tc.dec.Decrypt(&back), tc.params.Slots())
+	requireClose(t, got, values, 1e-6, "round-tripped ciphertext")
+}
+
+func TestPlaintextAndPublicKeyRoundTrip(t *testing.T) {
+	tc := newTestContext(t, nil)
+	values := randomComplexVector(tc.params.Slots(), 1, 78)
+	pt, _ := tc.enc.Encode(values, 2, tc.params.DefaultScale())
+	data, err := pt.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Plaintext
+	if err := back.UnmarshalBinary(data); err != nil {
+		t.Fatal(err)
+	}
+	if !back.Value.Equal(pt.Value) || back.Scale != pt.Scale {
+		t.Fatal("plaintext round trip lost data")
+	}
+
+	pkData, err := tc.pk.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var pk2 PublicKey
+	if err := pk2.UnmarshalBinary(pkData); err != nil {
+		t.Fatal(err)
+	}
+	if !pk2.A.Equal(tc.pk.A) || !pk2.B.Equal(tc.pk.B) {
+		t.Fatal("public key round trip lost data")
+	}
+	// Encrypting with the round-tripped key must still decrypt.
+	enc2 := NewEncryptor(tc.params, &pk2)
+	ct := enc2.Encrypt(pt)
+	got := tc.enc.Decode(tc.dec.Decrypt(ct), tc.params.Slots())
+	requireClose(t, got, values, 1e-6, "encryption under round-tripped key")
+}
+
+func TestUnmarshalRejectsGarbage(t *testing.T) {
+	var ct Ciphertext
+	cases := [][]byte{
+		nil,
+		{1, 2, 3},
+		{0xE0, 0xAC, 1, 0, 1, 0},       // right magic, truncated
+		{0x00, 0x00, 1, 0, 1, 0, 0, 0}, // wrong magic
+	}
+	for i, data := range cases {
+		if err := ct.UnmarshalBinary(data); err == nil {
+			t.Fatalf("case %d: expected error", i)
+		}
+	}
+	// Wrong kind: a plaintext blob fed to a ciphertext.
+	tc := newTestContext(t, nil)
+	pt, _ := tc.enc.Encode(make([]complex128, 4), 1, tc.params.DefaultScale())
+	blob, _ := pt.MarshalBinary()
+	if err := ct.UnmarshalBinary(blob); err == nil {
+		t.Fatal("expected kind mismatch error")
+	}
+}
+
+func TestMarshalFuzzSafety(t *testing.T) {
+	// Property: arbitrary byte strings never panic the unmarshaler.
+	f := func(data []byte) bool {
+		var ct Ciphertext
+		_ = ct.UnmarshalBinary(data)
+		var pt Plaintext
+		_ = pt.UnmarshalBinary(data)
+		var pk PublicKey
+		_ = pk.UnmarshalBinary(data)
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,425 @@
+package ckks
+
+import (
+	"fmt"
+
+	"antace/internal/poly"
+)
+
+// PowerBasis caches the ciphertext powers x^i (monomial basis) or
+// Chebyshev polynomials T_i(x) used by BSGS polynomial evaluation.
+type PowerBasis struct {
+	basis poly.Basis
+	ct    map[int]*Ciphertext
+}
+
+// NewPowerBasis starts a power basis from x itself.
+func (ev *Evaluator) NewPowerBasis(ct *Ciphertext, basis poly.Basis) *PowerBasis {
+	return &PowerBasis{basis: basis, ct: map[int]*Ciphertext{1: ct}}
+}
+
+// Get returns the cached ciphertext for index i.
+func (pb *PowerBasis) Get(i int) *Ciphertext { return pb.ct[i] }
+
+// Gen ensures index i is available, recursively generating dependencies.
+func (pb *PowerBasis) Gen(ev *Evaluator, i int) error {
+	if i < 1 {
+		return fmt.Errorf("ckks: power basis index %d < 1", i)
+	}
+	if _, ok := pb.ct[i]; ok {
+		return nil
+	}
+	// Split i = a + b with a the largest power of two < i.
+	a := 1
+	for a*2 < i {
+		a *= 2
+	}
+	b := i - a
+	if err := pb.Gen(ev, a); err != nil {
+		return err
+	}
+	if err := pb.Gen(ev, b); err != nil {
+		return err
+	}
+	ta, tb := pb.ct[a], pb.ct[b]
+	prod, err := ev.Mul(ta, tb)
+	if err != nil {
+		return err
+	}
+	if pb.basis == poly.Chebyshev {
+		// T_{a+b} = 2*T_a*T_b - T_{|a-b|}
+		two, err := ev.Add(prod, prod)
+		if err != nil {
+			return err
+		}
+		c := a - b
+		if c == 0 {
+			two = ev.AddConst(two, -1)
+		} else {
+			if err := pb.Gen(ev, c); err != nil {
+				return err
+			}
+			tc := pb.ct[c]
+			// Bring T_c to the product's scale with a free constant
+			// multiplication, then align levels and subtract.
+			adj := ev.MulByConst(tc, 1, two.Scale/tc.Scale)
+			adj.Scale = two.Scale
+			two, err = ev.Sub(two, adj)
+			if err != nil {
+				return err
+			}
+		}
+		prod = two
+	}
+	rl, err := ev.Relinearize(prod)
+	if err != nil {
+		return err
+	}
+	rs, err := ev.Rescale(rl)
+	if err != nil {
+		return err
+	}
+	pb.ct[i] = rs
+	return nil
+}
+
+// EvaluatePolynomial evaluates p homomorphically on ct using
+// baby-step/giant-step evaluation with exact scale bookkeeping. The
+// result has scale targetScale (pass 0 for the parameter default). The
+// multiplicative depth consumed is p.Depth() (+1 if the Chebyshev domain
+// [A,B] differs from [-1,1], for the affine input map).
+func (ev *Evaluator) EvaluatePolynomial(ct *Ciphertext, p *poly.Polynomial, targetScale float64) (*Ciphertext, error) {
+	if targetScale == 0 {
+		targetScale = ev.params.DefaultScale()
+	}
+	x := ct
+	if p.Basis == poly.Chebyshev && (p.A != -1 || p.B != 1) {
+		// u = (2x - (A+B)) / (B-A), landing exactly on the default scale.
+		alpha := 2 / (p.B - p.A)
+		beta := -(p.A + p.B) / (p.B - p.A)
+		ql := ev.params.RingQ().Moduli[ct.Level()]
+		cs := ev.params.DefaultScale() * float64(ql) / ct.Scale
+		scaled := ev.MulByConst(ct, alpha, cs)
+		rs, err := ev.Rescale(scaled)
+		if err != nil {
+			return nil, err
+		}
+		rs.Scale = ev.params.DefaultScale()
+		x = ev.AddConst(rs, beta)
+	}
+
+	deg := p.Degree()
+	if deg == 0 {
+		// Constant polynomial: encrypt-free — return c0 added to a zeroed
+		// copy of ct at the right scale.
+		out := ev.MulByConst(x, 0, targetScale/x.Scale)
+		out.Scale = targetScale
+		return ev.AddConst(out, p.Coeffs[0]), nil
+	}
+
+	// Choose the baby-step size m = 2^ceil(logD/2).
+	logD := 0
+	for (1 << logD) < deg+1 {
+		logD++
+	}
+	m := 1 << ((logD + 1) / 2)
+	if m > deg {
+		m = 1 << (logD - 1)
+		if m < 1 {
+			m = 1
+		}
+	}
+
+	pb := ev.NewPowerBasis(x, p.Basis)
+	for i := 1; i <= m && i <= deg; i++ {
+		if err := pb.Gen(ev, i); err != nil {
+			return nil, err
+		}
+	}
+	g := m
+	for 2*g <= deg {
+		g *= 2
+		if err := pb.Gen(ev, g); err != nil {
+			return nil, err
+		}
+	}
+
+	pe := &polyEvalState{ev: ev, pb: pb, basis: p.Basis, m: m}
+	if pe.levelOf(p.Coeffs) < 0 {
+		return nil, fmt.Errorf("ckks: insufficient levels to evaluate degree-%d polynomial", deg)
+	}
+	res, err := pe.recurse(p.Coeffs, targetScale)
+	if err != nil {
+		return nil, err
+	}
+	if res == nil {
+		out := ev.MulByConst(x, 0, 1)
+		out.Scale = targetScale
+		return out, nil
+	}
+	return res, nil
+}
+
+type polyEvalState struct {
+	ev    *Evaluator
+	pb    *PowerBasis
+	basis poly.Basis
+	m     int
+}
+
+func polyDeg(coeffs []float64) int {
+	for i := len(coeffs) - 1; i >= 0; i-- {
+		if coeffs[i] != 0 {
+			return i
+		}
+	}
+	return -1
+}
+
+// split writes p = q*X^g + r (monomial) or p = q*T_g + r (Chebyshev).
+func (pe *polyEvalState) split(coeffs []float64, g int) (q, r []float64) {
+	if pe.basis == poly.Chebyshev {
+		return splitChebyshev(coeffs, g)
+	}
+	return append([]float64(nil), coeffs[g:]...), append([]float64(nil), coeffs[:g]...)
+}
+
+func (pe *polyEvalState) giantFor(deg int) int {
+	g := pe.m
+	for 2*g <= deg {
+		g *= 2
+	}
+	return g
+}
+
+// levelOf predicts the output level of recurse for these coefficients
+// without performing any homomorphic work. The recursion in recurse must
+// mirror this computation exactly.
+//
+// Note: the evaluation consumes ceil(log2(deg+1)) + 1 levels. The extra
+// level relative to the theoretical optimum is deliberate: an unrescaled
+// baby-step sum would force its coefficients to be encoded at scale ~1,
+// quantising them to integers.
+func (pe *polyEvalState) levelOf(coeffs []float64) int {
+	deg := polyDeg(coeffs)
+	if deg < 0 {
+		return 1 << 30 // "any level": a nil result imposes no constraint
+	}
+	if deg <= pe.m {
+		return pe.minUsedBasisLevel(coeffs) - 1
+	}
+	g := pe.giantFor(deg)
+	qc, _ := pe.split(coeffs, g)
+	lq := pe.levelOf(qc)
+	lg := pe.pb.Get(g).Level()
+	lp := lq
+	if lg < lp {
+		lp = lg
+	}
+	return lp - 1
+}
+
+// minUsedBasisLevel returns the smallest level among the power-basis
+// elements a baby-step evaluation of coeffs will touch.
+func (pe *polyEvalState) minUsedBasisLevel(coeffs []float64) int {
+	level := pe.pb.Get(1).Level()
+	for i := 1; i < len(coeffs); i++ {
+		if coeffs[i] == 0 {
+			continue
+		}
+		if l := pe.pb.Get(i).Level(); l < level {
+			level = l
+		}
+	}
+	return level
+}
+
+// recurse returns a ciphertext holding the polynomial with the given
+// coefficients at exactly the requested scale (and at the deterministic
+// level computed by levelOf), or nil if all coefficients are zero.
+func (pe *polyEvalState) recurse(coeffs []float64, scale float64) (*Ciphertext, error) {
+	deg := polyDeg(coeffs)
+	if deg < 0 {
+		return nil, nil
+	}
+	ev := pe.ev
+	if deg <= pe.m {
+		return pe.evalBaby(coeffs[:deg+1], scale)
+	}
+	g := pe.giantFor(deg)
+	qc, rc := pe.split(coeffs, g)
+	pbg := pe.pb.Get(g)
+
+	// The product q*T_g rescales at the level where the operands meet.
+	lq := pe.levelOf(qc)
+	lp := min(lq, pbg.Level())
+	if lp < 1 {
+		return nil, fmt.Errorf("ckks: insufficient levels in polynomial evaluation")
+	}
+	ql := ev.params.RingQ().Moduli[lp]
+	qTargetScale := scale * float64(ql) / pbg.Scale
+	q, err := pe.recurse(qc, qTargetScale)
+	if err != nil {
+		return nil, err
+	}
+	if q == nil {
+		return nil, fmt.Errorf("ckks: internal error: zero quotient for degree-%d split", deg)
+	}
+	if q.Level() != lq {
+		return nil, fmt.Errorf("ckks: level prediction mismatch (have %d, predicted %d)", q.Level(), lq)
+	}
+	prod, err := ev.Mul(q, pbg)
+	if err != nil {
+		return nil, err
+	}
+	rl, err := ev.Relinearize(prod)
+	if err != nil {
+		return nil, err
+	}
+	rs, err := ev.Rescale(rl)
+	if err != nil {
+		return nil, err
+	}
+	rs.Scale = scale // exact by construction of qTargetScale
+	r, err := pe.recurse(rc, scale)
+	if err != nil {
+		return nil, err
+	}
+	if r == nil {
+		return rs, nil
+	}
+	return ev.Add(rs, r)
+}
+
+// evalBaby evaluates a degree <= m polynomial directly from the power
+// basis at exactly the requested scale.
+func (pe *polyEvalState) evalBaby(coeffs []float64, scale float64) (*Ciphertext, error) {
+	ev := pe.ev
+	lcom := pe.minUsedBasisLevel(coeffs)
+	if lcom < 1 {
+		return nil, fmt.Errorf("ckks: insufficient levels in baby-step evaluation")
+	}
+	ql := ev.params.RingQ().Moduli[lcom]
+	s := scale * float64(ql)
+	var acc *Ciphertext
+	for i := 1; i < len(coeffs); i++ {
+		if coeffs[i] == 0 {
+			continue
+		}
+		base := pe.pb.Get(i)
+		if base == nil {
+			return nil, fmt.Errorf("ckks: missing power basis element %d", i)
+		}
+		term := ev.MulByConst(base, coeffs[i], s/base.Scale)
+		term.Scale = s
+		if term.Level() > lcom {
+			ev.DropLevel(term, term.Level()-lcom)
+		}
+		if acc == nil {
+			acc = term
+			continue
+		}
+		var err error
+		acc, err = ev.Add(acc, term)
+		if err != nil {
+			return nil, err
+		}
+	}
+	if acc == nil {
+		// Only the constant coefficient: build a zero ciphertext.
+		base := pe.pb.Get(1)
+		acc = ev.MulByConst(base, 0, 1)
+		acc.Scale = s
+		if acc.Level() > lcom {
+			ev.DropLevel(acc, acc.Level()-lcom)
+		}
+	}
+	if coeffs[0] != 0 {
+		acc = ev.AddConst(acc, coeffs[0])
+	}
+	out, err := ev.Rescale(acc)
+	if err != nil {
+		return nil, err
+	}
+	out.Scale = scale
+	return out, nil
+}
+
+// splitChebyshev writes p = q*T_g + r using
+// T_{g+j} = 2 T_g T_j - T_{g-j}; requires deg(p) < 2g.
+func splitChebyshev(coeffs []float64, g int) (q, r []float64) {
+	q = make([]float64, len(coeffs)-g)
+	r = append([]float64(nil), coeffs[:g]...)
+	q[0] = coeffs[g]
+	for j := 1; j < len(q); j++ {
+		q[j] = 2 * coeffs[g+j]
+		r[g-j] -= coeffs[g+j]
+	}
+	return q, r
+}
+
+// EvaluateComposite evaluates a composition of polynomials (applied left
+// to right), e.g. a sign composite, re-targeting the default scale at
+// every stage.
+func (ev *Evaluator) EvaluateComposite(ct *Ciphertext, stages []*poly.Polynomial) (*Ciphertext, error) {
+	cur := ct
+	var err error
+	for i, st := range stages {
+		cur, err = ev.EvaluatePolynomial(cur, st, ev.params.DefaultScale())
+		if err != nil {
+			return nil, fmt.Errorf("ckks: composite stage %d: %w", i, err)
+		}
+	}
+	return cur, nil
+}
+
+// EvaluateReLU evaluates relu(x) ~= 0.5*x*(1+sign(x)) given a sign
+// composition valid on [-bound, bound] (inputs are normalised by 1/bound
+// first, and the result is multiplied back).
+func (ev *Evaluator) EvaluateReLU(ct *Ciphertext, stages []*poly.Polynomial, bound float64) (*Ciphertext, error) {
+	if len(stages) == 0 {
+		return nil, fmt.Errorf("ckks: empty sign composition")
+	}
+	// Normalise: y = x / bound, landing exactly on the default scale.
+	ql := ev.params.RingQ().Moduli[ct.Level()]
+	cs := ev.params.DefaultScale() * float64(ql) / ct.Scale
+	norm := ev.MulByConst(ct, 1/bound, cs)
+	y, err := ev.Rescale(norm)
+	if err != nil {
+		return nil, err
+	}
+	y.Scale = ev.params.DefaultScale()
+	// Fold 0.5*(1+sign) into the last stage: h = 0.5 + 0.5*sign.
+	adjusted := make([]*poly.Polynomial, len(stages))
+	copy(adjusted, stages[:len(stages)-1])
+	last := stages[len(stages)-1]
+	half := &poly.Polynomial{Coeffs: make([]float64, len(last.Coeffs)), Basis: last.Basis, A: last.A, B: last.B}
+	for i, c := range last.Coeffs {
+		half.Coeffs[i] = 0.5 * c
+	}
+	half.Coeffs[0] += 0.5
+	adjusted[len(stages)-1] = half
+
+	h, err := ev.EvaluateComposite(y, adjusted)
+	if err != nil {
+		return nil, err
+	}
+	// relu(x) = x * h(x/bound): multiply by the original ciphertext.
+	xd := ct.CopyNew()
+	if xd.Level() > h.Level() {
+		ev.DropLevel(xd, xd.Level()-h.Level())
+	}
+	prod, err := ev.Mul(xd, h)
+	if err != nil {
+		return nil, err
+	}
+	rl, err := ev.Relinearize(prod)
+	if err != nil {
+		return nil, err
+	}
+	out, err := ev.Rescale(rl)
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}

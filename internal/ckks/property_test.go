@@ -1,0 +1,136 @@
+package ckks
+
+import (
+	"math/cmplx"
+	"testing"
+	"testing/quick"
+)
+
+// Property-based checks of the homomorphism laws on small random
+// vectors: Dec(Enc(x) ⊕ Enc(y)) = x + y and Dec(Enc(x) ⊗ Enc(y)) = x*y,
+// plus structural identities the compiler relies on.
+
+func TestPropertyAdditiveHomomorphism(t *testing.T) {
+	tc := newTestContext(t, nil)
+	slots := tc.params.Slots()
+	f := func(seed1, seed2 uint64) bool {
+		v1 := randomComplexVector(slots, 1, seed1)
+		v2 := randomComplexVector(slots, 1, seed2)
+		pt1, _ := tc.enc.Encode(v1, tc.params.MaxLevel(), tc.params.DefaultScale())
+		pt2, _ := tc.enc.Encode(v2, tc.params.MaxLevel(), tc.params.DefaultScale())
+		sum, err := tc.eval.Add(tc.encPk.Encrypt(pt1), tc.encPk.Encrypt(pt2))
+		if err != nil {
+			return false
+		}
+		got := tc.enc.Decode(tc.dec.Decrypt(sum), slots)
+		for i := range got {
+			if cmplx.Abs(got[i]-(v1[i]+v2[i])) > 1e-5 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 10}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropertyMultiplicativeHomomorphism(t *testing.T) {
+	tc := newTestContext(t, nil)
+	slots := tc.params.Slots()
+	f := func(seed1, seed2 uint64) bool {
+		v1 := randomComplexVector(slots, 1, seed1)
+		v2 := randomComplexVector(slots, 1, seed2)
+		pt1, _ := tc.enc.Encode(v1, tc.params.MaxLevel(), tc.params.DefaultScale())
+		pt2, _ := tc.enc.Encode(v2, tc.params.MaxLevel(), tc.params.DefaultScale())
+		prod, err := tc.eval.MulRelin(tc.encPk.Encrypt(pt1), tc.encPk.Encrypt(pt2))
+		if err != nil {
+			return false
+		}
+		prod, err = tc.eval.Rescale(prod)
+		if err != nil {
+			return false
+		}
+		got := tc.enc.Decode(tc.dec.Decrypt(prod), slots)
+		for i := range got {
+			if cmplx.Abs(got[i]-v1[i]*v2[i]) > 1e-4 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 6}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropertyRotationComposition(t *testing.T) {
+	// rot(rot(x, a), b) == rot(x, a+b) for keyed rotations.
+	tc := newTestContext(t, []int{1, 2, 3})
+	slots := tc.params.Slots()
+	values := randomComplexVector(slots, 1, 91)
+	pt, _ := tc.enc.Encode(values, tc.params.MaxLevel(), tc.params.DefaultScale())
+	ct := tc.encPk.Encrypt(pt)
+	r1, err := tc.eval.Rotate(ct, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r12, err := tc.eval.Rotate(r1, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r3, err := tc.eval.Rotate(ct, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := tc.enc.Decode(tc.dec.Decrypt(r12), slots)
+	b := tc.enc.Decode(tc.dec.Decrypt(r3), slots)
+	requireClose(t, a, b, 1e-4, "rotation composition")
+}
+
+func TestPropertyConjugationInvolution(t *testing.T) {
+	tc := newTestContext(t, nil)
+	slots := tc.params.Slots()
+	values := randomComplexVector(slots, 1, 92)
+	pt, _ := tc.enc.Encode(values, tc.params.MaxLevel(), tc.params.DefaultScale())
+	ct := tc.encPk.Encrypt(pt)
+	c1, err := tc.eval.Conjugate(ct)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c2, err := tc.eval.Conjugate(c1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := tc.enc.Decode(tc.dec.Decrypt(c2), slots)
+	requireClose(t, got, values, 1e-4, "conjugation involution")
+}
+
+func TestPropertyDistributivity(t *testing.T) {
+	// pt ⊙ (x ⊕ y) == pt ⊙ x ⊕ pt ⊙ y
+	tc := newTestContext(t, nil)
+	slots := tc.params.Slots()
+	vx := randomComplexVector(slots, 1, 93)
+	vy := randomComplexVector(slots, 1, 94)
+	vm := randomComplexVector(slots, 1, 95)
+	ptx, _ := tc.enc.Encode(vx, tc.params.MaxLevel(), tc.params.DefaultScale())
+	pty, _ := tc.enc.Encode(vy, tc.params.MaxLevel(), tc.params.DefaultScale())
+	ptm, _ := tc.enc.Encode(vm, tc.params.MaxLevel(), tc.params.DefaultScale())
+	x := tc.encPk.Encrypt(ptx)
+	y := tc.encPk.Encrypt(pty)
+
+	sum, err := tc.eval.Add(x, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lhs := tc.eval.MulPlain(sum, ptm)
+	px := tc.eval.MulPlain(x, ptm)
+	py := tc.eval.MulPlain(y, ptm)
+	rhs, err := tc.eval.Add(px, py)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := tc.enc.Decode(tc.dec.Decrypt(lhs), slots)
+	b := tc.enc.Decode(tc.dec.Decrypt(rhs), slots)
+	requireClose(t, a, b, 1e-4, "distributivity")
+}

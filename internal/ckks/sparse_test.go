@@ -1,0 +1,66 @@
+package ckks
+
+import (
+	"math"
+	"testing"
+)
+
+// TestSparseRotation verifies that a vector encoded into n < N/2 slots
+// (gap packing) rotates by k under the same Galois element as a full
+// vector: the compiler's VECTOR IR relies on this to run rotation
+// programs over logical vectors shorter than the slot count.
+func TestSparseRotation(t *testing.T) {
+	tc := newTestContext(t, []int{1, 3, 7})
+	for _, n := range []int{4, 16, 64} {
+		values := make([]complex128, n)
+		for i := range values {
+			values[i] = complex(float64(i+1), 0)
+		}
+		pt, err := tc.enc.Encode(values, tc.params.MaxLevel(), tc.params.DefaultScale())
+		if err != nil {
+			t.Fatal(err)
+		}
+		ct := tc.encPk.Encrypt(pt)
+		for _, k := range []int{1, 3, 7} {
+			rot, err := tc.eval.Rotate(ct, k)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got := tc.enc.Decode(tc.dec.Decrypt(rot), n)
+			for i := range got {
+				want := values[(i+k)%n]
+				if math.Abs(real(got[i])-real(want)) > 1e-4 {
+					t.Fatalf("n=%d k=%d slot %d: got %g want %g", n, k, i, real(got[i]), real(want))
+				}
+			}
+		}
+	}
+}
+
+// TestSparseMulAlignment checks that sparse plaintexts multiply sparse
+// ciphertexts slotwise at matching logical positions.
+func TestSparseMulAlignment(t *testing.T) {
+	tc := newTestContext(t, nil)
+	n := 16
+	v := make([]complex128, n)
+	m := make([]complex128, n)
+	for i := range v {
+		v[i] = complex(float64(i+1), 0)
+		m[i] = complex(float64(2*i), 0)
+	}
+	pt, _ := tc.enc.Encode(v, tc.params.MaxLevel(), tc.params.DefaultScale())
+	ct := tc.encPk.Encrypt(pt)
+	mp, _ := tc.enc.Encode(m, tc.params.MaxLevel(), tc.params.DefaultScale())
+	prod := tc.eval.MulPlain(ct, mp)
+	res, err := tc.eval.Rescale(prod)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := tc.enc.Decode(tc.dec.Decrypt(res), n)
+	for i := range got {
+		want := real(v[i]) * real(m[i])
+		if math.Abs(real(got[i])-want) > 1e-3 {
+			t.Fatalf("slot %d: got %g want %g", i, real(got[i]), want)
+		}
+	}
+}

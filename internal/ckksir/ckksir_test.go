@@ -1,0 +1,214 @@
+package ckksir
+
+import (
+	"math"
+	"testing"
+
+	"antace/internal/ir"
+	"antace/internal/nnir"
+	"antace/internal/onnx"
+	"antace/internal/sihe"
+	"antace/internal/vecir"
+)
+
+func lowerToSIHE(t *testing.T, m *onnx.Model) *ir.Module {
+	t.Helper()
+	nn, err := nnir.Import(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pm := &ir.PassManager{}
+	pm.Add(nnir.FuseConvBatchNorm(), ir.DCE())
+	if err := pm.Run(nn); err != nil {
+		t.Fatal(err)
+	}
+	if err := nnir.CalibrateReLUBounds(nn.Main(), 2, 1.5, 7); err != nil {
+		t.Fatal(err)
+	}
+	vres, err := vecir.Lower(nn, vecir.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sm, err := sihe.Lower(vres.Module, sihe.Options{ReLUAlpha: 5, ReLUEps: 0.125})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sm
+}
+
+func TestLowerLinearScalesExact(t *testing.T) {
+	m, _ := onnx.BuildLinear(16, 4, 3)
+	sm := lowerToSIHE(t, m)
+	res, err := Lower(sm, Options{Mode: BootstrapNever, IgnoreSecurity: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := res.Module.Main()
+	// Every cipher value must carry positive scale and non-negative level.
+	for _, in := range f.Body {
+		if in.Result.Type.Kind == ir.KindCipher {
+			if in.Result.Level < 0 {
+				t.Fatalf("%s: negative level", in.Op)
+			}
+			if in.Result.Scale <= 0 {
+				t.Fatalf("%s: non-positive scale", in.Op)
+			}
+		}
+	}
+	// A linear model consumes exactly one level (the FC mul+rescale).
+	if res.InputLevel != 1 {
+		t.Fatalf("input level %d, want 1", res.InputLevel)
+	}
+	if res.Bootstraps != 0 {
+		t.Fatal("linear model must not bootstrap")
+	}
+	// Final value back on the waterline scale.
+	if rel := math.Abs(f.Ret.Scale/res.InputScale - 1); rel > 1e-9 {
+		t.Fatalf("output scale %g vs waterline %g", f.Ret.Scale, res.InputScale)
+	}
+}
+
+func TestLowerCNNWithBootstrapPlacement(t *testing.T) {
+	m, _ := onnx.BuildSmallCNN(onnx.SmallCNNConfig{InputSize: 8, Channels: 2, Classes: 3})
+	sm := lowerToSIHE(t, m)
+	res, err := Lower(sm, Options{Mode: BootstrapAlways, IgnoreSecurity: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Bootstraps != 2 {
+		t.Fatalf("bootstraps %d, want 2 (one per ReLU)", res.Bootstraps)
+	}
+	// All segments beyond the first must fit the uniform target.
+	for i, d := range res.SegmentDepths {
+		if i > 0 && d > res.TargetLevel {
+			t.Fatalf("segment %d depth %d exceeds target %d", i, d, res.TargetLevel)
+		}
+	}
+	// Chain layout: q0 + target compute levels + circuit levels.
+	if len(res.Literal.LogQ) != 1+res.TargetLevel+12 {
+		t.Fatalf("chain length %d, want %d", len(res.Literal.LogQ), 1+res.TargetLevel+12)
+	}
+	// Bootstrap ops must sit at level 0 inputs and target outputs.
+	for _, in := range res.Module.Main().Body {
+		if in.Op == OpBootstrap {
+			if in.Args[0].Level != 0 {
+				t.Fatal("bootstrap input not at level 0")
+			}
+			if in.Result.Level != res.TargetLevel {
+				t.Fatal("bootstrap output not at the planned target")
+			}
+		}
+	}
+}
+
+func TestAutoModeSwitches(t *testing.T) {
+	m, _ := onnx.BuildLinear(16, 4, 3)
+	sm := lowerToSIHE(t, m)
+	res, err := Lower(sm, Options{Mode: BootstrapAuto, IgnoreSecurity: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Bootstraps != 0 {
+		t.Fatal("shallow circuit must not bootstrap in Auto mode")
+	}
+
+	mc, _ := onnx.BuildSmallCNN(onnx.SmallCNNConfig{InputSize: 8, Channels: 2, Classes: 3})
+	smc := lowerToSIHE(t, mc)
+	res2, err := Lower(smc, Options{Mode: BootstrapAuto, MaxNoBootstrapDepth: 10, IgnoreSecurity: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.Bootstraps == 0 {
+		t.Fatal("deep circuit must bootstrap in Auto mode")
+	}
+}
+
+func TestSelectParametersSecurity(t *testing.T) {
+	// Deep chain without IgnoreSecurity must push LogN up.
+	lit, _, err := SelectParameters([]int{20, 20}, 16384, Options{LogScale: 56})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lit.LogN < 16 {
+		t.Fatalf("LogN %d too small for a %d-level chain", lit.LogN, len(lit.LogQ))
+	}
+	// Slot requirement dominates when security is ignored.
+	lit2, _, err := SelectParameters([]int{2}, 4096, Options{IgnoreSecurity: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if 1<<(lit2.LogN-1) < 4096 {
+		t.Fatalf("LogN %d cannot hold 4096 slots", lit2.LogN)
+	}
+}
+
+func TestExpertSlackRaisesChain(t *testing.T) {
+	m, _ := onnx.BuildSmallCNN(onnx.SmallCNNConfig{InputSize: 8, Channels: 2, Classes: 3})
+	sm := lowerToSIHE(t, m)
+	ace, err := Lower(sm, Options{Mode: BootstrapAlways, IgnoreSecurity: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sm2 := lowerToSIHE(t, m)
+	expert, err := Lower(sm2, Options{Mode: BootstrapAlways, IgnoreSecurity: true, ExpertSlack: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if expert.TargetLevel != ace.TargetLevel+3 {
+		t.Fatalf("expert target %d, ace %d", expert.TargetLevel, ace.TargetLevel)
+	}
+	if len(expert.Literal.LogQ) <= len(ace.Literal.LogQ) {
+		t.Fatal("expert chain not longer")
+	}
+}
+
+func TestLazyRescaleReducesRescales(t *testing.T) {
+	m, _ := onnx.BuildLinear(32, 8, 5)
+	sm := lowerToSIHE(t, m)
+	res, err := Lower(sm, Options{Mode: BootstrapNever, IgnoreSecurity: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	before, _ := CountOps(res.Module.Main())
+	pm := &ir.PassManager{}
+	pm.Add(LazyRescale(), ir.DCE())
+	if err := pm.Run(res.Module); err != nil {
+		t.Fatal(err)
+	}
+	after, _ := CountOps(res.Module.Main())
+	if after[OpRescale] >= before[OpRescale] {
+		t.Fatalf("lazy rescale did not reduce rescales: %d -> %d", before[OpRescale], after[OpRescale])
+	}
+	if err := ir.VerifyFunc(res.Module.Main()); err != nil {
+		t.Fatal(err)
+	}
+	// Levels and scales of the output are unchanged.
+	if res.Module.Main().Ret.Level < 0 {
+		t.Fatal("broken output level")
+	}
+}
+
+func TestRotationAnalysis(t *testing.T) {
+	m, _ := onnx.BuildSmallCNN(onnx.SmallCNNConfig{InputSize: 8, Channels: 2, Classes: 3})
+	sm := lowerToSIHE(t, m)
+	res, err := Lower(sm, Options{Mode: BootstrapNever, IgnoreSecurity: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rotations) == 0 {
+		t.Fatal("no rotations recorded")
+	}
+	seen := map[int]bool{}
+	for _, k := range res.Rotations {
+		if seen[k] {
+			t.Fatal("duplicate rotation in analysis")
+		}
+		seen[k] = true
+	}
+	// Every rotate instruction must be covered.
+	for _, in := range res.Module.Main().Body {
+		if in.Op == OpRotate && !seen[in.AttrInt("k", 0)] {
+			t.Fatalf("rotation %d missing from analysis", in.AttrInt("k", 0))
+		}
+	}
+}

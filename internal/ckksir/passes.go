@@ -1,0 +1,100 @@
+package ckksir
+
+import (
+	"math"
+
+	"antace/internal/ir"
+)
+
+// LazyRescale hoists rescales out of addition trees: add(rescale(u),
+// rescale(v)) becomes rescale(add(u, v)) whenever u and v agree on level
+// and scale. On a convolution that sums R rotated/masked products this
+// removes R-1 of the R rescales — the paper's "Rescaling Placement"
+// optimisation (EVA-style waterline management). Exactness is preserved:
+// the tracked levels and scales of all surviving values are unchanged.
+func LazyRescale() ir.Pass {
+	return ir.FuncPass{PassName: "ckks-lazy-rescale", PassLevel: "CKKS", Fn: func(f *ir.Func) error {
+		for iter := 0; iter < 64; iter++ {
+			if !lazyRescaleOnce(f) {
+				break
+			}
+		}
+		return nil
+	}}
+}
+
+func lazyRescaleOnce(f *ir.Func) bool {
+	uses := map[*ir.Value]int{}
+	for _, in := range f.Body {
+		for _, a := range in.Args {
+			uses[a]++
+		}
+	}
+	if f.Ret != nil {
+		uses[f.Ret]++
+	}
+	changed := false
+	var body []*ir.Instr
+	for _, in := range f.Body {
+		// rotate(rescale(u)) -> rescale(rotate(u)): rotation commutes
+		// with rescaling, exposing the add-level merge below.
+		if in.Op == OpRotate {
+			a := in.Args[0]
+			if a.Def != nil && a.Def.Op == OpRescale && uses[a] == 1 && a.Type.Kind == ir.KindCipher {
+				u := a.Def.Args[0]
+				tmp := f.NewValue("", in.Result.Type)
+				tmp.Level, tmp.Scale = u.Level, u.Scale
+				rotIn := &ir.Instr{Op: OpRotate, Args: []*ir.Value{u}, Attrs: in.Attrs, Result: tmp}
+				tmp.Def = rotIn
+				rsIn := &ir.Instr{Op: OpRescale, Args: []*ir.Value{tmp}, Result: in.Result}
+				in.Result.Def = rsIn
+				body = append(body, rotIn, rsIn)
+				changed = true
+				continue
+			}
+		}
+		if in.Op != OpAdd {
+			body = append(body, in)
+			continue
+		}
+		a, b := in.Args[0], in.Args[1]
+		if a.Def == nil || b.Def == nil || a.Def.Op != OpRescale || b.Def.Op != OpRescale ||
+			uses[a] != 1 || uses[b] != 1 {
+			body = append(body, in)
+			continue
+		}
+		u, v := a.Def.Args[0], b.Def.Args[0]
+		if u.Type.Kind != ir.KindCipher || v.Type.Kind != ir.KindCipher {
+			body = append(body, in)
+			continue
+		}
+		if u.Level != v.Level || math.Abs(u.Scale/v.Scale-1) > 1e-9 {
+			body = append(body, in)
+			continue
+		}
+		// tmp = add(u, v) at the pre-rescale state; the original result
+		// becomes the rescale of tmp (level and scale unchanged).
+		tmp := f.NewValue("", in.Result.Type)
+		tmp.Level, tmp.Scale = u.Level, u.Scale
+		addIn := &ir.Instr{Op: OpAdd, Args: []*ir.Value{u, v}, Result: tmp}
+		tmp.Def = addIn
+		rsIn := &ir.Instr{Op: OpRescale, Args: []*ir.Value{tmp}, Result: in.Result}
+		in.Result.Def = rsIn
+		body = append(body, addIn, rsIn)
+		changed = true
+	}
+	f.Body = body
+	return changed
+}
+
+// CountOps returns a histogram of op mnemonics with the total "level
+// weight" (sum over instructions of level+1, a proxy for RNS work).
+func CountOps(f *ir.Func) (count map[string]int, levelWeight map[string]int) {
+	count = map[string]int{}
+	levelWeight = map[string]int{}
+	for _, in := range f.Body {
+		count[in.Op]++
+		levelWeight[in.Op] += in.Result.Level + 1
+	}
+	return count, levelWeight
+}

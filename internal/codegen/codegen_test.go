@@ -1,0 +1,85 @@
+package codegen
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"antace/internal/ckksir"
+	"antace/internal/core"
+	"antace/internal/onnx"
+	"antace/internal/sihe"
+)
+
+func TestGenerateCompilesAndRuns(t *testing.T) {
+	m, err := onnx.BuildLinear(16, 4, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := core.Compile(m, core.Config{
+		SIHE:     sihe.Options{ReLUAlpha: 5, ReLUEps: 0.125},
+		CKKS:     ckksir.Options{Mode: ckksir.BootstrapNever, IgnoreSecurity: true},
+		SkipPoly: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Generate into a directory inside the module so the generated code
+	// can import the internal packages.
+	root, err := moduleRoot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := filepath.Join(root, "gen_test_artifact")
+	t.Cleanup(func() { os.RemoveAll(dir) })
+	if err := Generate(c, dir); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "weights.bin")); err != nil {
+		t.Fatal("weights.bin missing")
+	}
+	src, err := os.ReadFile(filepath.Join(dir, "main.go"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(src), "Code generated") {
+		t.Fatal("missing generation header")
+	}
+	// The generated program must build.
+	build := exec.Command("go", "build", "-o", os.DevNull, "./gen_test_artifact")
+	build.Dir = root
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("generated program does not build: %v\n%s", err, out)
+	}
+	// And run end to end (it performs real keygen + encrypted inference).
+	run := exec.Command("go", "run", "./gen_test_artifact")
+	run.Dir = dir // weights.bin lives here
+	run.Args = []string{"go", "run", filepath.Join(root, "gen_test_artifact")}
+	out, err := run.CombinedOutput()
+	if err != nil {
+		t.Fatalf("generated program failed: %v\n%s", err, out)
+	}
+	if len(strings.Fields(string(out))) < 4 {
+		t.Fatalf("unexpected output: %s", out)
+	}
+}
+
+// moduleRoot walks up to the directory containing go.mod.
+func moduleRoot() (string, error) {
+	dir, err := os.Getwd()
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir, nil
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", os.ErrNotExist
+		}
+		dir = parent
+	}
+}

@@ -1,0 +1,137 @@
+// Package dataset generates the synthetic CIFAR-shaped classification
+// data used by the accuracy experiments (the substitution for the
+// proprietary CIFAR-10/100 pipeline, per DESIGN.md): each class is a
+// smooth random prototype image; samples are noisy, randomly shifted
+// copies. The task is learnable but not trivial, which is what Table 11
+// needs — a model whose accuracy is meaningfully below 100% so that the
+// encrypted-vs-unencrypted loss is measurable.
+package dataset
+
+import (
+	"fmt"
+	"math"
+	"math/rand/v2"
+
+	"antace/internal/tensor"
+)
+
+// Config describes a synthetic dataset.
+type Config struct {
+	Classes  int
+	Channels int
+	Size     int // spatial size
+	// NoiseSigma is the additive Gaussian noise level (default 0.45).
+	NoiseSigma float64
+	// MaxShift is the maximum random cyclic shift in pixels (default 1).
+	MaxShift int
+	Seed     uint64
+}
+
+// Dataset holds the class prototypes and sampling configuration.
+type Dataset struct {
+	cfg        Config
+	prototypes []*tensor.Tensor
+}
+
+// Sample is one labelled example.
+type Sample struct {
+	Image *tensor.Tensor // (1, C, H, W)
+	Label int
+}
+
+// New builds a dataset. Prototypes are smoothed random fields, giving
+// classes overlapping but distinguishable structure.
+func New(cfg Config) (*Dataset, error) {
+	if cfg.Classes < 2 {
+		return nil, fmt.Errorf("dataset: need at least 2 classes")
+	}
+	if cfg.Channels == 0 {
+		cfg.Channels = 1
+	}
+	if cfg.Size == 0 {
+		cfg.Size = 8
+	}
+	if cfg.NoiseSigma == 0 {
+		cfg.NoiseSigma = 0.45
+	}
+	if cfg.MaxShift == 0 {
+		cfg.MaxShift = 1
+	}
+	if cfg.Seed == 0 {
+		cfg.Seed = 1
+	}
+	rng := rand.New(rand.NewPCG(cfg.Seed, 0xDA7A))
+	d := &Dataset{cfg: cfg}
+	for k := 0; k < cfg.Classes; k++ {
+		raw := tensor.New(cfg.Channels, cfg.Size, cfg.Size)
+		for i := range raw.Data {
+			raw.Data[i] = rng.NormFloat64()
+		}
+		d.prototypes = append(d.prototypes, smooth(raw, cfg.Size, cfg.Channels))
+	}
+	return d, nil
+}
+
+// smooth applies a 3x3 box blur per channel (cyclic), normalising to
+// unit max magnitude.
+func smooth(t *tensor.Tensor, size, channels int) *tensor.Tensor {
+	out := tensor.New(channels, size, size)
+	for c := 0; c < channels; c++ {
+		for y := 0; y < size; y++ {
+			for x := 0; x < size; x++ {
+				acc := 0.0
+				for dy := -1; dy <= 1; dy++ {
+					for dx := -1; dx <= 1; dx++ {
+						yy := ((y+dy)%size + size) % size
+						xx := ((x+dx)%size + size) % size
+						acc += t.At(c, yy, xx)
+					}
+				}
+				out.Set(acc/9, c, y, x)
+			}
+		}
+	}
+	maxAbs := 0.0
+	for _, v := range out.Data {
+		if a := math.Abs(v); a > maxAbs {
+			maxAbs = a
+		}
+	}
+	if maxAbs > 0 {
+		for i := range out.Data {
+			out.Data[i] /= maxAbs
+		}
+	}
+	return out
+}
+
+// Batch draws n labelled samples using the provided stream seed
+// (deterministic, disjoint from the prototype seed).
+func (d *Dataset) Batch(n int, streamSeed uint64) []Sample {
+	rng := rand.New(rand.NewPCG(d.cfg.Seed^0xBEEF, streamSeed))
+	out := make([]Sample, n)
+	size := d.cfg.Size
+	channels := d.cfg.Channels
+	for i := range out {
+		label := rng.IntN(d.cfg.Classes)
+		proto := d.prototypes[label]
+		img := tensor.New(1, channels, size, size)
+		sy := rng.IntN(2*d.cfg.MaxShift+1) - d.cfg.MaxShift
+		sx := rng.IntN(2*d.cfg.MaxShift+1) - d.cfg.MaxShift
+		for c := 0; c < channels; c++ {
+			for y := 0; y < size; y++ {
+				for x := 0; x < size; x++ {
+					yy := ((y+sy)%size + size) % size
+					xx := ((x+sx)%size + size) % size
+					v := proto.At(c, yy, xx) + rng.NormFloat64()*d.cfg.NoiseSigma
+					img.Set(v, 0, c, y, x)
+				}
+			}
+		}
+		out[i] = Sample{Image: img, Label: label}
+	}
+	return out
+}
+
+// Classes returns the class count.
+func (d *Dataset) Classes() int { return d.cfg.Classes }

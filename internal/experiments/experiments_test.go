@@ -1,0 +1,91 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"antace/internal/costmodel"
+)
+
+func TestFigure5Reduced(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Figure5(&buf, ScaleReduced); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "ResNet-8") || !strings.Contains(out, "VECTOR") {
+		t.Fatalf("unexpected output:\n%s", out)
+	}
+}
+
+func TestFigure6ReducedShape(t *testing.T) {
+	var buf bytes.Buffer
+	rows, err := Figure6(&buf, ScaleReduced, costmodel.DefaultCalibration())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rows {
+		if r.Speedup <= 1 {
+			t.Fatalf("%s: ACE not faster than Expert (%.2fx)", r.Model, r.Speedup)
+		}
+		if r.ACE.Bootstrap >= r.Expert.Bootstrap {
+			t.Fatalf("%s: bootstrap not improved", r.Model)
+		}
+	}
+}
+
+func TestFigure7ReducedShape(t *testing.T) {
+	var buf bytes.Buffer
+	rows, err := Figure7(&buf, ScaleReduced, costmodel.DefaultCalibration())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rows {
+		if r.Saving <= 0 {
+			t.Fatalf("%s: no memory saving (%.2f)", r.Model, r.Saving)
+		}
+		if r.KeyShare <= 0.3 {
+			t.Fatalf("%s: keys should dominate memory, share %.2f", r.Model, r.KeyShare)
+		}
+	}
+}
+
+func TestTable10Reduced(t *testing.T) {
+	var buf bytes.Buffer
+	rows, err := Table10(&buf, ScaleReduced)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) == 0 {
+		t.Fatal("no rows")
+	}
+	for _, r := range rows {
+		if r.LogQ0 != 60 {
+			t.Fatalf("logQ0 %d", r.LogQ0)
+		}
+		if r.Bootstraps == 0 {
+			t.Fatalf("%s: expected bootstraps", r.Model)
+		}
+	}
+}
+
+func TestTable11Small(t *testing.T) {
+	var buf bytes.Buffer
+	rows, err := Table11(&buf, 60, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cnn := rows[0]
+	if cnn.Unencrypted < 0.7 {
+		t.Fatalf("trained accuracy %.2f too low", cnn.Unencrypted)
+	}
+	if cnn.Loss > 0.1 || cnn.Loss < -0.1 {
+		t.Fatalf("encrypted accuracy loss %.2f out of band", cnn.Loss)
+	}
+	for _, r := range rows[1:] {
+		if r.Encrypted < 0.8 {
+			t.Fatalf("%s agreement %.2f too low", r.Model, r.Encrypted)
+		}
+	}
+}

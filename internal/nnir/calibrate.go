@@ -1,0 +1,143 @@
+package nnir
+
+import (
+	"fmt"
+	"math"
+	"math/rand/v2"
+
+	"antace/internal/ir"
+	"antace/internal/tensor"
+)
+
+// RunWithHook executes the function like Run, additionally invoking the
+// hook with every instruction's input tensor (used by calibration).
+func RunWithHook(f *ir.Func, inputs map[string]*tensor.Tensor, hook func(*ir.Instr, []*tensor.Tensor)) (*tensor.Tensor, error) {
+	env := map[*ir.Value]*tensor.Tensor{}
+	for _, p := range f.Params {
+		in, ok := inputs[p.Name]
+		if !ok {
+			return nil, fmt.Errorf("nnir: missing input %q", p.Name)
+		}
+		env[p] = in
+	}
+	saved := f.Body
+	for _, in := range saved {
+		args := make([]*tensor.Tensor, len(in.Args))
+		for i, a := range in.Args {
+			if a.IsConst() {
+				args[i] = a.Const.(*tensor.Tensor)
+			} else {
+				args[i] = env[a]
+			}
+		}
+		if hook != nil {
+			hook(in, args)
+		}
+		out, err := runOne(in, args)
+		if err != nil {
+			return nil, err
+		}
+		env[in.Result] = out
+	}
+	out, ok := env[f.Ret]
+	if !ok {
+		if f.Ret.IsConst() {
+			return f.Ret.Const.(*tensor.Tensor), nil
+		}
+		return nil, fmt.Errorf("nnir: return value not computed")
+	}
+	return out, nil
+}
+
+// runOne dispatches a single instruction (shared with Run's semantics).
+func runOne(in *ir.Instr, args []*tensor.Tensor) (*tensor.Tensor, error) {
+	switch in.Op {
+	case OpConv:
+		var bias *tensor.Tensor
+		if len(args) == 3 {
+			bias = args[2]
+		}
+		return tensor.Conv2D(args[0], args[1], bias, in.AttrInt("stride", 1), in.AttrInt("pad", 0))
+	case OpGemm:
+		w := args[1]
+		if in.AttrInt("transB", 0) == 1 {
+			w = transpose(w)
+		}
+		var bias *tensor.Tensor
+		if len(args) == 3 {
+			bias = args[2]
+		}
+		return tensor.Gemm(args[0], w, bias, 1, 1)
+	case OpRelu:
+		return tensor.ReLU(args[0]), nil
+	case OpSigmoid:
+		return tensor.Sigmoid(args[0]), nil
+	case OpTanh:
+		return tensor.Tanh(args[0]), nil
+	case OpAdd:
+		return tensor.Add(args[0], args[1])
+	case OpBatchNorm:
+		return tensor.BatchNorm(args[0], args[1], args[2], args[3], args[4], in.AttrFloat("eps", 1e-5))
+	case OpAvgPool:
+		return tensor.AveragePool2D(args[0], in.AttrInt("kernel", 1), in.AttrInt("stride", 1))
+	case OpGlobalPool:
+		return tensor.GlobalAveragePool2D(args[0])
+	case OpFlatten:
+		return args[0].Flatten(), nil
+	case OpReshape:
+		return args[0].Reshape(in.AttrInts("shape")...)
+	case OpSlice:
+		return tensor.StridedSlice(args[0], in.AttrInts("start"), in.AttrInts("size"), in.AttrInts("stride"))
+	}
+	return nil, fmt.Errorf("nnir: unknown op %q", in.Op)
+}
+
+// CalibrateReLUBounds runs the network on `samples` random inputs drawn
+// uniformly from [-1,1] and attaches a "bound" attribute to every
+// nn.relu instruction: headroom times the largest |input| observed. The
+// SIHE lowering uses the bound to scale its sign approximation, and the
+// bootstrap normalisation relies on it to keep values within the
+// refreshable range.
+func CalibrateReLUBounds(f *ir.Func, samples int, headroom float64, seed uint64) error {
+	if headroom <= 1 {
+		headroom = 1.5
+	}
+	if samples <= 0 {
+		samples = 4
+	}
+	maxes := map[*ir.Instr]float64{}
+	rng := rand.New(rand.NewPCG(seed, 0xCA11B))
+	inShape := f.Params[0].Type.Shape
+	for s := 0; s < samples; s++ {
+		x := tensor.New(inShape...)
+		for i := range x.Data {
+			x.Data[i] = rng.Float64()*2 - 1
+		}
+		_, err := RunWithHook(f, map[string]*tensor.Tensor{f.Params[0].Name: x}, func(in *ir.Instr, args []*tensor.Tensor) {
+			if in.Op != OpRelu && in.Op != OpSigmoid && in.Op != OpTanh {
+				return
+			}
+			for _, v := range args[0].Data {
+				if a := math.Abs(v); a > maxes[in] {
+					maxes[in] = a
+				}
+			}
+		})
+		if err != nil {
+			return err
+		}
+	}
+	for in, m := range maxes {
+		bound := m * headroom
+		if bound < 1 {
+			bound = 1
+		}
+		// Round up to limit the number of distinct sign composites.
+		bound = math.Exp2(math.Ceil(math.Log2(bound)))
+		if in.Attrs == nil {
+			in.Attrs = map[string]any{}
+		}
+		in.Attrs["bound"] = bound
+	}
+	return nil
+}

@@ -1,0 +1,253 @@
+// Package nnir implements the NN IR, the first abstraction level of the
+// compiler: a tensor-typed mirror of the ONNX graph. It provides the
+// ONNX importer (with shape inference), the operator fusion pass
+// (conv+batchnorm folding), and a reference executor used both for
+// unencrypted inference and for validating every lowering below it.
+package nnir
+
+import (
+	"fmt"
+
+	"antace/internal/ir"
+	"antace/internal/onnx"
+	"antace/internal/tensor"
+)
+
+// Op names.
+const (
+	OpConv       = "nn.conv"
+	OpGemm       = "nn.gemm"
+	OpRelu       = "nn.relu"
+	OpSigmoid    = "nn.sigmoid"
+	OpTanh       = "nn.tanh"
+	OpAdd        = "nn.add"
+	OpBatchNorm  = "nn.batch_norm"
+	OpAvgPool    = "nn.average_pool"
+	OpGlobalPool = "nn.global_average_pool"
+	OpFlatten    = "nn.flatten"
+	OpReshape    = "nn.reshape"
+	OpSlice      = "nn.strided_slice"
+)
+
+func init() {
+	T := []ir.Kind{ir.KindTensor}
+	reg := func(name string, argKinds int, minArgs int, attrs ...string) {
+		args := make([][]ir.Kind, argKinds)
+		for i := range args {
+			args[i] = T
+		}
+		ir.RegisterOp(ir.OpSpec{Name: name, Args: args, MinArgs: minArgs, Result: ir.KindTensor, RequiredAttrs: attrs})
+	}
+	reg(OpConv, 3, 2, "stride", "pad")
+	reg(OpGemm, 3, 2)
+	reg(OpRelu, 1, 0)
+	reg(OpSigmoid, 1, 0)
+	reg(OpTanh, 1, 0)
+	reg(OpAdd, 2, 0)
+	reg(OpBatchNorm, 5, 0, "eps")
+	reg(OpAvgPool, 1, 0, "kernel", "stride")
+	reg(OpGlobalPool, 1, 0)
+	reg(OpFlatten, 1, 0)
+	reg(OpReshape, 1, 0, "shape")
+	reg(OpSlice, 1, 0, "start", "size", "stride")
+}
+
+// Import converts an ONNX model into an NN IR module, running shape
+// inference along the way. Only batch size 1 is supported (the paper's
+// deployment model encrypts one image per ciphertext set).
+func Import(m *onnx.Model) (*ir.Module, error) {
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	g := m.Graph
+	mod := ir.NewModule(g.Name)
+	f := mod.NewFunc(g.Name)
+
+	values := map[string]*ir.Value{}
+	consts := map[string]*tensor.Tensor{}
+	for _, init := range g.Initializers {
+		t, err := init.ToTensor()
+		if err != nil {
+			return nil, err
+		}
+		consts[init.Name] = t
+		values[init.Name] = f.NewConst(init.Name, ir.TensorType(t.Shape...), t)
+	}
+	for _, in := range g.Inputs {
+		if values[in.Name] != nil {
+			continue // initializer doubling as input
+		}
+		shape := make([]int, len(in.Shape))
+		for i, d := range in.Shape {
+			if d <= 0 {
+				return nil, fmt.Errorf("nnir: input %q has dynamic dimension", in.Name)
+			}
+			shape[i] = int(d)
+		}
+		if len(shape) > 0 && shape[0] != 1 {
+			return nil, fmt.Errorf("nnir: input %q has batch size %d; only 1 is supported", in.Name, shape[0])
+		}
+		values[in.Name] = f.NewParam(in.Name, ir.TensorType(shape...))
+	}
+
+	arg := func(n *onnx.Node, i int) (*ir.Value, error) {
+		if i >= len(n.Inputs) || n.Inputs[i] == "" {
+			return nil, nil
+		}
+		v, ok := values[n.Inputs[i]]
+		if !ok {
+			return nil, fmt.Errorf("nnir: node %s consumes unknown value %q", n.OpType, n.Inputs[i])
+		}
+		return v, nil
+	}
+
+	for _, n := range g.Nodes {
+		var out *ir.Value
+		x, err := arg(n, 0)
+		if err != nil {
+			return nil, err
+		}
+		switch n.OpType {
+		case "Conv":
+			w, err := arg(n, 1)
+			if err != nil {
+				return nil, err
+			}
+			bias, err := arg(n, 2)
+			if err != nil {
+				return nil, err
+			}
+			strides := n.AttrInts("strides", []int64{1, 1})
+			pads := n.AttrInts("pads", []int64{0, 0, 0, 0})
+			if len(strides) == 2 && strides[0] != strides[1] {
+				return nil, fmt.Errorf("nnir: anisotropic strides unsupported")
+			}
+			stride, pad := int(strides[0]), int(pads[0])
+			shape, err := convShape(x.Type.Shape, w.Type.Shape, stride, pad)
+			if err != nil {
+				return nil, err
+			}
+			args := []*ir.Value{x, w}
+			if bias != nil {
+				args = append(args, bias)
+			}
+			out = f.Emit(OpConv, ir.TensorType(shape...), args, map[string]any{"stride": stride, "pad": pad})
+		case "Gemm":
+			w, err := arg(n, 1)
+			if err != nil {
+				return nil, err
+			}
+			bias, err := arg(n, 2)
+			if err != nil {
+				return nil, err
+			}
+			transB := int(n.AttrInt("transB", 0))
+			if n.AttrInt("transA", 0) != 0 {
+				return nil, fmt.Errorf("nnir: Gemm transA unsupported")
+			}
+			mRows := x.Type.Shape[0]
+			var nCols int
+			if transB == 1 {
+				nCols = w.Type.Shape[0]
+			} else {
+				nCols = w.Type.Shape[1]
+			}
+			args := []*ir.Value{x, w}
+			if bias != nil {
+				args = append(args, bias)
+			}
+			out = f.Emit(OpGemm, ir.TensorType(mRows, nCols), args, map[string]any{"transB": transB})
+		case "Relu":
+			out = f.Emit(OpRelu, x.Type, []*ir.Value{x}, nil)
+		case "Sigmoid":
+			out = f.Emit(OpSigmoid, x.Type, []*ir.Value{x}, nil)
+		case "Tanh":
+			out = f.Emit(OpTanh, x.Type, []*ir.Value{x}, nil)
+		case "Add":
+			y, err := arg(n, 1)
+			if err != nil {
+				return nil, err
+			}
+			if !x.Type.Equal(y.Type) {
+				return nil, fmt.Errorf("nnir: Add shape mismatch %s vs %s", x.Type, y.Type)
+			}
+			out = f.Emit(OpAdd, x.Type, []*ir.Value{x, y}, nil)
+		case "BatchNormalization":
+			var params []*ir.Value
+			for i := 1; i <= 4; i++ {
+				p, err := arg(n, i)
+				if err != nil {
+					return nil, err
+				}
+				if p == nil {
+					return nil, fmt.Errorf("nnir: BatchNormalization missing parameter %d", i)
+				}
+				params = append(params, p)
+			}
+			out = f.Emit(OpBatchNorm, x.Type, append([]*ir.Value{x}, params...),
+				map[string]any{"eps": n.AttrFloat("epsilon", 1e-5)})
+		case "AveragePool":
+			ks := n.AttrInts("kernel_shape", nil)
+			st := n.AttrInts("strides", []int64{1, 1})
+			if len(ks) != 2 || ks[0] != ks[1] {
+				return nil, fmt.Errorf("nnir: AveragePool needs square kernel")
+			}
+			k, s := int(ks[0]), int(st[0])
+			sh := x.Type.Shape
+			out = f.Emit(OpAvgPool, ir.TensorType(sh[0], sh[1], (sh[2]-k)/s+1, (sh[3]-k)/s+1),
+				[]*ir.Value{x}, map[string]any{"kernel": k, "stride": s})
+		case "GlobalAveragePool":
+			sh := x.Type.Shape
+			out = f.Emit(OpGlobalPool, ir.TensorType(sh[0], sh[1], 1, 1), []*ir.Value{x}, nil)
+		case "Flatten":
+			n0 := x.Type.Shape[0]
+			rest := x.Type.Len() / n0
+			out = f.Emit(OpFlatten, ir.TensorType(n0, rest), []*ir.Value{x}, nil)
+		case "Reshape":
+			shapeT, ok := consts[n.Inputs[1]]
+			if !ok {
+				return nil, fmt.Errorf("nnir: Reshape with non-constant shape")
+			}
+			shape := make([]int, len(shapeT.Data))
+			for i, v := range shapeT.Data {
+				shape[i] = int(v)
+			}
+			probe := tensor.New(x.Type.Shape...)
+			reshaped, err := probe.Reshape(shape...)
+			if err != nil {
+				return nil, err
+			}
+			out = f.Emit(OpReshape, ir.TensorType(reshaped.Shape...), []*ir.Value{x},
+				map[string]any{"shape": append([]int(nil), reshaped.Shape...)})
+		default:
+			return nil, fmt.Errorf("nnir: unsupported ONNX operator %q", n.OpType)
+		}
+		values[n.Outputs[0]] = out
+	}
+
+	outName := g.Outputs[0].Name
+	ret, ok := values[outName]
+	if !ok {
+		return nil, fmt.Errorf("nnir: output %q not produced", outName)
+	}
+	f.Ret = ret
+	if err := ir.VerifyFunc(f); err != nil {
+		return nil, err
+	}
+	return mod, nil
+}
+
+func convShape(x, w []int, stride, pad int) ([]int, error) {
+	if len(x) != 4 || len(w) != 4 {
+		return nil, fmt.Errorf("nnir: conv needs NCHW/OIHW, got %v / %v", x, w)
+	}
+	if x[1] != w[1] {
+		return nil, fmt.Errorf("nnir: conv channel mismatch %d vs %d", x[1], w[1])
+	}
+	oh := (x[2]+2*pad-w[2])/stride + 1
+	ow := (x[3]+2*pad-w[3])/stride + 1
+	if oh <= 0 || ow <= 0 {
+		return nil, fmt.Errorf("nnir: conv output collapses to %dx%d", oh, ow)
+	}
+	return []int{x[0], w[0], oh, ow}, nil
+}

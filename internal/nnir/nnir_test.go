@@ -1,0 +1,184 @@
+package nnir
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+
+	"antace/internal/ir"
+	"antace/internal/onnx"
+	"antace/internal/tensor"
+)
+
+func randImage(shape []int, seed uint64) *tensor.Tensor {
+	rng := rand.New(rand.NewPCG(seed, 99))
+	t := tensor.New(shape...)
+	for i := range t.Data {
+		t.Data[i] = rng.Float64()*2 - 1
+	}
+	return t
+}
+
+func TestImportLinearMatchesGemm(t *testing.T) {
+	m, err := onnx.BuildLinear(84, 10, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mod, err := Import(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := mod.Main()
+	if got := f.InstrCount("nn.gemm"); got != 1 {
+		t.Fatalf("gemm count %d", got)
+	}
+	x := randImage([]int{1, 84}, 1)
+	out, err := Run(f, map[string]*tensor.Tensor{"image": x})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Direct reference.
+	w, _ := m.Graph.Initializer("fc.weight").ToTensor()
+	b, _ := m.Graph.Initializer("fc.bias").ToTensor()
+	for k := 0; k < 10; k++ {
+		want := b.Data[k]
+		for j := 0; j < 84; j++ {
+			want += x.Data[j] * w.At(k, j)
+		}
+		if math.Abs(out.Data[k]-want) > 1e-9 {
+			t.Fatalf("output %d: got %g want %g", k, out.Data[k], want)
+		}
+	}
+}
+
+func TestImportSmallCNNShapes(t *testing.T) {
+	m, err := onnx.BuildSmallCNN(onnx.SmallCNNConfig{InputSize: 8, Channels: 4, Classes: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mod, err := Import(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := mod.Main()
+	if f.Ret.Type.Shape[1] != 5 {
+		t.Fatalf("output type %s", f.Ret.Type)
+	}
+	out, err := Run(f, map[string]*tensor.Tensor{"image": randImage([]int{1, 1, 8, 8}, 2)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Size() != 5 {
+		t.Fatalf("output size %d", out.Size())
+	}
+}
+
+func TestImportResNetRuns(t *testing.T) {
+	m, err := onnx.BuildResNet(onnx.ResNetConfig{Depth: 8, BaseChannels: 4, InputSize: 8, Classes: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mod, err := Import(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := Run(mod.Main(), map[string]*tensor.Tensor{"image": randImage([]int{1, 3, 8, 8}, 3)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Size() != 10 {
+		t.Fatalf("output size %d", out.Size())
+	}
+}
+
+func TestFuseConvBatchNormPreservesSemantics(t *testing.T) {
+	m, err := onnx.BuildResNet(onnx.ResNetConfig{Depth: 8, BaseChannels: 4, InputSize: 8, Classes: 10, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := randImage([]int{1, 3, 8, 8}, 4)
+
+	mod1, err := Import(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := Run(mod1.Main(), map[string]*tensor.Tensor{"image": x})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	mod2, err := Import(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bnBefore := mod2.Main().InstrCount("nn.batch_norm")
+	if bnBefore == 0 {
+		t.Fatal("test model has no batch norms")
+	}
+	pm := &ir.PassManager{}
+	pm.Add(FuseConvBatchNorm(), ir.DCE())
+	if err := pm.Run(mod2); err != nil {
+		t.Fatal(err)
+	}
+	if got := mod2.Main().InstrCount("nn.batch_norm"); got != 0 {
+		t.Fatalf("%d batch norms survive fusion", got)
+	}
+	if err := ir.VerifyFunc(mod2.Main()); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Run(mod2.Main(), map[string]*tensor.Tensor{"image": x})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range want.Data {
+		if math.Abs(got.Data[i]-want.Data[i]) > 1e-9 {
+			t.Fatalf("fusion changed output %d: %g vs %g", i, got.Data[i], want.Data[i])
+		}
+	}
+}
+
+func TestImportRejectsUnsupported(t *testing.T) {
+	b := onnx.NewBuilder("bad")
+	x := b.Input("x", 1, 4)
+	y := b.Node("LSTM", []string{x})
+	b.Output(y, 1, 4)
+	if _, err := Import(b.Model()); err == nil {
+		t.Fatal("expected unsupported-operator error")
+	}
+
+	b2 := onnx.NewBuilder("batch")
+	x2 := b2.Input("x", 2, 4)
+	y2 := b2.Node("Relu", []string{x2})
+	b2.Output(y2, 2, 4)
+	if _, err := Import(b2.Model()); err == nil {
+		t.Fatal("expected batch-size error")
+	}
+}
+
+func TestRunMissingInput(t *testing.T) {
+	m, _ := onnx.BuildLinear(8, 2, 1)
+	mod, err := Import(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Run(mod.Main(), nil); err == nil {
+		t.Fatal("expected missing-input error")
+	}
+}
+
+func TestPassManagerTimings(t *testing.T) {
+	m, _ := onnx.BuildLinear(8, 2, 1)
+	mod, _ := Import(m)
+	pm := &ir.PassManager{}
+	pm.Add(FuseConvBatchNorm(), ir.CSE(), ir.DCE())
+	if err := pm.Run(mod); err != nil {
+		t.Fatal(err)
+	}
+	if len(pm.Timings) != 3 {
+		t.Fatalf("%d timings", len(pm.Timings))
+	}
+	breakdown := pm.LevelBreakdown()
+	if _, ok := breakdown["NN"]; !ok {
+		t.Fatal("NN level missing from breakdown")
+	}
+}

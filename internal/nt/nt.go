@@ -1,0 +1,143 @@
+// Package nt provides the 64-bit modular arithmetic primitives underlying
+// the RNS-CKKS runtime: Barrett and Shoup modular multiplication, modular
+// exponentiation, deterministic Miller–Rabin primality testing, Pollard-rho
+// factorisation, and generation of NTT-friendly primes.
+//
+// All moduli handled by this package are odd primes below 2^62 so that lazy
+// representations up to 2q never overflow a uint64.
+package nt
+
+import "math/bits"
+
+// Modulus bundles a prime q with the precomputed Barrett constant
+// floor(2^128 / q), enabling division-free reduction of 128-bit products.
+type Modulus struct {
+	Q   uint64    // the prime modulus
+	BRC [2]uint64 // floor(2^128 / Q), high and low 64-bit words
+}
+
+// NewModulus precomputes the Barrett constant for q. q must be nonzero.
+func NewModulus(q uint64) Modulus {
+	if q == 0 {
+		panic("nt: zero modulus")
+	}
+	// floor(2^128 / q): divide 2^128 - 1 by q and adjust. Since
+	// 2^128 = q*floor(2^128/q) + r with 0 <= r < q, and
+	// 2^128 - 1 = q*floor((2^128-1)/q) + r', floor(2^128/q) equals
+	// floor((2^128-1)/q) unless q divides 2^128, impossible for odd q > 1.
+	// Compute floor((2^128-1)/q) via two chained 64-bit divisions.
+	hi, rem := bits.Div64(0, ^uint64(0), q)
+	lo, _ := bits.Div64(rem, ^uint64(0), q)
+	return Modulus{Q: q, BRC: [2]uint64{hi, lo}}
+}
+
+// Add returns x + y mod q. Inputs must be < q.
+func Add(x, y, q uint64) uint64 {
+	r := x + y
+	if r >= q {
+		r -= q
+	}
+	return r
+}
+
+// Sub returns x - y mod q. Inputs must be < q.
+func Sub(x, y, q uint64) uint64 {
+	r := x - y
+	if x < y {
+		r += q
+	}
+	return r
+}
+
+// Neg returns -x mod q. Input must be < q.
+func Neg(x, q uint64) uint64 {
+	if x == 0 {
+		return 0
+	}
+	return q - x
+}
+
+// BRedAdd reduces x (an arbitrary uint64) modulo q using the Barrett
+// constant: r = x mod q.
+func BRedAdd(x uint64, m Modulus) uint64 {
+	// floor(x/q) ~ floor(x * floor(2^128/q) / 2^128) ~ hi word of x*BRC[0].
+	t, _ := bits.Mul64(x, m.BRC[0])
+	r := x - t*m.Q
+	for r >= m.Q {
+		r -= m.Q
+	}
+	return r
+}
+
+// MulMod returns x*y mod q via Barrett reduction of the 128-bit product.
+// Inputs may be any uint64 values (not necessarily reduced).
+func MulMod(x, y uint64, m Modulus) uint64 {
+	mhi, mlo := bits.Mul64(x, y)
+	return Red128(mhi, mlo, m)
+}
+
+// Red128 reduces the 128-bit value hi*2^64 + lo modulo q, assuming the
+// value is below q*2^64 (always true for products of reduced operands).
+func Red128(hi, lo uint64, m Modulus) uint64 {
+	u1, u0 := m.BRC[0], m.BRC[1]
+	// t = floor(x*u / 2^128) where x = hi:lo and u = u1:u0. Expand the
+	// four partial products and keep the word at weight 2^128; the true
+	// quotient floor(x/q) differs from t by at most 2.
+	ahi, _ := bits.Mul64(lo, u0)
+	bhi, blo := bits.Mul64(lo, u1)
+	chi, clo := bits.Mul64(hi, u0)
+	_, dlo := bits.Mul64(hi, u1)
+	s, c1 := bits.Add64(ahi, blo, 0)
+	_, c2 := bits.Add64(s, clo, 0)
+	t := bhi + chi + dlo + c1 + c2
+	r := lo - t*m.Q
+	for r >= m.Q {
+		r -= m.Q
+	}
+	return r
+}
+
+// ShoupPrec returns floor(y * 2^64 / q), the Shoup precomputation enabling
+// MulModShoup. y must be < q.
+func ShoupPrec(y, q uint64) uint64 {
+	p, _ := bits.Div64(y, 0, q)
+	return p
+}
+
+// MulModShoup returns x*y mod q given yPrec = ShoupPrec(y, q). This is the
+// fast path used by NTT butterflies: two multiplications, no division.
+// x must be < q (or < 2q for the lazy variant below after final reduction).
+func MulModShoup(x, y, yPrec, q uint64) uint64 {
+	t, _ := bits.Mul64(x, yPrec)
+	r := x*y - t*q
+	if r >= q {
+		r -= q
+	}
+	return r
+}
+
+// MulModShoupLazy is MulModShoup without the final conditional subtraction;
+// the result lies in [0, 2q).
+func MulModShoupLazy(x, y, yPrec, q uint64) uint64 {
+	t, _ := bits.Mul64(x, yPrec)
+	return x*y - t*q
+}
+
+// ModExp returns base^exp mod q by square-and-multiply.
+func ModExp(base, exp uint64, m Modulus) uint64 {
+	result := uint64(1)
+	b := BRedAdd(base, m)
+	for exp > 0 {
+		if exp&1 == 1 {
+			result = MulMod(result, b, m)
+		}
+		b = MulMod(b, b, m)
+		exp >>= 1
+	}
+	return result
+}
+
+// ModInverse returns x^-1 mod q for prime q via Fermat's little theorem.
+func ModInverse(x uint64, m Modulus) uint64 {
+	return ModExp(x, m.Q-2, m)
+}

@@ -1,0 +1,269 @@
+package nt
+
+import (
+	"math/bits"
+	"math/rand/v2"
+	"testing"
+	"testing/quick"
+)
+
+var testPrimes = []uint64{
+	0x1fffffffffe00001, // 61-bit
+	0x0fffffffff840001, // 60-bit range NTT prime
+	0x100000000060001,
+	65537,
+	12289,
+	3,
+}
+
+// refMulMod is the trusted reference using the hardware 128/64 divide.
+func refMulMod(x, y, q uint64) uint64 {
+	hi, lo := bits.Mul64(x, y)
+	_, r := bits.Div64(hi%q, lo, q)
+	return r
+}
+
+func TestMulModAgainstDiv(t *testing.T) {
+	rng := rand.New(rand.NewPCG(1, 2))
+	for _, q := range testPrimes {
+		m := NewModulus(q)
+		for i := 0; i < 2000; i++ {
+			x, y := rng.Uint64(), rng.Uint64()
+			got := MulMod(x, y, m)
+			want := refMulMod(x, y, q)
+			if got != want {
+				t.Fatalf("MulMod(%d,%d) mod %d = %d, want %d", x, y, q, got, want)
+			}
+		}
+	}
+}
+
+func TestMulModProperty(t *testing.T) {
+	m := NewModulus(testPrimes[0])
+	f := func(x, y uint64) bool {
+		return MulMod(x, y, m) == refMulMod(x, y, m.Q)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBRedAdd(t *testing.T) {
+	rng := rand.New(rand.NewPCG(3, 4))
+	for _, q := range testPrimes {
+		m := NewModulus(q)
+		for i := 0; i < 2000; i++ {
+			x := rng.Uint64()
+			if got := BRedAdd(x, m); got != x%q {
+				t.Fatalf("BRedAdd(%d) mod %d = %d, want %d", x, q, got, x%q)
+			}
+		}
+		if BRedAdd(0, m) != 0 {
+			t.Fatalf("BRedAdd(0) != 0 for q=%d", q)
+		}
+	}
+}
+
+func TestAddSubNeg(t *testing.T) {
+	q := testPrimes[1]
+	rng := rand.New(rand.NewPCG(5, 6))
+	for i := 0; i < 2000; i++ {
+		x, y := rng.Uint64N(q), rng.Uint64N(q)
+		if got := Add(x, y, q); got != (x+y)%q {
+			t.Fatalf("Add(%d,%d)=%d", x, y, got)
+		}
+		want := (x + q - y) % q
+		if got := Sub(x, y, q); got != want {
+			t.Fatalf("Sub(%d,%d)=%d want %d", x, y, got, want)
+		}
+		if got := Add(x, Neg(x, q), q); got != 0 {
+			t.Fatalf("x + (-x) = %d, want 0", got)
+		}
+	}
+}
+
+func TestMulModShoup(t *testing.T) {
+	rng := rand.New(rand.NewPCG(7, 8))
+	for _, q := range testPrimes {
+		m := NewModulus(q)
+		for i := 0; i < 2000; i++ {
+			x, y := rng.Uint64N(q), rng.Uint64N(q)
+			yp := ShoupPrec(y, q)
+			if got := MulModShoup(x, y, yp, q); got != MulMod(x, y, m) {
+				t.Fatalf("MulModShoup(%d,%d) mod %d mismatch", x, y, q)
+			}
+			lazy := MulModShoupLazy(x, y, yp, q)
+			if lazy >= 2*q || lazy%q != MulMod(x, y, m) {
+				t.Fatalf("MulModShoupLazy out of [0,2q) or wrong: %d", lazy)
+			}
+		}
+	}
+}
+
+func TestModExpInverse(t *testing.T) {
+	for _, q := range testPrimes {
+		if q < 5 {
+			continue
+		}
+		m := NewModulus(q)
+		rng := rand.New(rand.NewPCG(9, q))
+		for i := 0; i < 200; i++ {
+			x := 1 + rng.Uint64N(q-1)
+			inv := ModInverse(x, m)
+			if MulMod(x, inv, m) != 1 {
+				t.Fatalf("x * x^-1 != 1 for x=%d q=%d", x, q)
+			}
+		}
+		if ModExp(3, 0, m) != 1 {
+			t.Fatal("x^0 != 1")
+		}
+		if ModExp(3, 1, m) != 3%q {
+			t.Fatal("x^1 != x")
+		}
+	}
+}
+
+func TestIsPrime(t *testing.T) {
+	known := map[uint64]bool{
+		0: false, 1: false, 2: true, 3: true, 4: false,
+		65537: true, 65536: false, 12289: true,
+		0x1fffffffffe00001: true,
+		0x1fffffffffe00003: false, // even+... composite neighbor
+		1<<61 - 1:          true,  // Mersenne prime M61
+		1<<62 - 1:          false,
+		2147483647:         true, // M31
+	}
+	for n, want := range known {
+		if got := IsPrime(n); got != want {
+			t.Errorf("IsPrime(%d) = %v, want %v", n, got, want)
+		}
+	}
+	// Carmichael numbers must be rejected.
+	for _, n := range []uint64{561, 1105, 1729, 41041, 825265} {
+		if IsPrime(n) {
+			t.Errorf("IsPrime(%d) = true for Carmichael number", n)
+		}
+	}
+}
+
+func TestFactor(t *testing.T) {
+	cases := map[uint64][]uint64{
+		2:                  {2},
+		12:                 {2, 3},
+		360:                {2, 3, 5},
+		65537:              {65537},
+		1<<61 - 2:          nil, // computed below
+		0x1fffffffffe00001: nil,
+	}
+	for n, want := range cases {
+		got := Factor(n)
+		if want != nil {
+			if len(got) != len(want) {
+				t.Fatalf("Factor(%d) = %v, want %v", n, got, want)
+			}
+			for i := range got {
+				if got[i] != want[i] {
+					t.Fatalf("Factor(%d) = %v, want %v", n, got, want)
+				}
+			}
+		}
+		// Every returned factor must be prime and divide n.
+		for _, p := range got {
+			if !IsPrime(p) {
+				t.Fatalf("Factor(%d) returned composite %d", n, p)
+			}
+			if n%p != 0 {
+				t.Fatalf("Factor(%d) returned non-divisor %d", n, p)
+			}
+		}
+	}
+}
+
+func TestRootOfUnity(t *testing.T) {
+	for _, logN := range []uint64{4, 8, 10, 12} {
+		n := uint64(1) << (logN + 1) // 2N-th root for negacyclic NTT
+		primes, err := GenerateNTTPrimes(45, n, 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, q := range primes {
+			psi, err := RootOfUnity(n, q)
+			if err != nil {
+				t.Fatal(err)
+			}
+			m := NewModulus(q)
+			if ModExp(psi, n, m) != 1 {
+				t.Fatalf("psi^n != 1 mod %d", q)
+			}
+			if ModExp(psi, n/2, m) != q-1 {
+				t.Fatalf("psi^(n/2) != -1 mod %d", q)
+			}
+		}
+	}
+}
+
+func TestGenerateNTTPrimes(t *testing.T) {
+	nthRoot := uint64(1 << 13)
+	primes, err := GenerateNTTPrimes(50, nthRoot, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := map[uint64]bool{}
+	for _, q := range primes {
+		if !IsPrime(q) {
+			t.Fatalf("%d not prime", q)
+		}
+		if q%nthRoot != 1 {
+			t.Fatalf("%d not ≡ 1 mod %d", q, nthRoot)
+		}
+		if seen[q] {
+			t.Fatalf("duplicate prime %d", q)
+		}
+		seen[q] = true
+		logQ := bits.Len64(q)
+		if logQ < 50 || logQ > 51 {
+			t.Fatalf("prime %d has %d bits, want ~50", q, logQ)
+		}
+	}
+	// Avoid list must be honored.
+	more, err := GenerateNTTPrimes(50, nthRoot, 8, primes...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, q := range more {
+		if seen[q] {
+			t.Fatalf("avoided prime %d regenerated", q)
+		}
+	}
+}
+
+func BenchmarkMulModBarrett(b *testing.B) {
+	m := NewModulus(testPrimes[0])
+	x, y := uint64(0x123456789abcdef), uint64(0xfedcba987654321)
+	for i := 0; i < b.N; i++ {
+		x = MulMod(x, y, m)
+	}
+	sink = x
+}
+
+func BenchmarkMulModShoup(b *testing.B) {
+	q := testPrimes[0]
+	y := uint64(0x123456789abcdef) % q
+	yp := ShoupPrec(y, q)
+	x := uint64(0xfedcba987654321) % q
+	for i := 0; i < b.N; i++ {
+		x = MulModShoup(x, y, yp, q)
+	}
+	sink = x
+}
+
+func BenchmarkMulModDiv64(b *testing.B) {
+	q := testPrimes[0]
+	x, y := uint64(0x123456789abcdef), uint64(0xfedcba987654321)
+	for i := 0; i < b.N; i++ {
+		x = refMulMod(x, y, q)
+	}
+	sink = x
+}
+
+var sink uint64

@@ -1,0 +1,677 @@
+package onnx
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+	"os"
+)
+
+// Field numbers from onnx.proto (v1.x, stable across opsets).
+const (
+	modelIRVersion   = 1
+	modelProducer    = 2
+	modelGraph       = 7
+	modelOpsetImport = 8
+
+	opsetVersion = 2
+
+	graphNode        = 1
+	graphName        = 2
+	graphInitializer = 5
+	graphInput       = 11
+	graphOutput      = 12
+
+	nodeInput     = 1
+	nodeOutput    = 2
+	nodeName      = 3
+	nodeOpType    = 4
+	nodeAttribute = 5
+
+	attrName   = 1
+	attrF      = 2
+	attrI      = 3
+	attrS      = 4
+	attrFloats = 7
+	attrInts   = 8
+	attrType   = 20
+
+	tensorDims     = 1
+	tensorDataType = 2
+	tensorFloats   = 4
+	tensorInt64s   = 7
+	tensorName     = 8
+	tensorRaw      = 9
+	tensorDoubles  = 10
+
+	valueInfoName = 1
+	valueInfoType = 2
+
+	typeTensorType = 1
+
+	tensorTypeElem  = 1
+	tensorTypeShape = 2
+
+	shapeDim = 1
+	dimValue = 1
+	dimParam = 2
+)
+
+// Unmarshal parses a serialized ModelProto.
+func Unmarshal(data []byte) (*Model, error) {
+	m := &Model{}
+	d := &decoder{buf: data}
+	for !d.done() {
+		field, wt, err := d.tag()
+		if err != nil {
+			return nil, err
+		}
+		switch field {
+		case modelIRVersion:
+			v, err := d.varint()
+			if err != nil {
+				return nil, err
+			}
+			m.IRVersion = int64(v)
+		case modelProducer:
+			b, err := d.bytes()
+			if err != nil {
+				return nil, err
+			}
+			m.ProducerName = string(b)
+		case modelGraph:
+			b, err := d.bytes()
+			if err != nil {
+				return nil, err
+			}
+			g, err := unmarshalGraph(b)
+			if err != nil {
+				return nil, err
+			}
+			m.Graph = g
+		case modelOpsetImport:
+			b, err := d.bytes()
+			if err != nil {
+				return nil, err
+			}
+			od := &decoder{buf: b}
+			for !od.done() {
+				f, w, err := od.tag()
+				if err != nil {
+					return nil, err
+				}
+				if f == opsetVersion && w == wireVarint {
+					v, err := od.varint()
+					if err != nil {
+						return nil, err
+					}
+					m.OpsetVersion = int64(v)
+					continue
+				}
+				if err := od.skip(w); err != nil {
+					return nil, err
+				}
+			}
+		default:
+			if err := d.skip(wt); err != nil {
+				return nil, err
+			}
+		}
+	}
+	if m.Graph == nil {
+		return nil, fmt.Errorf("onnx: model has no graph")
+	}
+	return m, nil
+}
+
+func unmarshalGraph(data []byte) (*Graph, error) {
+	g := &Graph{}
+	d := &decoder{buf: data}
+	for !d.done() {
+		field, wt, err := d.tag()
+		if err != nil {
+			return nil, err
+		}
+		b, berr := []byte(nil), error(nil)
+		if wt == wireLen {
+			b, berr = d.bytes()
+			if berr != nil {
+				return nil, berr
+			}
+		} else if err := d.skip(wt); err != nil {
+			return nil, err
+		}
+		switch field {
+		case graphNode:
+			n, err := unmarshalNode(b)
+			if err != nil {
+				return nil, err
+			}
+			g.Nodes = append(g.Nodes, n)
+		case graphName:
+			g.Name = string(b)
+		case graphInitializer:
+			t, err := unmarshalTensor(b)
+			if err != nil {
+				return nil, err
+			}
+			g.Initializers = append(g.Initializers, t)
+		case graphInput:
+			vi, err := unmarshalValueInfo(b)
+			if err != nil {
+				return nil, err
+			}
+			g.Inputs = append(g.Inputs, vi)
+		case graphOutput:
+			vi, err := unmarshalValueInfo(b)
+			if err != nil {
+				return nil, err
+			}
+			g.Outputs = append(g.Outputs, vi)
+		}
+	}
+	return g, nil
+}
+
+func unmarshalNode(data []byte) (*Node, error) {
+	n := &Node{}
+	d := &decoder{buf: data}
+	for !d.done() {
+		field, wt, err := d.tag()
+		if err != nil {
+			return nil, err
+		}
+		if wt != wireLen {
+			if err := d.skip(wt); err != nil {
+				return nil, err
+			}
+			continue
+		}
+		b, err := d.bytes()
+		if err != nil {
+			return nil, err
+		}
+		switch field {
+		case nodeInput:
+			n.Inputs = append(n.Inputs, string(b))
+		case nodeOutput:
+			n.Outputs = append(n.Outputs, string(b))
+		case nodeName:
+			n.Name = string(b)
+		case nodeOpType:
+			n.OpType = string(b)
+		case nodeAttribute:
+			a, err := unmarshalAttr(b)
+			if err != nil {
+				return nil, err
+			}
+			n.Attrs = append(n.Attrs, a)
+		}
+	}
+	return n, nil
+}
+
+func unmarshalAttr(data []byte) (*Attribute, error) {
+	a := &Attribute{}
+	d := &decoder{buf: data}
+	for !d.done() {
+		field, wt, err := d.tag()
+		if err != nil {
+			return nil, err
+		}
+		switch field {
+		case attrName:
+			b, err := d.bytes()
+			if err != nil {
+				return nil, err
+			}
+			a.Name = string(b)
+		case attrF:
+			v, err := d.fixed32()
+			if err != nil {
+				return nil, err
+			}
+			a.F = math.Float32frombits(v)
+		case attrI:
+			v, err := d.varint()
+			if err != nil {
+				return nil, err
+			}
+			a.I = int64(v)
+		case attrS:
+			b, err := d.bytes()
+			if err != nil {
+				return nil, err
+			}
+			a.S = b
+		case attrFloats:
+			if wt == wireLen {
+				b, err := d.bytes()
+				if err != nil {
+					return nil, err
+				}
+				for i := 0; i+4 <= len(b); i += 4 {
+					a.Floats = append(a.Floats, math.Float32frombits(binary.LittleEndian.Uint32(b[i:])))
+				}
+			} else {
+				v, err := d.fixed32()
+				if err != nil {
+					return nil, err
+				}
+				a.Floats = append(a.Floats, math.Float32frombits(v))
+			}
+		case attrInts:
+			if wt == wireLen {
+				b, err := d.bytes()
+				if err != nil {
+					return nil, err
+				}
+				id := &decoder{buf: b}
+				for !id.done() {
+					v, err := id.varint()
+					if err != nil {
+						return nil, err
+					}
+					a.Ints = append(a.Ints, int64(v))
+				}
+			} else {
+				v, err := d.varint()
+				if err != nil {
+					return nil, err
+				}
+				a.Ints = append(a.Ints, int64(v))
+			}
+		case attrType:
+			v, err := d.varint()
+			if err != nil {
+				return nil, err
+			}
+			a.Type = int(v)
+		default:
+			if err := d.skip(wt); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return a, nil
+}
+
+func unmarshalTensor(data []byte) (*TensorData, error) {
+	t := &TensorData{}
+	d := &decoder{buf: data}
+	for !d.done() {
+		field, wt, err := d.tag()
+		if err != nil {
+			return nil, err
+		}
+		switch field {
+		case tensorDims:
+			if wt == wireLen {
+				b, err := d.bytes()
+				if err != nil {
+					return nil, err
+				}
+				id := &decoder{buf: b}
+				for !id.done() {
+					v, err := id.varint()
+					if err != nil {
+						return nil, err
+					}
+					t.Dims = append(t.Dims, int64(v))
+				}
+			} else {
+				v, err := d.varint()
+				if err != nil {
+					return nil, err
+				}
+				t.Dims = append(t.Dims, int64(v))
+			}
+		case tensorDataType:
+			v, err := d.varint()
+			if err != nil {
+				return nil, err
+			}
+			t.DataType = int32(v)
+		case tensorFloats:
+			if wt == wireLen {
+				b, err := d.bytes()
+				if err != nil {
+					return nil, err
+				}
+				for i := 0; i+4 <= len(b); i += 4 {
+					t.Floats = append(t.Floats, math.Float32frombits(binary.LittleEndian.Uint32(b[i:])))
+				}
+			} else {
+				v, err := d.fixed32()
+				if err != nil {
+					return nil, err
+				}
+				t.Floats = append(t.Floats, math.Float32frombits(v))
+			}
+		case tensorInt64s:
+			if wt == wireLen {
+				b, err := d.bytes()
+				if err != nil {
+					return nil, err
+				}
+				id := &decoder{buf: b}
+				for !id.done() {
+					v, err := id.varint()
+					if err != nil {
+						return nil, err
+					}
+					t.Int64s = append(t.Int64s, int64(v))
+				}
+			} else {
+				v, err := d.varint()
+				if err != nil {
+					return nil, err
+				}
+				t.Int64s = append(t.Int64s, int64(v))
+			}
+		case tensorName:
+			b, err := d.bytes()
+			if err != nil {
+				return nil, err
+			}
+			t.Name = string(b)
+		case tensorRaw:
+			b, err := d.bytes()
+			if err != nil {
+				return nil, err
+			}
+			t.Raw = b
+		case tensorDoubles:
+			if wt == wireLen {
+				b, err := d.bytes()
+				if err != nil {
+					return nil, err
+				}
+				for i := 0; i+8 <= len(b); i += 8 {
+					t.Doubles = append(t.Doubles, math.Float64frombits(binary.LittleEndian.Uint64(b[i:])))
+				}
+			} else {
+				v, err := d.fixed64()
+				if err != nil {
+					return nil, err
+				}
+				t.Doubles = append(t.Doubles, math.Float64frombits(v))
+			}
+		default:
+			if err := d.skip(wt); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return t, nil
+}
+
+func unmarshalValueInfo(data []byte) (*ValueInfo, error) {
+	vi := &ValueInfo{}
+	d := &decoder{buf: data}
+	for !d.done() {
+		field, wt, err := d.tag()
+		if err != nil {
+			return nil, err
+		}
+		if wt != wireLen {
+			if err := d.skip(wt); err != nil {
+				return nil, err
+			}
+			continue
+		}
+		b, err := d.bytes()
+		if err != nil {
+			return nil, err
+		}
+		switch field {
+		case valueInfoName:
+			vi.Name = string(b)
+		case valueInfoType:
+			td := &decoder{buf: b}
+			for !td.done() {
+				f, w, err := td.tag()
+				if err != nil {
+					return nil, err
+				}
+				if f != typeTensorType || w != wireLen {
+					if err := td.skip(w); err != nil {
+						return nil, err
+					}
+					continue
+				}
+				tb, err := td.bytes()
+				if err != nil {
+					return nil, err
+				}
+				if err := parseTensorType(tb, vi); err != nil {
+					return nil, err
+				}
+			}
+		}
+	}
+	return vi, nil
+}
+
+func parseTensorType(data []byte, vi *ValueInfo) error {
+	d := &decoder{buf: data}
+	for !d.done() {
+		f, w, err := d.tag()
+		if err != nil {
+			return err
+		}
+		switch f {
+		case tensorTypeElem:
+			v, err := d.varint()
+			if err != nil {
+				return err
+			}
+			vi.ElemType = int32(v)
+		case tensorTypeShape:
+			b, err := d.bytes()
+			if err != nil {
+				return err
+			}
+			sd := &decoder{buf: b}
+			for !sd.done() {
+				sf, sw, err := sd.tag()
+				if err != nil {
+					return err
+				}
+				if sf != shapeDim || sw != wireLen {
+					if err := sd.skip(sw); err != nil {
+						return err
+					}
+					continue
+				}
+				db, err := sd.bytes()
+				if err != nil {
+					return err
+				}
+				dd := &decoder{buf: db}
+				dim := int64(-1)
+				for !dd.done() {
+					df, dw, err := dd.tag()
+					if err != nil {
+						return err
+					}
+					if df == dimValue && dw == wireVarint {
+						v, err := dd.varint()
+						if err != nil {
+							return err
+						}
+						dim = int64(v)
+						continue
+					}
+					if err := dd.skip(dw); err != nil {
+						return err
+					}
+				}
+				vi.Shape = append(vi.Shape, dim)
+			}
+		default:
+			if err := d.skip(w); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// decodeRaw interprets a raw little-endian tensor payload.
+func decodeRaw(raw []byte, dataType int32) ([]float64, error) {
+	switch dataType {
+	case ElemFloat:
+		if len(raw)%4 != 0 {
+			return nil, fmt.Errorf("raw float payload length %d not divisible by 4", len(raw))
+		}
+		out := make([]float64, len(raw)/4)
+		for i := range out {
+			out[i] = float64(math.Float32frombits(binary.LittleEndian.Uint32(raw[4*i:])))
+		}
+		return out, nil
+	case ElemDouble:
+		if len(raw)%8 != 0 {
+			return nil, fmt.Errorf("raw double payload length %d not divisible by 8", len(raw))
+		}
+		out := make([]float64, len(raw)/8)
+		for i := range out {
+			out[i] = math.Float64frombits(binary.LittleEndian.Uint64(raw[8*i:]))
+		}
+		return out, nil
+	case ElemInt64:
+		if len(raw)%8 != 0 {
+			return nil, fmt.Errorf("raw int64 payload length %d not divisible by 8", len(raw))
+		}
+		out := make([]float64, len(raw)/8)
+		for i := range out {
+			out[i] = float64(int64(binary.LittleEndian.Uint64(raw[8*i:])))
+		}
+		return out, nil
+	}
+	return nil, fmt.Errorf("unsupported raw data type %d", dataType)
+}
+
+// Marshal serializes the model to ModelProto wire format.
+func Marshal(m *Model) []byte {
+	var e encoder
+	if m.IRVersion != 0 {
+		e.int64Field(modelIRVersion, m.IRVersion)
+	}
+	e.stringField(modelProducer, m.ProducerName)
+	if m.Graph != nil {
+		e.messageField(modelGraph, marshalGraph(m.Graph))
+	}
+	if m.OpsetVersion != 0 {
+		var op encoder
+		op.int64Field(opsetVersion, m.OpsetVersion)
+		e.messageField(modelOpsetImport, op.buf)
+	}
+	return e.buf
+}
+
+func marshalGraph(g *Graph) []byte {
+	var e encoder
+	for _, n := range g.Nodes {
+		e.messageField(graphNode, marshalNode(n))
+	}
+	e.stringField(graphName, g.Name)
+	for _, t := range g.Initializers {
+		e.messageField(graphInitializer, marshalTensor(t))
+	}
+	for _, vi := range g.Inputs {
+		e.messageField(graphInput, marshalValueInfo(vi))
+	}
+	for _, vi := range g.Outputs {
+		e.messageField(graphOutput, marshalValueInfo(vi))
+	}
+	return e.buf
+}
+
+func marshalNode(n *Node) []byte {
+	var e encoder
+	for _, in := range n.Inputs {
+		e.bytesField(nodeInput, []byte(in))
+	}
+	for _, out := range n.Outputs {
+		e.bytesField(nodeOutput, []byte(out))
+	}
+	e.stringField(nodeName, n.Name)
+	e.stringField(nodeOpType, n.OpType)
+	for _, a := range n.Attrs {
+		e.messageField(nodeAttribute, marshalAttr(a))
+	}
+	return e.buf
+}
+
+func marshalAttr(a *Attribute) []byte {
+	var e encoder
+	e.stringField(attrName, a.Name)
+	switch a.Type {
+	case AttrFloat:
+		e.floatField(attrF, a.F)
+	case AttrInt:
+		e.varintField(attrI, uint64(a.I))
+	case AttrString:
+		e.bytesField(attrS, a.S)
+	case AttrFloats:
+		e.packedFloats(attrFloats, a.Floats)
+	case AttrInts:
+		e.packedInt64s(attrInts, a.Ints)
+	}
+	e.varintField(attrType, uint64(a.Type))
+	return e.buf
+}
+
+func marshalTensor(t *TensorData) []byte {
+	var e encoder
+	e.packedInt64s(tensorDims, t.Dims)
+	if t.DataType != 0 {
+		e.varintField(tensorDataType, uint64(t.DataType))
+	}
+	e.packedFloats(tensorFloats, t.Floats)
+	e.packedInt64s(tensorInt64s, t.Int64s)
+	e.stringField(tensorName, t.Name)
+	if len(t.Raw) > 0 {
+		e.bytesField(tensorRaw, t.Raw)
+	}
+	return e.buf
+}
+
+func marshalValueInfo(vi *ValueInfo) []byte {
+	var tt encoder
+	tt.varintField(tensorTypeElem, uint64(vi.ElemType))
+	var sh encoder
+	for _, d := range vi.Shape {
+		var dim encoder
+		dim.varintField(dimValue, uint64(d))
+		sh.messageField(shapeDim, dim.buf)
+	}
+	tt.messageField(tensorTypeShape, sh.buf)
+
+	var ty encoder
+	ty.messageField(typeTensorType, tt.buf)
+
+	var e encoder
+	e.stringField(valueInfoName, vi.Name)
+	e.messageField(valueInfoType, ty.buf)
+	return e.buf
+}
+
+// Load reads and parses an ONNX model file.
+func Load(path string) (*Model, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	m, err := Unmarshal(data)
+	if err != nil {
+		return nil, fmt.Errorf("onnx: parsing %s: %w", path, err)
+	}
+	return m, nil
+}
+
+// Save writes the model to a file.
+func Save(m *Model, path string) error {
+	return os.WriteFile(path, Marshal(m), 0o644)
+}

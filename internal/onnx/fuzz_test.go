@@ -1,0 +1,50 @@
+package onnx
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// TestDecoderNeverPanics feeds arbitrary byte strings to the protobuf
+// decoder: malformed models must produce errors, never panics (the
+// compiler front end is the attack surface closest to untrusted input).
+func TestDecoderNeverPanics(t *testing.T) {
+	f := func(data []byte) bool {
+		_, _ = Unmarshal(data)
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestDecoderNeverPanicsOnMutations flips bytes in a valid model: the
+// decoder must survive every single-byte corruption.
+func TestDecoderNeverPanicsOnMutations(t *testing.T) {
+	m, err := BuildLinear(8, 3, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := Marshal(m)
+	step := len(data)/200 + 1
+	for i := 0; i < len(data); i += step {
+		for _, b := range []byte{0x00, 0xFF, data[i] ^ 0x80} {
+			mut := append([]byte(nil), data...)
+			mut[i] = b
+			if parsed, err := Unmarshal(mut); err == nil && parsed != nil {
+				_ = parsed.Validate() // must not panic either
+			}
+		}
+	}
+}
+
+// TestTruncationSafety checks every prefix of a valid model parses or
+// errors cleanly.
+func TestTruncationSafety(t *testing.T) {
+	m, _ := BuildSmallCNN(SmallCNNConfig{})
+	data := Marshal(m)
+	step := len(data)/100 + 1
+	for n := 0; n < len(data); n += step {
+		_, _ = Unmarshal(data[:n])
+	}
+}

@@ -1,0 +1,234 @@
+package onnx
+
+import (
+	"fmt"
+
+	"antace/internal/tensor"
+)
+
+// Element types (onnx.TensorProto.DataType).
+const (
+	ElemFloat  = 1
+	ElemInt64  = 7
+	ElemDouble = 11
+)
+
+// Attribute types (onnx.AttributeProto.AttributeType).
+const (
+	AttrFloat   = 1
+	AttrInt     = 2
+	AttrString  = 3
+	AttrTensor  = 4
+	AttrFloats  = 6
+	AttrInts    = 7
+	AttrStrings = 8
+)
+
+// Model mirrors onnx.ModelProto (the subset used by inference models).
+type Model struct {
+	IRVersion    int64
+	ProducerName string
+	OpsetVersion int64
+	Graph        *Graph
+}
+
+// Graph mirrors onnx.GraphProto.
+type Graph struct {
+	Name         string
+	Nodes        []*Node
+	Initializers []*TensorData
+	Inputs       []*ValueInfo
+	Outputs      []*ValueInfo
+}
+
+// Node mirrors onnx.NodeProto.
+type Node struct {
+	Name    string
+	OpType  string
+	Inputs  []string
+	Outputs []string
+	Attrs   []*Attribute
+}
+
+// Attr returns the attribute with the given name, or nil.
+func (n *Node) Attr(name string) *Attribute {
+	for _, a := range n.Attrs {
+		if a.Name == name {
+			return a
+		}
+	}
+	return nil
+}
+
+// AttrInt returns an integer attribute or the default.
+func (n *Node) AttrInt(name string, def int64) int64 {
+	if a := n.Attr(name); a != nil {
+		return a.I
+	}
+	return def
+}
+
+// AttrFloat returns a float attribute or the default.
+func (n *Node) AttrFloat(name string, def float64) float64 {
+	if a := n.Attr(name); a != nil {
+		return float64(a.F)
+	}
+	return def
+}
+
+// AttrInts returns an integer-list attribute or the default.
+func (n *Node) AttrInts(name string, def []int64) []int64 {
+	if a := n.Attr(name); a != nil {
+		return a.Ints
+	}
+	return def
+}
+
+// Attribute mirrors onnx.AttributeProto.
+type Attribute struct {
+	Name   string
+	Type   int
+	F      float32
+	I      int64
+	S      []byte
+	Floats []float32
+	Ints   []int64
+}
+
+// TensorData mirrors onnx.TensorProto (weights/initializers).
+type TensorData struct {
+	Name     string
+	Dims     []int64
+	DataType int32
+	Floats   []float32
+	Int64s   []int64
+	Doubles  []float64
+	Raw      []byte
+}
+
+// ValueInfo mirrors onnx.ValueInfoProto with a tensor type.
+type ValueInfo struct {
+	Name     string
+	ElemType int32
+	Shape    []int64
+}
+
+// Initializer returns the named initializer, or nil.
+func (g *Graph) Initializer(name string) *TensorData {
+	for _, t := range g.Initializers {
+		if t.Name == name {
+			return t
+		}
+	}
+	return nil
+}
+
+// ToTensor converts the tensor data to the float64 tensor type used by
+// the compiler, decoding raw little-endian payloads when present.
+func (td *TensorData) ToTensor() (*tensor.Tensor, error) {
+	shape := make([]int, len(td.Dims))
+	size := 1
+	for i, d := range td.Dims {
+		shape[i] = int(d)
+		size *= int(d)
+	}
+	if len(shape) == 0 {
+		shape = []int{1}
+	}
+	data := make([]float64, 0, size)
+	switch {
+	case len(td.Floats) > 0:
+		for _, v := range td.Floats {
+			data = append(data, float64(v))
+		}
+	case len(td.Doubles) > 0:
+		data = append(data, td.Doubles...)
+	case len(td.Int64s) > 0:
+		for _, v := range td.Int64s {
+			data = append(data, float64(v))
+		}
+	case len(td.Raw) > 0:
+		vals, err := decodeRaw(td.Raw, td.DataType)
+		if err != nil {
+			return nil, fmt.Errorf("onnx: initializer %q: %w", td.Name, err)
+		}
+		data = vals
+	}
+	if len(data) != size {
+		return nil, fmt.Errorf("onnx: initializer %q has %d values for shape %v", td.Name, len(data), td.Dims)
+	}
+	return tensor.FromData(data, shape...), nil
+}
+
+// Ints returns the tensor data as integers (for shape-carrying inputs).
+func (td *TensorData) Ints() ([]int64, error) {
+	if len(td.Int64s) > 0 {
+		return td.Int64s, nil
+	}
+	t, err := td.ToTensor()
+	if err != nil {
+		return nil, err
+	}
+	out := make([]int64, len(t.Data))
+	for i, v := range t.Data {
+		out[i] = int64(v)
+	}
+	return out, nil
+}
+
+// FromTensor builds float32 tensor data from a float64 tensor.
+func FromTensor(name string, t *tensor.Tensor) *TensorData {
+	td := &TensorData{Name: name, DataType: ElemFloat}
+	for _, d := range t.Shape {
+		td.Dims = append(td.Dims, int64(d))
+	}
+	td.Floats = make([]float32, len(t.Data))
+	for i, v := range t.Data {
+		td.Floats[i] = float32(v)
+	}
+	return td
+}
+
+// Validate performs structural checks: unique value names, all node
+// inputs resolvable, at least one graph input and output.
+func (m *Model) Validate() error {
+	if m.Graph == nil {
+		return fmt.Errorf("onnx: model has no graph")
+	}
+	g := m.Graph
+	if len(g.Inputs) == 0 {
+		return fmt.Errorf("onnx: graph %q has no inputs", g.Name)
+	}
+	if len(g.Outputs) == 0 {
+		return fmt.Errorf("onnx: graph %q has no outputs", g.Name)
+	}
+	defined := map[string]bool{}
+	for _, in := range g.Inputs {
+		defined[in.Name] = true
+	}
+	for _, init := range g.Initializers {
+		defined[init.Name] = true
+	}
+	for _, n := range g.Nodes {
+		for _, in := range n.Inputs {
+			if in == "" {
+				continue // optional input
+			}
+			if !defined[in] {
+				return fmt.Errorf("onnx: node %q (%s) consumes undefined value %q", n.Name, n.OpType, in)
+			}
+		}
+		for _, out := range n.Outputs {
+			if defined[out] {
+				return fmt.Errorf("onnx: value %q defined twice", out)
+			}
+			defined[out] = true
+		}
+	}
+	for _, out := range g.Outputs {
+		if !defined[out.Name] {
+			return fmt.Errorf("onnx: graph output %q never produced", out.Name)
+		}
+	}
+	return nil
+}

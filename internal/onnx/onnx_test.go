@@ -1,0 +1,223 @@
+package onnx
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"antace/internal/tensor"
+)
+
+func TestWireVarintRoundTrip(t *testing.T) {
+	var e encoder
+	vals := []uint64{0, 1, 127, 128, 300, 1 << 40, ^uint64(0)}
+	for _, v := range vals {
+		e.varint(v)
+	}
+	d := &decoder{buf: e.buf}
+	for _, want := range vals {
+		got, err := d.varint()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != want {
+			t.Fatalf("varint round trip: got %d want %d", got, want)
+		}
+	}
+	if !d.done() {
+		t.Fatal("decoder not exhausted")
+	}
+}
+
+func TestWireTruncatedInputs(t *testing.T) {
+	d := &decoder{buf: []byte{0x80}} // incomplete varint
+	if _, err := d.varint(); err == nil {
+		t.Fatal("expected truncated varint error")
+	}
+	d = &decoder{buf: []byte{0x05, 0x01}} // length 5 but 1 byte left
+	if _, err := d.bytes(); err == nil {
+		t.Fatal("expected truncated bytes error")
+	}
+	d = &decoder{buf: []byte{0x01}}
+	if _, err := d.fixed32(); err == nil {
+		t.Fatal("expected truncated fixed32 error")
+	}
+}
+
+func TestModelRoundTrip(t *testing.T) {
+	m, err := BuildLinear(84, 10, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := Marshal(m)
+	m2, err := Unmarshal(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m2.Graph.Name != "linear_infer" {
+		t.Fatalf("graph name %q", m2.Graph.Name)
+	}
+	if len(m2.Graph.Nodes) != len(m.Graph.Nodes) {
+		t.Fatalf("node count %d vs %d", len(m2.Graph.Nodes), len(m.Graph.Nodes))
+	}
+	if m2.OpsetVersion != m.OpsetVersion || m2.IRVersion != m.IRVersion {
+		t.Fatal("version fields lost")
+	}
+	w := m2.Graph.Initializer("fc.weight")
+	if w == nil {
+		t.Fatal("initializer lost")
+	}
+	wt, err := w.ToTensor()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if wt.Shape[0] != 10 || wt.Shape[1] != 84 {
+		t.Fatalf("weight shape %v", wt.Shape)
+	}
+	orig, _ := m.Graph.Initializer("fc.weight").ToTensor()
+	for i := range wt.Data {
+		// float32 round trip
+		if diff := wt.Data[i] - orig.Data[i]; diff > 1e-6 || diff < -1e-6 {
+			t.Fatalf("weight datum %d changed: %g vs %g", i, wt.Data[i], orig.Data[i])
+		}
+	}
+	if err := m2.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestModelFileRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "model.onnx")
+	m, err := BuildSmallCNN(SmallCNNConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Save(m, path); err != nil {
+		t.Fatal(err)
+	}
+	m2, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m2.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if len(m2.Graph.Nodes) != len(m.Graph.Nodes) {
+		t.Fatal("node count changed through file round trip")
+	}
+	if _, err := Load(filepath.Join(dir, "missing.onnx")); err == nil {
+		t.Fatal("expected error for missing file")
+	}
+	// Corrupt file must fail to parse, not crash.
+	if err := os.WriteFile(path, []byte{0xff, 0xff, 0xff}, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Load(path); err == nil {
+		t.Fatal("expected parse error for corrupt file")
+	}
+}
+
+func TestBuildResNetStructure(t *testing.T) {
+	for _, depth := range []int{20, 32, 44, 56, 110} {
+		m, err := BuildResNet(ResNetConfig{Depth: depth})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := m.Validate(); err != nil {
+			t.Fatalf("resnet%d: %v", depth, err)
+		}
+		convs := 0
+		for _, n := range m.Graph.Nodes {
+			if n.OpType == "Conv" {
+				convs++
+			}
+		}
+		// 6k 3x3 convs in blocks + stem + 2 projection shortcuts.
+		k := (depth - 2) / 6
+		want := 6*k + 1 + 2
+		if convs != want {
+			t.Fatalf("resnet%d: %d convs, want %d", depth, convs, want)
+		}
+	}
+	if _, err := BuildResNet(ResNetConfig{Depth: 21}); err == nil {
+		t.Fatal("expected error for invalid depth")
+	}
+}
+
+func TestBuildResNetDeterministic(t *testing.T) {
+	m1, _ := BuildResNet(ResNetConfig{Depth: 20, Seed: 5})
+	m2, _ := BuildResNet(ResNetConfig{Depth: 20, Seed: 5})
+	b1, b2 := Marshal(m1), Marshal(m2)
+	if len(b1) != len(b2) {
+		t.Fatal("non-deterministic serialization length")
+	}
+	for i := range b1 {
+		if b1[i] != b2[i] {
+			t.Fatal("non-deterministic model bytes")
+		}
+	}
+}
+
+func TestResNetCustomWeights(t *testing.T) {
+	w := tensor.New(10, 8)
+	for i := range w.Data {
+		w.Data[i] = float64(i)
+	}
+	m, err := BuildResNet(ResNetConfig{Depth: 8, BaseChannels: 2, Weights: map[string]*tensor.Tensor{
+		"fc.weight": w,
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := m.Graph.Initializer("fc.weight").ToTensor()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Data[5] != 5 {
+		t.Fatal("custom weights not used")
+	}
+}
+
+func TestNodeAttrHelpers(t *testing.T) {
+	n := &Node{Attrs: []*Attribute{
+		AttrIntVal("stride", 2),
+		AttrIntsVal("pads", 1, 1, 1, 1),
+		AttrFloatVal("epsilon", 1e-5),
+	}}
+	if n.AttrInt("stride", 0) != 2 {
+		t.Fatal("AttrInt")
+	}
+	if n.AttrInt("missing", 7) != 7 {
+		t.Fatal("AttrInt default")
+	}
+	if got := n.AttrInts("pads", nil); len(got) != 4 {
+		t.Fatal("AttrInts")
+	}
+	if n.AttrFloat("epsilon", 0) == 0 {
+		t.Fatal("AttrFloat")
+	}
+}
+
+func TestValidateCatchesBrokenGraphs(t *testing.T) {
+	b := NewBuilder("broken")
+	b.Input("x", 1, 4)
+	b.g.Nodes = append(b.g.Nodes, &Node{OpType: "Relu", Inputs: []string{"ghost"}, Outputs: []string{"y"}})
+	b.Output("y", 1, 4)
+	if err := b.Model().Validate(); err == nil {
+		t.Fatal("expected undefined-input error")
+	}
+
+	b2 := NewBuilder("nooutput")
+	b2.Input("x", 1, 4)
+	if err := b2.Model().Validate(); err == nil {
+		t.Fatal("expected no-output error")
+	}
+
+	b3 := NewBuilder("dangling")
+	b3.Input("x", 1, 4)
+	b3.Output("nowhere", 1, 4)
+	if err := b3.Model().Validate(); err == nil {
+		t.Fatal("expected unproduced-output error")
+	}
+}

@@ -1,0 +1,238 @@
+package onnx
+
+import (
+	"fmt"
+	"math"
+	"math/rand/v2"
+
+	"antace/internal/tensor"
+)
+
+// ResNetConfig describes a CIFAR-style ResNet (He et al.): depth 6k+2,
+// three stages of k basic blocks with 16/32/64 base channels.
+type ResNetConfig struct {
+	Depth         int // 20, 32, 44, 56, 110
+	Classes       int // 10 (CIFAR-10) or 100 (CIFAR-100)
+	InputSize     int // spatial size, 32 for CIFAR
+	InputChannels int // 3 for CIFAR
+	BaseChannels  int // 16 for the standard family; smaller for tests
+	Seed          uint64
+	// Weights, when non-nil, supplies trained weights keyed by
+	// initializer name; otherwise deterministic He-initialised weights
+	// are generated from Seed.
+	Weights map[string]*tensor.Tensor
+}
+
+func (c ResNetConfig) withDefaults() ResNetConfig {
+	if c.Classes == 0 {
+		c.Classes = 10
+	}
+	if c.InputSize == 0 {
+		c.InputSize = 32
+	}
+	if c.InputChannels == 0 {
+		c.InputChannels = 3
+	}
+	if c.BaseChannels == 0 {
+		c.BaseChannels = 16
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	return c
+}
+
+// BuildResNet constructs the ONNX graph of a CIFAR-style ResNet. The
+// structure matches the models evaluated in the paper: an initial 3x3
+// convolution, three stages of basic blocks (with stride-2 projection
+// shortcuts at stage boundaries), global average pooling and a final
+// fully-connected layer. Every convolution is followed by batch
+// normalisation, which the compiler's NN IR fusion pass folds away.
+func BuildResNet(cfg ResNetConfig) (*Model, error) {
+	cfg = cfg.withDefaults()
+	if (cfg.Depth-2)%6 != 0 || cfg.Depth < 8 {
+		return nil, fmt.Errorf("onnx: ResNet depth %d is not 6k+2", cfg.Depth)
+	}
+	k := (cfg.Depth - 2) / 6
+	rng := rand.New(rand.NewPCG(cfg.Seed, 0xACE))
+	b := NewBuilder(fmt.Sprintf("resnet%d", cfg.Depth))
+
+	weight := func(name string, shape ...int) string {
+		if t, ok := cfg.Weights[name]; ok {
+			return b.Weight(name, t)
+		}
+		t := tensor.New(shape...)
+		fanIn := 1
+		for _, d := range shape[1:] {
+			fanIn *= d
+		}
+		std := math.Sqrt(2 / float64(fanIn))
+		for i := range t.Data {
+			t.Data[i] = rng.NormFloat64() * std
+		}
+		return b.Weight(name, t)
+	}
+	bnParams := func(name string, ch int) (g, bt, mn, vr string) {
+		mk := func(suffix string, def func(int) float64) string {
+			full := name + "." + suffix
+			if t, ok := cfg.Weights[full]; ok {
+				return b.Weight(full, t)
+			}
+			t := tensor.New(ch)
+			for i := range t.Data {
+				t.Data[i] = def(i)
+			}
+			return b.Weight(full, t)
+		}
+		g = mk("gamma", func(int) float64 { return 1 + 0.05*rng.NormFloat64() })
+		bt = mk("beta", func(int) float64 { return 0.05 * rng.NormFloat64() })
+		mn = mk("mean", func(int) float64 { return 0.05 * rng.NormFloat64() })
+		vr = mk("var", func(int) float64 { return 1 + 0.1*rng.Float64() })
+		return
+	}
+	convBN := func(tag, x string, cin, cout, stride int) string {
+		w := weight(tag+".weight", cout, cin, 3, 3)
+		y := b.Conv(x, w, "", int64(stride), 1)
+		g, bt, mn, vr := bnParams(tag+".bn", cout)
+		return b.BatchNorm(y, g, bt, mn, vr, 1e-5)
+	}
+
+	x := b.Input("image", 1, int64(cfg.InputChannels), int64(cfg.InputSize), int64(cfg.InputSize))
+	cur := convBN("stem", x, cfg.InputChannels, cfg.BaseChannels, 1)
+	cur = b.Relu(cur)
+
+	channels := cfg.BaseChannels
+	for stage := 0; stage < 3; stage++ {
+		outCh := cfg.BaseChannels << stage
+		for blk := 0; blk < k; blk++ {
+			stride := 1
+			if stage > 0 && blk == 0 {
+				stride = 2
+			}
+			tag := fmt.Sprintf("s%db%d", stage, blk)
+			shortcut := cur
+			if stride != 1 || channels != outCh {
+				// Projection shortcut: 1x1 conv.
+				w := weight(tag+".proj.weight", outCh, channels, 1, 1)
+				shortcut = b.Conv(cur, w, "", int64(stride), 0)
+				g, bt, mn, vr := bnParams(tag+".proj.bn", outCh)
+				shortcut = b.BatchNorm(shortcut, g, bt, mn, vr, 1e-5)
+			}
+			y := convBN(tag+".conv1", cur, channels, outCh, stride)
+			y = b.Relu(y)
+			y = convBN(tag+".conv2", y, outCh, outCh, 1)
+			y = b.Add(y, shortcut)
+			cur = b.Relu(y)
+			channels = outCh
+		}
+	}
+
+	cur = b.GlobalAveragePool(cur)
+	cur = b.Flatten(cur)
+	fcW := weight("fc.weight", cfg.Classes, channels)
+	fcB := weight("fc.bias", cfg.Classes)
+	out := b.Gemm(cur, fcW, fcB)
+	b.Output(out, 1, int64(cfg.Classes))
+
+	m := b.Model()
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+// BuildLinear constructs the paper's Figure-4 running example: a single
+// Gemm (gemv) layer "linear_infer" with a (classes x features) weight and
+// a bias.
+func BuildLinear(features, classes int, seed uint64) (*Model, error) {
+	rng := rand.New(rand.NewPCG(seed, 0x11EA4))
+	b := NewBuilder("linear_infer")
+	x := b.Input("image", 1, int64(features))
+	w := tensor.New(classes, features)
+	for i := range w.Data {
+		w.Data[i] = rng.NormFloat64() / math.Sqrt(float64(features))
+	}
+	bias := tensor.New(classes)
+	for i := range bias.Data {
+		bias.Data[i] = 0.1 * rng.NormFloat64()
+	}
+	wName := b.Weight("fc.weight", w)
+	bName := b.Weight("fc.bias", bias)
+	out := b.Gemm(x, wName, bName)
+	b.Output(out, 1, int64(classes))
+	m := b.Model()
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+// SmallCNNConfig describes the compact CNN used for the trained accuracy
+// experiment (Table 11 substrate) and the reduced-scale end-to-end FHE
+// runs.
+type SmallCNNConfig struct {
+	InputSize     int // spatial size (e.g. 8)
+	InputChannels int
+	Channels      int // conv width
+	Classes       int
+	Seed          uint64
+	Weights       map[string]*tensor.Tensor
+}
+
+// BuildSmallCNN constructs conv3x3-BN-ReLU → avgpool2 → conv3x3-BN-ReLU →
+// global average pool → FC.
+func BuildSmallCNN(cfg SmallCNNConfig) (*Model, error) {
+	if cfg.InputSize == 0 {
+		cfg.InputSize = 8
+	}
+	if cfg.InputChannels == 0 {
+		cfg.InputChannels = 1
+	}
+	if cfg.Channels == 0 {
+		cfg.Channels = 4
+	}
+	if cfg.Classes == 0 {
+		cfg.Classes = 4
+	}
+	if cfg.Seed == 0 {
+		cfg.Seed = 2
+	}
+	rng := rand.New(rand.NewPCG(cfg.Seed, 0x5CC))
+	b := NewBuilder("small_cnn")
+	weight := func(name string, shape ...int) string {
+		if t, ok := cfg.Weights[name]; ok {
+			return b.Weight(name, t)
+		}
+		t := tensor.New(shape...)
+		fanIn := 1
+		for _, d := range shape[1:] {
+			fanIn *= d
+		}
+		std := math.Sqrt(2 / float64(fanIn))
+		for i := range t.Data {
+			t.Data[i] = rng.NormFloat64() * std
+		}
+		return b.Weight(name, t)
+	}
+	x := b.Input("image", 1, int64(cfg.InputChannels), int64(cfg.InputSize), int64(cfg.InputSize))
+	w1 := weight("conv1.weight", cfg.Channels, cfg.InputChannels, 3, 3)
+	bias1 := weight("conv1.bias", cfg.Channels)
+	cur := b.Conv(x, w1, bias1, 1, 1)
+	cur = b.Relu(cur)
+	cur = b.AveragePool(cur, 2, 2)
+	w2 := weight("conv2.weight", cfg.Channels*2, cfg.Channels, 3, 3)
+	bias2 := weight("conv2.bias", cfg.Channels*2)
+	cur = b.Conv(cur, w2, bias2, 1, 1)
+	cur = b.Relu(cur)
+	cur = b.GlobalAveragePool(cur)
+	cur = b.Flatten(cur)
+	fcW := weight("fc.weight", cfg.Classes, cfg.Channels*2)
+	fcB := weight("fc.bias", cfg.Classes)
+	out := b.Gemm(cur, fcW, fcB)
+	b.Output(out, 1, int64(cfg.Classes))
+	m := b.Model()
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	return m, nil
+}

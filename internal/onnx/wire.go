@@ -1,0 +1,172 @@
+// Package onnx implements the compiler front end's model format: a
+// reader and writer for the ONNX protobuf subset needed for inference
+// models (ModelProto, GraphProto, NodeProto, AttributeProto, TensorProto,
+// ValueInfoProto), implemented directly on the protobuf wire format with
+// no generated code, plus builders for the ResNet family the paper
+// evaluates.
+package onnx
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+)
+
+// Protobuf wire types.
+const (
+	wireVarint = 0
+	wireI64    = 1
+	wireLen    = 2
+	wireI32    = 5
+)
+
+// decoder walks a protobuf-encoded buffer.
+type decoder struct {
+	buf []byte
+	pos int
+}
+
+func (d *decoder) done() bool { return d.pos >= len(d.buf) }
+
+func (d *decoder) varint() (uint64, error) {
+	v, n := binary.Uvarint(d.buf[d.pos:])
+	if n <= 0 {
+		return 0, fmt.Errorf("onnx: truncated varint at offset %d", d.pos)
+	}
+	d.pos += n
+	return v, nil
+}
+
+// tag reads a field tag, returning field number and wire type.
+func (d *decoder) tag() (int, int, error) {
+	v, err := d.varint()
+	if err != nil {
+		return 0, 0, err
+	}
+	return int(v >> 3), int(v & 7), nil
+}
+
+func (d *decoder) bytes() ([]byte, error) {
+	n, err := d.varint()
+	if err != nil {
+		return nil, err
+	}
+	if n > uint64(len(d.buf)-d.pos) {
+		return nil, fmt.Errorf("onnx: length %d exceeds remaining %d bytes", n, len(d.buf)-d.pos)
+	}
+	out := d.buf[d.pos : d.pos+int(n)]
+	d.pos += int(n)
+	return out, nil
+}
+
+func (d *decoder) fixed32() (uint32, error) {
+	if d.pos+4 > len(d.buf) {
+		return 0, fmt.Errorf("onnx: truncated fixed32")
+	}
+	v := binary.LittleEndian.Uint32(d.buf[d.pos:])
+	d.pos += 4
+	return v, nil
+}
+
+func (d *decoder) fixed64() (uint64, error) {
+	if d.pos+8 > len(d.buf) {
+		return 0, fmt.Errorf("onnx: truncated fixed64")
+	}
+	v := binary.LittleEndian.Uint64(d.buf[d.pos:])
+	d.pos += 8
+	return v, nil
+}
+
+// skip discards a field of the given wire type.
+func (d *decoder) skip(wt int) error {
+	switch wt {
+	case wireVarint:
+		_, err := d.varint()
+		return err
+	case wireI64:
+		_, err := d.fixed64()
+		return err
+	case wireLen:
+		_, err := d.bytes()
+		return err
+	case wireI32:
+		_, err := d.fixed32()
+		return err
+	}
+	return fmt.Errorf("onnx: unsupported wire type %d", wt)
+}
+
+// zigzag is unused by ONNX (no sint fields) but kept for completeness.
+func zigzagDecode(v uint64) int64 { return int64(v>>1) ^ -int64(v&1) }
+
+// encoder builds a protobuf-encoded buffer.
+type encoder struct {
+	buf []byte
+}
+
+func (e *encoder) varint(v uint64) {
+	e.buf = binary.AppendUvarint(e.buf, v)
+}
+
+func (e *encoder) tag(field, wt int) {
+	e.varint(uint64(field)<<3 | uint64(wt))
+}
+
+func (e *encoder) bytesField(field int, b []byte) {
+	e.tag(field, wireLen)
+	e.varint(uint64(len(b)))
+	e.buf = append(e.buf, b...)
+}
+
+func (e *encoder) stringField(field int, s string) {
+	if s == "" {
+		return
+	}
+	e.bytesField(field, []byte(s))
+}
+
+func (e *encoder) varintField(field int, v uint64) {
+	e.tag(field, wireVarint)
+	e.varint(v)
+}
+
+func (e *encoder) int64Field(field int, v int64) {
+	if v == 0 {
+		return
+	}
+	e.varintField(field, uint64(v))
+}
+
+func (e *encoder) floatField(field int, v float32) {
+	e.tag(field, wireI32)
+	e.buf = binary.LittleEndian.AppendUint32(e.buf, math.Float32bits(v))
+}
+
+// packedFloats encodes a packed repeated float field.
+func (e *encoder) packedFloats(field int, vs []float32) {
+	if len(vs) == 0 {
+		return
+	}
+	e.tag(field, wireLen)
+	e.varint(uint64(4 * len(vs)))
+	for _, v := range vs {
+		e.buf = binary.LittleEndian.AppendUint32(e.buf, math.Float32bits(v))
+	}
+}
+
+// packedInt64s encodes a packed repeated int64 field.
+func (e *encoder) packedInt64s(field int, vs []int64) {
+	if len(vs) == 0 {
+		return
+	}
+	var inner encoder
+	for _, v := range vs {
+		inner.varint(uint64(v))
+	}
+	e.bytesField(field, inner.buf)
+}
+
+// messageField encodes a nested message.
+func (e *encoder) messageField(field int, body []byte) {
+	e.bytesField(field, body)
+}

@@ -1,0 +1,181 @@
+package poly
+
+import (
+	"fmt"
+	"math"
+)
+
+// Remez computes the degree-d minimax approximation of f on [a,b] by the
+// Remez exchange algorithm, returning the polynomial in Chebyshev basis
+// and the achieved equioscillation error. It assumes f is continuous;
+// convergence is declared when the levelled error stabilises.
+func Remez(f func(float64) float64, a, b float64, degree, maxIter int) (*Polynomial, float64, error) {
+	n := degree + 2 // number of alternation points
+	// Initial reference: Chebyshev extrema mapped to [a,b].
+	xs := make([]float64, n)
+	for i := 0; i < n; i++ {
+		u := math.Cos(math.Pi * float64(i) / float64(n-1))
+		xs[i] = 0.5*(b-a)*-u + 0.5*(a+b)
+	}
+	var coeffs []float64
+	var eps float64
+	for iter := 0; iter < maxIter; iter++ {
+		var err error
+		coeffs, eps, err = solveReference(f, xs, degree, a, b)
+		if err != nil {
+			return nil, 0, err
+		}
+		p := &Polynomial{Coeffs: coeffs, Basis: Chebyshev, A: a, B: b}
+		// Exchange: find local extrema of the error on a dense grid.
+		newXs, maxAbs := exchange(p, f, a, b, n)
+		if len(newXs) == n {
+			xs = newXs
+		}
+		// Converged when max error matches levelled error.
+		if maxAbs <= math.Abs(eps)*(1+1e-9)+1e-15 {
+			return p, math.Abs(eps), nil
+		}
+	}
+	return &Polynomial{Coeffs: coeffs, Basis: Chebyshev, A: a, B: b}, math.Abs(eps), nil
+}
+
+// solveReference solves the linear system p(x_i) + (-1)^i e = f(x_i) for
+// the Chebyshev coefficients of p and the levelled error e.
+func solveReference(f func(float64) float64, xs []float64, degree int, a, b float64) ([]float64, float64, error) {
+	n := len(xs)
+	m := degree + 2
+	if n != m {
+		return nil, 0, fmt.Errorf("poly: reference size %d != %d", n, m)
+	}
+	// Unknowns: c_0..c_degree, e.
+	A := make([][]float64, n)
+	rhs := make([]float64, n)
+	for i, x := range xs {
+		A[i] = make([]float64, m)
+		u := (2*x - (a + b)) / (b - a)
+		tPrev, tCur := 1.0, u
+		for j := 0; j <= degree; j++ {
+			switch j {
+			case 0:
+				A[i][j] = 1
+			case 1:
+				A[i][j] = u
+			default:
+				tNext := 2*u*tCur - tPrev
+				tPrev, tCur = tCur, tNext
+				A[i][j] = tNext
+			}
+		}
+		sign := 1.0
+		if i%2 == 1 {
+			sign = -1
+		}
+		A[i][degree+1] = sign
+		rhs[i] = f(x)
+	}
+	sol, err := solveLinear(A, rhs)
+	if err != nil {
+		return nil, 0, err
+	}
+	return sol[:degree+1], sol[degree+1], nil
+}
+
+// exchange locates the alternation points of the current error function.
+func exchange(p *Polynomial, f func(float64) float64, a, b float64, want int) ([]float64, float64) {
+	const grid = 8192
+	errAt := func(x float64) float64 { return p.Eval(x) - f(x) }
+	// Collect local extrema (including endpoints).
+	type ext struct {
+		x, e float64
+	}
+	var exts []ext
+	prevX := a
+	prevE := errAt(a)
+	exts = append(exts, ext{a, prevE})
+	rising := true
+	_ = rising
+	lastE := prevE
+	lastX := prevX
+	for i := 1; i <= grid; i++ {
+		x := a + (b-a)*float64(i)/float64(grid)
+		e := errAt(x)
+		// Detect sign of slope change via three-point comparison later;
+		// simpler: keep running max per sign-region.
+		if (e >= 0) != (lastE >= 0) {
+			// sign change: the running extremum of the previous region ends
+			exts = append(exts, ext{lastX, lastE})
+			lastE, lastX = e, x
+		} else if math.Abs(e) > math.Abs(lastE) {
+			lastE, lastX = e, x
+		}
+		_ = prevX
+	}
+	exts = append(exts, ext{lastX, lastE})
+	// Deduplicate and keep the largest |e| alternating sequence of length
+	// `want`: greedily merge same-sign neighbours keeping the larger.
+	var merged []ext
+	for _, e := range exts {
+		if len(merged) > 0 && (merged[len(merged)-1].e >= 0) == (e.e >= 0) {
+			if math.Abs(e.e) > math.Abs(merged[len(merged)-1].e) {
+				merged[len(merged)-1] = e
+			}
+		} else {
+			merged = append(merged, e)
+		}
+	}
+	maxAbs := 0.0
+	for _, e := range merged {
+		if math.Abs(e.e) > maxAbs {
+			maxAbs = math.Abs(e.e)
+		}
+	}
+	// Trim to `want` keeping the largest errors at the ends.
+	for len(merged) > want {
+		if math.Abs(merged[0].e) < math.Abs(merged[len(merged)-1].e) {
+			merged = merged[1:]
+		} else {
+			merged = merged[:len(merged)-1]
+		}
+	}
+	xs := make([]float64, len(merged))
+	for i, e := range merged {
+		xs[i] = e.x
+	}
+	return xs, maxAbs
+}
+
+// solveLinear solves Ax=b by Gaussian elimination with partial pivoting.
+func solveLinear(A [][]float64, b []float64) ([]float64, error) {
+	n := len(A)
+	M := make([][]float64, n)
+	for i := range M {
+		M[i] = append(append([]float64(nil), A[i]...), b[i])
+	}
+	for col := 0; col < n; col++ {
+		piv := col
+		for r := col + 1; r < n; r++ {
+			if math.Abs(M[r][col]) > math.Abs(M[piv][col]) {
+				piv = r
+			}
+		}
+		if math.Abs(M[piv][col]) < 1e-300 {
+			return nil, fmt.Errorf("poly: singular system at column %d", col)
+		}
+		M[col], M[piv] = M[piv], M[col]
+		for r := col + 1; r < n; r++ {
+			factor := M[r][col] / M[col][col]
+			for c := col; c <= n; c++ {
+				M[r][c] -= factor * M[col][c]
+			}
+		}
+	}
+	x := make([]float64, n)
+	for r := n - 1; r >= 0; r-- {
+		sum := M[r][n]
+		for c := r + 1; c < n; c++ {
+			sum -= M[r][c] * x[c]
+		}
+		x[r] = sum / M[r][r]
+	}
+	return x, nil
+}

@@ -1,0 +1,139 @@
+package polyir
+
+import (
+	"testing"
+
+	"antace/internal/ckksir"
+	"antace/internal/ir"
+	"antace/internal/nnir"
+	"antace/internal/onnx"
+	"antace/internal/sihe"
+	"antace/internal/vecir"
+)
+
+func compiledCKKS(t *testing.T, boot bool) *ckksir.Result {
+	t.Helper()
+	m, err := onnx.BuildSmallCNN(onnx.SmallCNNConfig{InputSize: 8, Channels: 2, Classes: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	nn, err := nnir.Import(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pm := &ir.PassManager{}
+	pm.Add(nnir.FuseConvBatchNorm(), ir.DCE())
+	if err := pm.Run(nn); err != nil {
+		t.Fatal(err)
+	}
+	if err := nnir.CalibrateReLUBounds(nn.Main(), 2, 1.5, 7); err != nil {
+		t.Fatal(err)
+	}
+	vres, err := vecir.Lower(nn, vecir.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sm, err := sihe.Lower(vres.Module, sihe.Options{ReLUAlpha: 5, ReLUEps: 0.125})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mode := ckksir.BootstrapNever
+	if boot {
+		mode = ckksir.BootstrapAlways
+	}
+	res, err := ckksir.Lower(sm, ckksir.Options{Mode: mode, IgnoreSecurity: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func TestLowerProducesPolyOps(t *testing.T) {
+	res := compiledCKKS(t, false)
+	mod, err := Lower(res.Module, 2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := mod.Main()
+	if len(f.Body) == 0 {
+		t.Fatal("empty POLY module")
+	}
+	if err := ir.VerifyFunc(f); err != nil {
+		t.Fatal(err)
+	}
+	s := Analyze(f)
+	if s.NTTs == 0 || s.ModMuls == 0 {
+		t.Fatalf("implausible stats %+v", s)
+	}
+	if s.KeySwitches == 0 {
+		t.Fatal("no key switches counted")
+	}
+}
+
+func TestOperatorFusion(t *testing.T) {
+	res := compiledCKKS(t, false)
+	mod, err := Lower(res.Module, 2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := mod.Main().OpHistogram()
+	if before[OpDecomp] == 0 {
+		t.Fatal("no decomp ops to fuse")
+	}
+	if err := FuseOperators().Run(mod); err != nil {
+		t.Fatal(err)
+	}
+	after := mod.Main().OpHistogram()
+	if after[OpDecompModUp] == 0 {
+		t.Fatal("no fused decomp_modup produced")
+	}
+	if after[OpDecomp] >= before[OpDecomp] {
+		t.Fatal("decomp count did not drop")
+	}
+	if after[OpModMulAdd] == 0 {
+		t.Fatal("no fused modmuladd produced")
+	}
+	if err := ir.VerifyFunc(mod.Main()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRNSLoopFusion(t *testing.T) {
+	res := compiledCKKS(t, false)
+	mod, err := Lower(res.Module, 2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := Analyze(mod.Main())
+	if err := FuseRNSLoops().Run(mod); err != nil {
+		t.Fatal(err)
+	}
+	after := Analyze(mod.Main())
+	if after.Loops >= before.Loops {
+		t.Fatalf("loop fusion did not reduce loop launches: %d -> %d", before.Loops, after.Loops)
+	}
+	if after.FusedLoops == 0 {
+		t.Fatal("no fused loops produced")
+	}
+	if err := ir.VerifyFunc(mod.Main()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLowerWithBootstrapExpands(t *testing.T) {
+	res := compiledCKKS(t, true)
+	mod, err := LowerFromCKKS(res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := Analyze(mod.Main())
+	noBoot := compiledCKKS(t, false)
+	mod2, err := LowerFromCKKS(noBoot)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2 := Analyze(mod2.Main())
+	if s.NTTs <= s2.NTTs {
+		t.Fatal("bootstrap expansion did not add NTT work")
+	}
+}

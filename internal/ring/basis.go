@@ -1,0 +1,263 @@
+package ring
+
+import (
+	"math/big"
+
+	"antace/internal/nt"
+)
+
+// DivRoundByLastModulus divides p (coefficient domain, level l) by its last
+// modulus q_l with rounding, writing the level l-1 result into pOut.
+// This is the CKKS rescale primitive.
+func (r *Ring) DivRoundByLastModulus(p, pOut *Poly) {
+	l := p.Level()
+	if l == 0 {
+		panic("ring: cannot rescale at level 0")
+	}
+	n := r.N
+	ql := r.Moduli[l]
+	half := ql >> 1
+	last := p.Coeffs[l]
+	for i := 0; i < l; i++ {
+		qi := r.Moduli[i]
+		mi := r.Mods[i]
+		inv := r.rescaleQlInv[l][i]
+		invShoup := r.rescaleQlInvShoup[l][i]
+		a, b := p.Coeffs[i], pOut.Coeffs[i]
+		for j := 0; j < n; j++ {
+			// Centered remainder of the last row, reduced mod q_i.
+			xl := last[j]
+			var delta uint64
+			if xl > half {
+				delta = qi - nt.BRedAdd(ql-xl, mi)
+				if delta == qi {
+					delta = 0
+				}
+			} else {
+				delta = nt.BRedAdd(xl, mi)
+			}
+			b[j] = nt.MulModShoup(nt.Sub(a[j], delta, qi), inv, invShoup, qi)
+		}
+	}
+	pOut.Coeffs = pOut.Coeffs[:l]
+}
+
+// DivRoundByLastModulusNTT is DivRoundByLastModulus for polynomials in NTT
+// domain: it INTTs only the last row, forms the per-modulus correction and
+// NTTs it back, avoiding a full domain round trip.
+func (r *Ring) DivRoundByLastModulusNTT(p, pOut *Poly) {
+	l := p.Level()
+	if l == 0 {
+		panic("ring: cannot rescale at level 0")
+	}
+	n := r.N
+	ql := r.Moduli[l]
+	half := ql >> 1
+	last := append([]uint64(nil), p.Coeffs[l]...)
+	r.inttRow(last, l)
+	delta := make([]uint64, n)
+	for i := 0; i < l; i++ {
+		qi := r.Moduli[i]
+		mi := r.Mods[i]
+		inv := r.rescaleQlInv[l][i]
+		invShoup := r.rescaleQlInvShoup[l][i]
+		for j := 0; j < n; j++ {
+			xl := last[j]
+			if xl > half {
+				d := qi - nt.BRedAdd(ql-xl, mi)
+				if d == qi {
+					d = 0
+				}
+				delta[j] = d
+			} else {
+				delta[j] = nt.BRedAdd(xl, mi)
+			}
+		}
+		r.nttRow(delta, i)
+		a, b := p.Coeffs[i], pOut.Coeffs[i]
+		for j := 0; j < n; j++ {
+			b[j] = nt.MulModShoup(nt.Sub(a[j], delta[j], qi), inv, invShoup, qi)
+		}
+	}
+	pOut.Coeffs = pOut.Coeffs[:l]
+}
+
+// ModulusAtLevel returns Q_l = prod_{i<=l} q_i as a big integer.
+func (r *Ring) ModulusAtLevel(l int) *big.Int {
+	q := big.NewInt(1)
+	for i := 0; i <= l; i++ {
+		q.Mul(q, new(big.Int).SetUint64(r.Moduli[i]))
+	}
+	return q
+}
+
+// BasisExtender converts polynomials between the RNS bases of two rings
+// (typically Q and P) using the approximate (HPS) fast base conversion, and
+// implements the ModDown operation of hybrid key switching.
+type BasisExtender struct {
+	rQ, rP *Ring
+
+	// For each level l of Q: (Q_l/q_i)^-1 mod q_i and Q_l/q_i mod p_j.
+	qoverqiInv      [][]uint64   // [l][i]
+	qoverqiInvShoup [][]uint64   // [l][i]
+	qoverqiModP     [][][]uint64 // [l][i][j]
+
+	// P -> Q conversion: (P/p_j)^-1 mod p_j and P/p_j mod q_i, P mod q_i.
+	poverpjInv      []uint64
+	poverpjInvShoup []uint64
+	poverpjModQ     [][]uint64 // [j][i]
+	pInvModQ        []uint64   // P^-1 mod q_i
+	pInvModQShoup   []uint64
+	pModQ           []uint64 // P mod q_i
+}
+
+// NewBasisExtender precomputes conversion tables between rQ and rP.
+func NewBasisExtender(rQ, rP *Ring) *BasisExtender {
+	be := &BasisExtender{rQ: rQ, rP: rP}
+	L := len(rQ.Moduli)
+	K := len(rP.Moduli)
+
+	be.qoverqiInv = make([][]uint64, L)
+	be.qoverqiInvShoup = make([][]uint64, L)
+	be.qoverqiModP = make([][][]uint64, L)
+	for l := 0; l < L; l++ {
+		Ql := rQ.ModulusAtLevel(l)
+		be.qoverqiInv[l] = make([]uint64, l+1)
+		be.qoverqiInvShoup[l] = make([]uint64, l+1)
+		be.qoverqiModP[l] = make([][]uint64, l+1)
+		for i := 0; i <= l; i++ {
+			qi := new(big.Int).SetUint64(rQ.Moduli[i])
+			qli := new(big.Int).Quo(Ql, qi)
+			inv := new(big.Int).ModInverse(new(big.Int).Mod(qli, qi), qi)
+			be.qoverqiInv[l][i] = inv.Uint64()
+			be.qoverqiInvShoup[l][i] = nt.ShoupPrec(inv.Uint64(), rQ.Moduli[i])
+			be.qoverqiModP[l][i] = make([]uint64, K)
+			for j := 0; j < K; j++ {
+				pj := new(big.Int).SetUint64(rP.Moduli[j])
+				be.qoverqiModP[l][i][j] = new(big.Int).Mod(qli, pj).Uint64()
+			}
+		}
+	}
+
+	P := rP.ModulusAtLevel(K - 1)
+	be.poverpjInv = make([]uint64, K)
+	be.poverpjInvShoup = make([]uint64, K)
+	be.poverpjModQ = make([][]uint64, K)
+	for j := 0; j < K; j++ {
+		pj := new(big.Int).SetUint64(rP.Moduli[j])
+		ppj := new(big.Int).Quo(P, pj)
+		inv := new(big.Int).ModInverse(new(big.Int).Mod(ppj, pj), pj)
+		be.poverpjInv[j] = inv.Uint64()
+		be.poverpjInvShoup[j] = nt.ShoupPrec(inv.Uint64(), rP.Moduli[j])
+		be.poverpjModQ[j] = make([]uint64, L)
+		for i := 0; i < L; i++ {
+			qi := new(big.Int).SetUint64(rQ.Moduli[i])
+			be.poverpjModQ[j][i] = new(big.Int).Mod(ppj, qi).Uint64()
+		}
+	}
+	be.pInvModQ = make([]uint64, L)
+	be.pInvModQShoup = make([]uint64, L)
+	be.pModQ = make([]uint64, L)
+	for i := 0; i < L; i++ {
+		qi := new(big.Int).SetUint64(rQ.Moduli[i])
+		pModQi := new(big.Int).Mod(P, qi)
+		be.pModQ[i] = pModQi.Uint64()
+		inv := new(big.Int).ModInverse(pModQi, qi)
+		be.pInvModQ[i] = inv.Uint64()
+		be.pInvModQShoup[i] = nt.ShoupPrec(inv.Uint64(), rQ.Moduli[i])
+	}
+	return be
+}
+
+// ModUpDigitQP lifts the digit x = pQ mod D (where D is the product of the
+// Q-basis primes with indices [start, end)) into the full basis
+// Q_level ∪ P: outQ receives rows 0..level (digit rows copied verbatim,
+// the others base-converted) and outP receives all K rows of the P basis.
+// Input and outputs are in coefficient domain. The conversion is the
+// approximate CRT lift: the result equals x + u*D for a small integer
+// |u| <= end-start, which hybrid key switching tolerates.
+func (be *BasisExtender) ModUpDigitQP(pQ *Poly, start, end, level int, outQ, outP *Poly) {
+	n := be.rQ.N
+	K := len(be.rP.Moduli)
+	d := end - start
+	digitMods := be.rQ.Moduli[start:end]
+	D := big.NewInt(1)
+	for _, q := range digitMods {
+		D.Mul(D, new(big.Int).SetUint64(q))
+	}
+	// y_i = x_i * (D/d_i)^-1 mod d_i, then x mod m ~= sum_i y_i*(D/d_i) mod m.
+	ys := make([][]uint64, d)
+	di := make([]*big.Int, d)
+	for i, q := range digitMods {
+		qi := new(big.Int).SetUint64(q)
+		di[i] = new(big.Int).Quo(D, qi)
+		inv := new(big.Int).ModInverse(new(big.Int).Mod(di[i], qi), qi).Uint64()
+		invShoup := nt.ShoupPrec(inv, q)
+		ys[i] = make([]uint64, n)
+		src := pQ.Coeffs[start+i]
+		for k := 0; k < n; k++ {
+			ys[i][k] = nt.MulModShoup(src[k], inv, invShoup, q)
+		}
+	}
+	convertTo := func(m nt.Modulus, dst []uint64) {
+		over := make([]uint64, d)
+		mb := new(big.Int).SetUint64(m.Q)
+		for i := 0; i < d; i++ {
+			over[i] = new(big.Int).Mod(di[i], mb).Uint64()
+		}
+		for k := 0; k < n; k++ {
+			acc := uint64(0)
+			for i := 0; i < d; i++ {
+				acc = nt.Add(acc, nt.MulMod(ys[i][k], over[i], m), m.Q)
+			}
+			dst[k] = acc
+		}
+	}
+	for i := 0; i <= level; i++ {
+		if i >= start && i < end {
+			copy(outQ.Coeffs[i], pQ.Coeffs[i])
+			continue
+		}
+		convertTo(be.rQ.Mods[i], outQ.Coeffs[i])
+	}
+	for j := 0; j < K; j++ {
+		convertTo(be.rP.Mods[j], outP.Coeffs[j])
+	}
+}
+
+// ModDownQP computes round((xQ, xP) / P) mod Q_l: the P-part is base-
+// converted to Q and subtracted, then the result is multiplied by P^-1.
+// All polynomials are in coefficient domain. pQ is both input (level l)
+// and output.
+func (be *BasisExtender) ModDownQP(pQ, pP *Poly) {
+	l := pQ.Level()
+	n := be.rQ.N
+	K := len(be.rP.Moduli)
+	// y_j = x_j * (P/p_j)^-1 mod p_j.
+	ys := make([][]uint64, K)
+	for j := 0; j < K; j++ {
+		ys[j] = make([]uint64, n)
+		mp := be.rP.Mods[j]
+		src := pP.Coeffs[j]
+		for k := 0; k < n; k++ {
+			ys[j][k] = nt.MulModShoup(src[k], be.poverpjInv[j], be.poverpjInvShoup[j], mp.Q)
+		}
+	}
+	for i := 0; i <= l; i++ {
+		mq := be.rQ.Mods[i]
+		qi := mq.Q
+		dst := pQ.Coeffs[i]
+		for k := 0; k < n; k++ {
+			conv := uint64(0)
+			for j := 0; j < K; j++ {
+				conv = nt.Add(conv, nt.MulMod(ys[j][k], be.poverpjModQ[j][i], mq), qi)
+			}
+			dst[k] = nt.MulModShoup(nt.Sub(dst[k], conv, qi), be.pInvModQ[i], be.pInvModQShoupAt(i), qi)
+		}
+	}
+}
+
+func (be *BasisExtender) pInvModQShoupAt(i int) uint64 { return be.pInvModQShoup[i] }
+
+// PModQ returns P mod q_i, used to pre-multiply before key switching.
+func (be *BasisExtender) PModQ(i int) uint64 { return be.pModQ[i] }

@@ -1,0 +1,141 @@
+package ring
+
+import (
+	"math/bits"
+
+	"antace/internal/nt"
+)
+
+// bitReverse returns the logN-bit reversal of i.
+func bitReverse(i, logN int) int {
+	return int(bits.Reverse64(uint64(i)) >> (64 - logN))
+}
+
+// newNTTTables precomputes the bit-reversed twiddle tables for the
+// negacyclic NTT (Longa–Naehrig style) modulo m.Q with 2N-th root psi.
+func newNTTTables(n int, psi uint64, m nt.Modulus) nttTables {
+	logN := bits.Len(uint(n)) - 1
+	t := nttTables{
+		psiRev:         make([]uint64, n),
+		psiRevShoup:    make([]uint64, n),
+		psiInvRev:      make([]uint64, n),
+		psiInvRevShoup: make([]uint64, n),
+	}
+	psiInv := nt.ModInverse(psi, m)
+	pow, powInv := uint64(1), uint64(1)
+	for i := 0; i < n; i++ {
+		j := bitReverse(i, logN)
+		t.psiRev[j] = pow
+		t.psiInvRev[j] = powInv
+		pow = nt.MulMod(pow, psi, m)
+		powInv = nt.MulMod(powInv, psiInv, m)
+	}
+	for i := 0; i < n; i++ {
+		t.psiRevShoup[i] = nt.ShoupPrec(t.psiRev[i], m.Q)
+		t.psiInvRevShoup[i] = nt.ShoupPrec(t.psiInvRev[i], m.Q)
+	}
+	t.nInv = nt.ModInverse(uint64(n), m)
+	t.nInvShoup = nt.ShoupPrec(t.nInv, m.Q)
+	return t
+}
+
+// NTT transforms p (coefficient domain) into pOut (NTT domain) in place per
+// row. The output ordering places the evaluation at psi^(2*brv(i)+1) in
+// slot i, the convention assumed by the automorphism index tables.
+func (r *Ring) NTT(p, pOut *Poly) {
+	l := minLevel(p, pOut)
+	for i := 0; i <= l; i++ {
+		if &p.Coeffs[i][0] != &pOut.Coeffs[i][0] {
+			copy(pOut.Coeffs[i], p.Coeffs[i])
+		}
+		r.nttRow(pOut.Coeffs[i], i)
+	}
+}
+
+// INTT transforms p (NTT domain) into pOut (coefficient domain).
+func (r *Ring) INTT(p, pOut *Poly) {
+	l := minLevel(p, pOut)
+	for i := 0; i <= l; i++ {
+		if &p.Coeffs[i][0] != &pOut.Coeffs[i][0] {
+			copy(pOut.Coeffs[i], p.Coeffs[i])
+		}
+		r.inttRow(pOut.Coeffs[i], i)
+	}
+}
+
+// nttRow applies the forward negacyclic NTT in place on one RNS row.
+func (r *Ring) nttRow(a []uint64, row int) {
+	n := r.N
+	q := r.Moduli[row]
+	tab := &r.tables[row]
+	t := n
+	for m := 1; m < n; m <<= 1 {
+		t >>= 1
+		for i := 0; i < m; i++ {
+			w := tab.psiRev[m+i]
+			wp := tab.psiRevShoup[m+i]
+			j1 := 2 * i * t
+			for j := j1; j < j1+t; j++ {
+				u := a[j]
+				v := nt.MulModShoup(a[j+t], w, wp, q)
+				a[j] = nt.Add(u, v, q)
+				a[j+t] = nt.Sub(u, v, q)
+			}
+		}
+	}
+}
+
+// inttRow applies the inverse negacyclic NTT in place on one RNS row.
+func (r *Ring) inttRow(a []uint64, row int) {
+	n := r.N
+	q := r.Moduli[row]
+	tab := &r.tables[row]
+	t := 1
+	for m := n; m > 1; m >>= 1 {
+		h := m >> 1
+		j1 := 0
+		for i := 0; i < h; i++ {
+			w := tab.psiInvRev[h+i]
+			wp := tab.psiInvRevShoup[h+i]
+			for j := j1; j < j1+t; j++ {
+				u := a[j]
+				v := a[j+t]
+				a[j] = nt.Add(u, v, q)
+				a[j+t] = nt.MulModShoup(nt.Sub(u, v, q), w, wp, q)
+			}
+			j1 += 2 * t
+		}
+		t <<= 1
+	}
+	for j := 0; j < n; j++ {
+		a[j] = nt.MulModShoup(a[j], tab.nInv, tab.nInvShoup, q)
+	}
+}
+
+// MulPolyNaive computes p3 = p1 * p2 by schoolbook negacyclic convolution
+// in coefficient domain. Quadratic; used only by tests as a reference.
+func (r *Ring) MulPolyNaive(p1, p2, p3 *Poly) {
+	l := minLevel(p1, p2, p3)
+	n := r.N
+	for i := 0; i <= l; i++ {
+		m := r.Mods[i]
+		q := r.Moduli[i]
+		a, b := p1.Coeffs[i], p2.Coeffs[i]
+		c := make([]uint64, n)
+		for j := 0; j < n; j++ {
+			if a[j] == 0 {
+				continue
+			}
+			for k := 0; k < n; k++ {
+				prod := nt.MulMod(a[j], b[k], m)
+				idx := j + k
+				if idx >= n {
+					c[idx-n] = nt.Sub(c[idx-n], prod, q)
+				} else {
+					c[idx] = nt.Add(c[idx], prod, q)
+				}
+			}
+		}
+		copy(p3.Coeffs[i], c)
+	}
+}

@@ -1,0 +1,176 @@
+package ring
+
+import (
+	cryptorand "crypto/rand"
+	"encoding/binary"
+	"math"
+	"math/rand/v2"
+
+	"antace/internal/nt"
+)
+
+// Sampler draws the random polynomials used in key generation and
+// encryption: uniform over R_Q, ternary secrets, and discrete Gaussian
+// errors. It is deterministic given a seed, which the tests exploit; for
+// production keys use NewSampler with a nil seed to draw one from
+// crypto/rand.
+//
+// Note: the Gaussian sampler is not constant-time; this library is a
+// research artifact, not a hardened implementation.
+type Sampler struct {
+	r   *Ring
+	rng *rand.Rand
+	// Gaussian parameters.
+	sigma float64
+	bound int64
+}
+
+// DefaultSigma is the standard deviation of the error distribution used
+// throughout (the value standardised by the HE security guidelines).
+const DefaultSigma = 3.2
+
+// NewSampler creates a sampler for ring r. If seed is nil a fresh seed is
+// drawn from crypto/rand; otherwise the 32-byte seed makes it
+// deterministic.
+func NewSampler(r *Ring, seed *[32]byte) *Sampler {
+	var s [32]byte
+	if seed == nil {
+		if _, err := cryptorand.Read(s[:]); err != nil {
+			panic("ring: crypto/rand failure: " + err.Error())
+		}
+	} else {
+		s = *seed
+	}
+	return &Sampler{
+		r:     r,
+		rng:   rand.New(rand.NewChaCha8(s)),
+		sigma: DefaultSigma,
+		bound: int64(math.Ceil(6 * DefaultSigma)),
+	}
+}
+
+// SeedFromInt expands a small integer into a 32-byte seed, convenient for
+// reproducible tests.
+func SeedFromInt(x uint64) *[32]byte {
+	var s [32]byte
+	binary.LittleEndian.PutUint64(s[:8], x)
+	return &s
+}
+
+// Uniform fills p with coefficients uniform in [0, q_i) for each row.
+func (s *Sampler) Uniform(p *Poly) {
+	for i := range p.Coeffs {
+		q := s.r.Moduli[i]
+		row := p.Coeffs[i]
+		for j := range row {
+			row[j] = s.rng.Uint64N(q)
+		}
+	}
+}
+
+// TernarySparse fills p with a ternary polynomial of exactly h nonzero
+// coefficients (the Hamming-weight distribution used for bootstrappable
+// secrets: the integer polynomial I appearing after ModRaise has
+// coefficients bounded by ~sqrt(h/12) standard deviations, independent
+// of the ring degree).
+func (s *Sampler) TernarySparse(p *Poly, h int) {
+	n := s.r.N
+	if h > n {
+		h = n
+	}
+	vals := make([]int8, n)
+	// Sample h distinct positions.
+	perm := make([]int, n)
+	for i := range perm {
+		perm[i] = i
+	}
+	for i := 0; i < h; i++ {
+		j := i + int(s.rng.Uint64N(uint64(n-i)))
+		perm[i], perm[j] = perm[j], perm[i]
+		if s.rng.Uint64N(2) == 0 {
+			vals[perm[i]] = 1
+		} else {
+			vals[perm[i]] = -1
+		}
+	}
+	s.setSigned(p, vals)
+}
+
+// Ternary fills p with a ternary polynomial: each coefficient is -1, 0, or
+// +1 with probabilities 1/4, 1/2, 1/4, identical across RNS rows (the
+// underlying integer polynomial is ternary).
+func (s *Sampler) Ternary(p *Poly) {
+	n := s.r.N
+	vals := make([]int8, n)
+	for j := 0; j < n; j++ {
+		switch s.rng.Uint64N(4) {
+		case 0:
+			vals[j] = 1
+		case 1:
+			vals[j] = -1
+		default:
+			vals[j] = 0
+		}
+	}
+	s.setSigned(p, vals)
+}
+
+// Gaussian fills p with a discrete Gaussian polynomial of standard
+// deviation sigma (truncated at 6 sigma), identical across RNS rows.
+func (s *Sampler) Gaussian(p *Poly) {
+	n := s.r.N
+	iv := make([]int64, n)
+	for j := 0; j < n; j++ {
+		for {
+			v := int64(math.Round(s.rng.NormFloat64() * s.sigma))
+			if v >= -s.bound && v <= s.bound {
+				iv[j] = v
+				break
+			}
+		}
+	}
+	s.setSigned64(p, iv)
+}
+
+// setSigned writes a small signed integer polynomial into RNS form.
+func (s *Sampler) setSigned(p *Poly, vals []int8) {
+	iv := make([]int64, len(vals))
+	for j, v := range vals {
+		iv[j] = int64(v)
+	}
+	s.setSigned64(p, iv)
+}
+
+func (s *Sampler) setSigned64(p *Poly, vals []int64) {
+	for i := range p.Coeffs {
+		q := s.r.Moduli[i]
+		row := p.Coeffs[i]
+		for j, v := range vals {
+			if v >= 0 {
+				row[j] = uint64(v) % q
+			} else {
+				row[j] = q - uint64(-v)%q
+				if row[j] == q {
+					row[j] = 0
+				}
+			}
+		}
+	}
+}
+
+// SetBigCentered writes the centered small integer vector vals (|v| < q_i
+// for all rows) into p; exported for encoder use.
+func (r *Ring) SetSigned(p *Poly, vals []int64) {
+	for i := range p.Coeffs {
+		q := r.Moduli[i]
+		m := nt.NewModulus(q)
+		row := p.Coeffs[i]
+		for j, v := range vals {
+			if v >= 0 {
+				row[j] = nt.BRedAdd(uint64(v), m)
+			} else {
+				row[j] = nt.Neg(nt.BRedAdd(uint64(-v), m), q)
+			}
+		}
+	}
+}

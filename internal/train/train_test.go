@@ -1,0 +1,151 @@
+package train
+
+import (
+	"math"
+	"testing"
+
+	"antace/internal/dataset"
+	"antace/internal/nnir"
+	"antace/internal/onnx"
+	"antace/internal/tensor"
+)
+
+func TestGradientCheck(t *testing.T) {
+	// Finite-difference check of the full backward pass on a tiny model.
+	cfg := Config{InputSize: 4, Channels: 2, Classes: 3, Seed: 5}
+	m := NewModel(cfg)
+	x := tensor.New(1, 1, 4, 4)
+	for i := range x.Data {
+		x.Data[i] = math.Sin(float64(i))
+	}
+	label := 1
+	g := m.zeroGrads()
+	if _, err := m.backward(x, label, g); err != nil {
+		t.Fatal(err)
+	}
+	lossAt := func() float64 {
+		st, err := m.forward(x)
+		if err != nil {
+			t.Fatal(err)
+		}
+		probs := tensor.Softmax(st.logits)
+		return -math.Log(math.Max(probs.Data[label], 1e-12))
+	}
+	const eps = 1e-5
+	check := func(name string, w, gw *tensor.Tensor, idx int) {
+		orig := w.Data[idx]
+		w.Data[idx] = orig + eps
+		up := lossAt()
+		w.Data[idx] = orig - eps
+		down := lossAt()
+		w.Data[idx] = orig
+		numeric := (up - down) / (2 * eps)
+		if math.Abs(numeric-gw.Data[idx]) > 1e-4*(1+math.Abs(numeric)) {
+			t.Errorf("%s[%d]: analytic %g vs numeric %g", name, idx, gw.Data[idx], numeric)
+		}
+	}
+	check("W1", m.W1, g.w1, 0)
+	check("W1", m.W1, g.w1, 7)
+	check("B1", m.B1, g.b1, 1)
+	check("W2", m.W2, g.w2, 3)
+	check("B2", m.B2, g.b2, 0)
+	check("WF", m.WF, g.wf, 2)
+	check("BF", m.BF, g.bf, 1)
+}
+
+func TestTrainingLearns(t *testing.T) {
+	ds, err := dataset.New(dataset.Config{Classes: 4, Size: 8, Seed: 2, NoiseSigma: 0.3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := Config{InputSize: 8, Channels: 8, Classes: 4, Epochs: 12, BatchesPerEpoch: 40, LearningRate: 0.1, Seed: 2}
+	m := NewModel(cfg)
+	before, err := m.Accuracy(ds, 200, 999)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Train(ds); err != nil {
+		t.Fatal(err)
+	}
+	after, err := m.Accuracy(ds, 200, 999)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("accuracy before %.2f after %.2f", before, after)
+	if after < 0.7 {
+		t.Fatalf("trained accuracy %.2f below 0.7", after)
+	}
+	if after <= before+0.1 {
+		t.Fatalf("training did not improve accuracy (%.2f -> %.2f)", before, after)
+	}
+}
+
+func TestWeightsExportMatchesONNXModel(t *testing.T) {
+	ds, _ := dataset.New(dataset.Config{Classes: 4, Size: 8, Seed: 2})
+	cfg := Config{InputSize: 8, Channels: 4, Classes: 4, Epochs: 2, BatchesPerEpoch: 10, Seed: 2}
+	m := NewModel(cfg)
+	if _, err := m.Train(ds); err != nil {
+		t.Fatal(err)
+	}
+	model, err := onnx.BuildSmallCNN(onnx.SmallCNNConfig{
+		InputSize: 8, InputChannels: 1, Channels: 4, Classes: 4, Weights: m.Weights(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mod, err := nnir.Import(model)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The imported ONNX graph must agree with the trainer's own forward.
+	samples := ds.Batch(20, 123)
+	for _, s := range samples {
+		want, err := m.forward(s.Image)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := nnir.Run(mod.Main(), map[string]*tensor.Tensor{"image": s.Image})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range got.Data {
+			if math.Abs(got.Data[i]-want.logits.Data[i]) > 1e-4 {
+				t.Fatalf("logit %d: onnx %g vs trainer %g", i, got.Data[i], want.logits.Data[i])
+			}
+		}
+	}
+}
+
+func TestDatasetProperties(t *testing.T) {
+	ds, err := dataset.New(dataset.Config{Classes: 3, Size: 8, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := dataset.New(dataset.Config{Classes: 1}); err == nil {
+		t.Fatal("expected error for single class")
+	}
+	b1 := ds.Batch(50, 1)
+	b2 := ds.Batch(50, 1)
+	// Determinism.
+	for i := range b1 {
+		if b1[i].Label != b2[i].Label {
+			t.Fatal("batches not deterministic")
+		}
+		for j := range b1[i].Image.Data {
+			if b1[i].Image.Data[j] != b2[i].Image.Data[j] {
+				t.Fatal("batch images not deterministic")
+			}
+		}
+	}
+	// Label coverage.
+	seen := map[int]bool{}
+	for _, s := range ds.Batch(200, 5) {
+		if s.Label < 0 || s.Label >= 3 {
+			t.Fatal("label out of range")
+		}
+		seen[s.Label] = true
+	}
+	if len(seen) != 3 {
+		t.Fatal("not all classes sampled")
+	}
+}

@@ -1,0 +1,206 @@
+// Package vm executes compiled CKKS IR modules against the real RNS-CKKS
+// runtime: it instantiates the selected parameters, generates exactly the
+// keys the compiler's analysis requested, runs the instruction stream on
+// encrypted data, and asserts at every step that the runtime's level and
+// scale match what the compiler tracked — a strong end-to-end check of
+// the whole lowering pipeline.
+package vm
+
+import (
+	"fmt"
+	"math"
+
+	"antace/internal/bootstrap"
+	"antace/internal/ckks"
+	"antace/internal/ckksir"
+	"antace/internal/ir"
+	"antace/internal/poly"
+)
+
+// Machine is the server side: parameters, evaluation keys and the
+// bootstrapper. It never sees the secret key.
+type Machine struct {
+	Params *ckks.Parameters
+	Eval   *ckks.Evaluator
+	Boot   *bootstrap.Bootstrapper
+	enc    *ckks.Encoder
+	// KeyCount reports the number of Galois keys generated (the paper's
+	// Figure 7 memory analysis).
+	KeyCount int
+}
+
+// Client is the paper's ANT-ACE-generated encryptor/decryptor pair: it
+// owns the secret key and the packing configuration.
+type Client struct {
+	Params     *ckks.Parameters
+	Encoder    *ckks.Encoder
+	Encryptor  *ckks.Encryptor
+	Decryptor  *ckks.Decryptor
+	InputLevel int
+	InputScale float64
+	VecLen     int
+}
+
+// New builds the machine and client for a compiled program. A nil seed
+// draws fresh randomness.
+func New(res *ckksir.Result, vecLen int, seed *[32]byte) (*Machine, *Client, error) {
+	params, err := ckks.NewParameters(res.Literal)
+	if err != nil {
+		return nil, nil, err
+	}
+	kg := ckks.NewKeyGenerator(params, seed)
+	sk := kg.GenSecretKey()
+	pk := kg.GenPublicKey(sk)
+
+	var bt *bootstrap.Bootstrapper
+	rotations := append([]int(nil), res.Rotations...)
+	needConj := false
+	if res.Boot != nil {
+		bt, err = bootstrap.NewBootstrapper(params, *res.Boot, res.InputScale)
+		if err != nil {
+			return nil, nil, err
+		}
+		rotations = append(rotations, bt.RequiredRotations()...)
+		needConj = true
+	}
+	keys := &ckks.EvaluationKeySet{
+		Rlk:    kg.GenRelinearizationKey(sk),
+		Galois: kg.GenGaloisKeys(rotations, needConj, sk),
+	}
+	m := &Machine{
+		Params:   params,
+		Eval:     ckks.NewEvaluator(params, keys),
+		Boot:     bt,
+		enc:      ckks.NewEncoder(params),
+		KeyCount: len(keys.Galois),
+	}
+	c := &Client{
+		Params:     params,
+		Encoder:    ckks.NewEncoder(params),
+		Encryptor:  ckks.NewEncryptor(params, pk),
+		Decryptor:  ckks.NewDecryptor(params, sk),
+		InputLevel: res.InputLevel,
+		InputScale: res.InputScale,
+		VecLen:     vecLen,
+	}
+	return m, c, nil
+}
+
+// Encrypt packs and encrypts a slot vector at the compiled input level
+// and scale.
+func (c *Client) Encrypt(values []float64) (*ckks.Ciphertext, error) {
+	if len(values) != c.VecLen {
+		return nil, fmt.Errorf("vm: input length %d, compiled for %d", len(values), c.VecLen)
+	}
+	pt, err := c.Encoder.EncodeReal(values, c.InputLevel, c.InputScale)
+	if err != nil {
+		return nil, err
+	}
+	return c.Encryptor.Encrypt(pt), nil
+}
+
+// Decrypt decrypts and decodes back to the slot vector.
+func (c *Client) Decrypt(ct *ckks.Ciphertext) []float64 {
+	return c.Encoder.DecodeReal(c.Decryptor.Decrypt(ct), c.VecLen)
+}
+
+// Run executes the module's main function on an encrypted input.
+func (m *Machine) Run(mod *ir.Module, input *ckks.Ciphertext) (*ckks.Ciphertext, error) {
+	f := mod.Main()
+	if f == nil {
+		return nil, fmt.Errorf("vm: empty module")
+	}
+	if len(f.Params) != 1 {
+		return nil, fmt.Errorf("vm: expected one parameter, have %d", len(f.Params))
+	}
+	ev := m.Eval
+	cts := map[*ir.Value]*ckks.Ciphertext{f.Params[0]: input}
+	pts := map[*ir.Value]*ckks.Plaintext{}
+	if err := m.check(f.Params[0], input); err != nil {
+		return nil, fmt.Errorf("vm: input: %w", err)
+	}
+
+	for idx, in := range f.Body {
+		var err error
+		switch in.Op {
+		case ckksir.OpEncode:
+			vec, ok := in.Args[0].Const.([]float64)
+			if !ok {
+				return nil, fmt.Errorf("vm: encode argument is not a vector constant")
+			}
+			var pt *ckks.Plaintext
+			pt, err = m.enc.EncodeReal(vec, in.AttrInt("level", 0), in.AttrFloat("scale", 0))
+			pts[in.Result] = pt
+		case ckksir.OpAdd:
+			cts[in.Result], err = ev.Add(cts[in.Args[0]], cts[in.Args[1]])
+		case ckksir.OpAddPlain:
+			cts[in.Result], err = ev.AddPlain(cts[in.Args[0]], pts[in.Args[1]])
+		case ckksir.OpMulPlain:
+			cts[in.Result] = ev.MulPlain(cts[in.Args[0]], pts[in.Args[1]])
+		case ckksir.OpMul:
+			cts[in.Result], err = ev.Mul(cts[in.Args[0]], cts[in.Args[1]])
+		case ckksir.OpRelin:
+			cts[in.Result], err = ev.Relinearize(cts[in.Args[0]])
+		case ckksir.OpRescale:
+			cts[in.Result], err = ev.Rescale(cts[in.Args[0]])
+		case ckksir.OpRotate:
+			cts[in.Result], err = ev.Rotate(cts[in.Args[0]], in.AttrInt("k", 0))
+		case ckksir.OpModSwitch:
+			ct := cts[in.Args[0]].CopyNew()
+			ev.DropLevel(ct, in.AttrInt("down", 0))
+			cts[in.Result] = ct
+		case ckksir.OpMulConst:
+			cts[in.Result] = ev.MulByConst(cts[in.Args[0]], in.AttrFloat("c", 1), in.AttrFloat("const_scale", 1))
+		case ckksir.OpPoly:
+			coeffs := in.Attrs["coeffs"].([]float64)
+			var p *poly.Polynomial
+			if basis, _ := in.Attrs["basis"].(string); basis == "cheb" {
+				p = &poly.Polynomial{Coeffs: coeffs, Basis: poly.Chebyshev,
+					A: in.AttrFloat("a", -1), B: in.AttrFloat("b", 1)}
+			} else {
+				p = poly.NewMonomial(coeffs...)
+			}
+			cts[in.Result], err = ev.EvaluatePolynomial(cts[in.Args[0]], p, in.AttrFloat("target", 0))
+		case ckksir.OpBootstrap:
+			if m.Boot == nil {
+				return nil, fmt.Errorf("vm: program contains bootstrap but no bootstrapper configured")
+			}
+			cts[in.Result], err = m.Boot.Bootstrap(ev, cts[in.Args[0]], in.AttrInt("target", 0))
+		case ckksir.OpReinterpret:
+			ct := cts[in.Args[0]].CopyNew()
+			ct.Scale /= in.AttrFloat("factor", 1)
+			cts[in.Result] = ct
+		default:
+			return nil, fmt.Errorf("vm: unknown op %q", in.Op)
+		}
+		if err != nil {
+			return nil, fmt.Errorf("vm: instr %d (%s): %w", idx, in.Op, err)
+		}
+		if ct := cts[in.Result]; ct != nil {
+			if err := m.check(in.Result, ct); err != nil {
+				return nil, fmt.Errorf("vm: instr %d (%s): %w", idx, in.Op, err)
+			}
+		}
+	}
+	out, ok := cts[f.Ret]
+	if !ok {
+		return nil, fmt.Errorf("vm: return value never computed")
+	}
+	return out, nil
+}
+
+// check asserts the runtime state matches the compiler's tracking.
+func (m *Machine) check(v *ir.Value, ct *ckks.Ciphertext) error {
+	if v.Type.Kind == ir.KindCipher3 {
+		return nil // transient degree-2 value; level/scale checked after relin
+	}
+	if ct.Level() != v.Level {
+		return fmt.Errorf("level mismatch: runtime %d, compiler %d", ct.Level(), v.Level)
+	}
+	if v.Scale != 0 {
+		if rel := math.Abs(ct.Scale/v.Scale - 1); rel > 1e-6 {
+			return fmt.Errorf("scale mismatch: runtime %g, compiler %g", ct.Scale, v.Scale)
+		}
+	}
+	return nil
+}

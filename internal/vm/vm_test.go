@@ -1,0 +1,131 @@
+package vm
+
+import (
+	"math"
+	"testing"
+
+	"antace/internal/ckksir"
+	"antace/internal/ir"
+	"antace/internal/nnir"
+	"antace/internal/onnx"
+	"antace/internal/ring"
+	"antace/internal/sihe"
+	"antace/internal/vecir"
+)
+
+func compileLinear(t *testing.T) (*ckksir.Result, *vecir.Result) {
+	t.Helper()
+	m, err := onnx.BuildLinear(16, 4, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nn, err := nnir.Import(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vres, err := vecir.Lower(nn, vecir.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sm, err := sihe.Lower(vres.Module, sihe.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := ckksir.Lower(sm, ckksir.Options{Mode: ckksir.BootstrapNever, IgnoreSecurity: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res, vres
+}
+
+func TestMachineRunsLinearModel(t *testing.T) {
+	res, vres := compileLinear(t)
+	machine, client, err := New(res, vres.InLayout.L, ring.SeedFromInt(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	input := make([]float64, vres.InLayout.L)
+	for i := range input {
+		input[i] = float64(i%5)/5 - 0.4
+	}
+	ct, err := client.Encrypt(input)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := machine.Run(res.Module, ct)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := client.Decrypt(out)
+	// Reference: vector executor on the same slots.
+	want, err := vecir.Run(vres.Module.Main(), input)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k := 0; k < 4; k++ {
+		slot := vres.OutLayout.Slot(k, 0, 0)
+		if math.Abs(got[slot]-want[slot]) > 1e-4 {
+			t.Fatalf("class %d: vm %g vs vec %g", k, got[slot], want[slot])
+		}
+	}
+	if machine.KeyCount != len(res.Rotations) {
+		t.Fatalf("key count %d, analysis says %d", machine.KeyCount, len(res.Rotations))
+	}
+}
+
+func TestEncryptRejectsWrongLength(t *testing.T) {
+	res, vres := compileLinear(t)
+	_, client, err := New(res, vres.InLayout.L, ring.SeedFromInt(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := client.Encrypt(make([]float64, 3)); err == nil {
+		t.Fatal("expected length error")
+	}
+}
+
+func TestMachineDetectsCompilerMismatch(t *testing.T) {
+	res, vres := compileLinear(t)
+	machine, client, err := New(res, vres.InLayout.L, ring.SeedFromInt(9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Corrupt the tracked level of one instruction: the VM must notice.
+	var victim *ir.Instr
+	for _, in := range res.Module.Main().Body {
+		if in.Result.Type.Kind == ir.KindCipher {
+			victim = in
+			break
+		}
+	}
+	if victim == nil {
+		t.Fatal("no cipher instruction found")
+	}
+	victim.Result.Level += 3
+	ct, err := client.Encrypt(make([]float64, vres.InLayout.L))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := machine.Run(res.Module, ct); err == nil {
+		t.Fatal("expected a level-mismatch error")
+	}
+}
+
+func TestMachineRejectsBootstrapWithoutBootstrapper(t *testing.T) {
+	res, vres := compileLinear(t)
+	machine, client, err := New(res, vres.InLayout.L, ring.SeedFromInt(10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := res.Module.Main()
+	// Splice a bootstrap op onto the parameter (ill-typed level-wise, but
+	// the bootstrapper check fires first).
+	bt := &ir.Instr{Op: ckksir.OpBootstrap, Args: []*ir.Value{f.Params[0]},
+		Attrs: map[string]any{"target": 1}, Result: f.NewValue("", ir.CipherType(vres.InLayout.L))}
+	bt.Result.Def = bt
+	f.Body = append([]*ir.Instr{bt}, f.Body...)
+	ct, _ := client.Encrypt(make([]float64, vres.InLayout.L))
+	if _, err := machine.Run(res.Module, ct); err == nil {
+		t.Fatal("expected missing-bootstrapper error")
+	}
+}
