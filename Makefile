@@ -1,0 +1,26 @@
+GO ?= go
+
+.PHONY: build test verify race bench
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# Race-test the concurrency-bearing packages: the ring engine, the CKKS
+# evaluator and the bootstrapper all fan limb work out across the
+# internal/par worker pool. ACE_WORKERS=8 forces parallel scheduling even
+# on single-core CI machines.
+race:
+	ACE_WORKERS=8 $(GO) test -race ./internal/ring/... ./internal/ckks/... ./internal/bootstrap/... ./internal/par/...
+
+verify:
+	$(GO) vet ./...
+	$(MAKE) race
+	$(GO) test ./...
+
+# Microbenchmarks for the limb-parallel engine and buffer pooling
+# (BENCH_parallel.json records reference numbers).
+bench:
+	$(GO) test -run '^$$' -bench 'BenchmarkNTT$$|BenchmarkKeySwitch$$|BenchmarkHoistedRotations$$' -benchmem .

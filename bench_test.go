@@ -360,6 +360,86 @@ func BenchmarkRuntimeBootstrap(b *testing.B) {
 	}
 }
 
+// --- Limb-level microbenchmarks (parallel ring engine) -------------------
+//
+// These isolate the RNS-limb hot loops that internal/par distributes across
+// the worker pool, so limb-level speedups (and allocation hygiene) are
+// visible separately from the end-to-end Figure 6 numbers. Run with
+// ACE_WORKERS=1 and ACE_WORKERS=N to compare serial vs parallel.
+
+func BenchmarkNTT(b *testing.B) {
+	params, err := ckks.NewParameters(ckks.ParametersLiteral{LogN: 13, LogQ: []int{50, 40, 40, 40, 40, 40}, LogP: []int{50}, LogScale: 40})
+	if err != nil {
+		b.Fatal(err)
+	}
+	rQ := params.RingQ()
+	p := rQ.NewPoly(rQ.MaxLevel())
+	s := ring.NewSampler(rQ, ring.SeedFromInt(2))
+	s.Uniform(p)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rQ.NTT(p, p)
+	}
+}
+
+func keySwitchBenchSetup(b *testing.B) (*ckks.Evaluator, *ckks.Ciphertext) {
+	b.Helper()
+	params, err := ckks.NewParameters(ckks.ParametersLiteral{
+		LogN: 12, LogQ: []int{50, 40, 40, 40, 40, 40}, LogP: []int{50, 50}, LogScale: 40,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	kg := ckks.NewKeyGenerator(params, ring.SeedFromInt(7))
+	sk := kg.GenSecretKey()
+	keys := &ckks.EvaluationKeySet{
+		Rlk:    kg.GenRelinearizationKey(sk),
+		Galois: kg.GenGaloisKeys([]int{1, 2, 4, 8}, false, sk),
+	}
+	enc := ckks.NewEncoder(params)
+	encryptor := ckks.NewEncryptorFromSecretKey(params, sk)
+	eval := ckks.NewEvaluator(params, keys)
+	vals := make([]float64, params.Slots())
+	for i := range vals {
+		vals[i] = float64(i%13)/13 - 0.5
+	}
+	pt, err := enc.EncodeReal(vals, params.MaxLevel(), params.DefaultScale())
+	if err != nil {
+		b.Fatal(err)
+	}
+	return eval, encryptor.Encrypt(pt)
+}
+
+// BenchmarkKeySwitch measures one ciphertext multiplication plus
+// relinearisation: tensor product, digit decomposition, ModUp, MulAcc
+// against the key, ModDown.
+func BenchmarkKeySwitch(b *testing.B) {
+	eval, ct := keySwitchBenchSetup(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := eval.MulRelin(ct, ct); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkHoistedRotations measures a batch of rotations sharing one
+// hoisted digit decomposition (the baby-step pattern of BSGS linear
+// transforms and the bootstrapping DFTs).
+func BenchmarkHoistedRotations(b *testing.B) {
+	eval, ct := keySwitchBenchSetup(b)
+	ks := []int{1, 2, 4, 8}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := eval.RotateHoisted(ct, ks); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // ReLU polynomial evaluation (the dominant compute outside bootstrap).
 func BenchmarkRuntimeReLU(b *testing.B) {
 	logQ := []int{50}

@@ -1,12 +1,14 @@
 package ckks
 
+import "antace/internal/par"
+
 // MulByXPow multiplies the ciphertext by the monomial X^k: exact, free of
 // noise growth, and scale-preserving. X^(N/2) multiplies every slot by i,
 // which the bootstrapper uses to recombine real and imaginary parts.
 func (ev *Evaluator) MulByXPow(ct *Ciphertext, k int) *Ciphertext {
 	rQ := ev.params.RingQ()
 	level := ct.Level()
-	mono := rQ.NewPoly(level)
+	mono := rQ.GetPoly(level)
 	kk := ((k % (2 * rQ.N)) + 2*rQ.N) % (2 * rQ.N)
 	for i := range mono.Coeffs {
 		if kk < rQ.N {
@@ -21,6 +23,7 @@ func (ev *Evaluator) MulByXPow(ct *Ciphertext, k int) *Ciphertext {
 	for i := range ct.Value {
 		rQ.MulCoeffs(ct.Value[i], mono, out.Value[i])
 	}
+	rQ.PutPoly(mono)
 	return out
 }
 
@@ -41,26 +44,31 @@ func (ev *Evaluator) ModRaise(ct *Ciphertext, toLevel int) *Ciphertext {
 	out := NewCiphertext(ev.params, ct.Degree(), toLevel)
 	out.Scale = ct.Scale
 	for i := range ct.Value {
-		c := ct.Value[i].CopyNew()
+		c := rQ.GetPolyNoZero(0)
+		ct.Value[i].Copy(c)
 		rQ.INTT(c, c)
 		row0 := c.Coeffs[0]
-		for l := 0; l <= toLevel; l++ {
-			ql := rQ.Moduli[l]
-			dst := out.Value[i].Coeffs[l]
-			for j := range row0 {
-				v := row0[j]
-				if v > q0/2 {
-					// Centered lift: v - q0 (negative).
-					dst[j] = ql - (q0-v)%ql
-					if dst[j] == ql {
-						dst[j] = 0
+		dstPoly := out.Value[i]
+		par.For(toLevel+1, par.Grain(rQ.N), func(start, end int) {
+			for l := start; l < end; l++ {
+				ql := rQ.Moduli[l]
+				dst := dstPoly.Coeffs[l]
+				for j := range row0 {
+					v := row0[j]
+					if v > q0/2 {
+						// Centered lift: v - q0 (negative).
+						dst[j] = ql - (q0-v)%ql
+						if dst[j] == ql {
+							dst[j] = 0
+						}
+					} else {
+						dst[j] = v % ql
 					}
-				} else {
-					dst[j] = v % ql
 				}
 			}
-		}
-		rQ.NTT(out.Value[i], out.Value[i])
+		})
+		rQ.PutPoly(c)
+		rQ.NTT(dstPoly, dstPoly)
 	}
 	return out
 }

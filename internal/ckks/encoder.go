@@ -6,6 +6,7 @@ import (
 	"math/big"
 	"math/cmplx"
 
+	"antace/internal/par"
 	"antace/internal/ring"
 )
 
@@ -241,15 +242,18 @@ func bigToFloat(v *big.Int) float64 {
 
 // setBigCoeffs writes signed big integer coefficients into RNS form.
 func setBigCoeffs(r *ring.Ring, p *ring.Poly, coeffs []*big.Int) {
-	tmp := new(big.Int)
-	for i := range p.Coeffs {
-		q := new(big.Int).SetUint64(r.Moduli[i])
-		row := p.Coeffs[i]
-		for j, c := range coeffs {
-			tmp.Mod(c, q)
-			row[j] = tmp.Uint64()
+	par.For(len(p.Coeffs), par.Grain(r.N), func(start, end int) {
+		tmp := new(big.Int)
+		q := new(big.Int)
+		for i := start; i < end; i++ {
+			q.SetUint64(r.Moduli[i])
+			row := p.Coeffs[i]
+			for j, c := range coeffs {
+				tmp.Mod(c, q)
+				row[j] = tmp.Uint64()
+			}
 		}
-	}
+	})
 }
 
 // centeredBigCoeffs CRT-reconstructs the integer coefficients of p

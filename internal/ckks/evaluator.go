@@ -6,12 +6,17 @@ import (
 	"math/big"
 
 	"antace/internal/nt"
+	"antace/internal/par"
 	"antace/internal/ring"
 )
 
 // Evaluator performs homomorphic operations on ciphertexts. It is not
-// safe for concurrent use (it owns scratch buffers); create one per
-// goroutine.
+// safe for concurrent use (it owns the automorphism index cache and
+// pooled scratch mid-operation); create one per goroutine. Evaluators are
+// cheap — parameters, keys and the ring-level scratch pools are shared —
+// and each operation internally fans its RNS-limb work out over the
+// internal/par worker pool, so a single Evaluator already uses every
+// core.
 type Evaluator struct {
 	params *Parameters
 	keys   *EvaluationKeySet
@@ -140,11 +145,12 @@ func (ev *Evaluator) Mul(a, b *Ciphertext) (*Ciphertext, error) {
 	out := NewCiphertext(ev.params, 2, a.Level())
 	out.Scale = a.Scale * b.Scale
 	rQ.MulCoeffs(a.Value[0], b.Value[0], out.Value[0])
-	tmp := ev.params.RingQ().NewPoly(a.Level())
+	tmp := rQ.GetPolyNoZero(a.Level())
 	rQ.MulCoeffs(a.Value[0], b.Value[1], out.Value[1])
 	rQ.MulCoeffs(a.Value[1], b.Value[0], tmp)
 	rQ.Add(out.Value[1], tmp, out.Value[1])
 	rQ.MulCoeffs(a.Value[1], b.Value[1], out.Value[2])
+	rQ.PutPoly(tmp)
 	return out, nil
 }
 
@@ -178,6 +184,8 @@ func (ev *Evaluator) Relinearize(ct *Ciphertext) (*Ciphertext, error) {
 	out.Scale = ct.Scale
 	rQ.Add(ct.Value[0], d0, out.Value[0])
 	rQ.Add(ct.Value[1], d1, out.Value[1])
+	rQ.PutPoly(d0)
+	rQ.PutPoly(d1)
 	return out, nil
 }
 
@@ -265,15 +273,18 @@ func (ev *Evaluator) MulByConst(ct *Ciphertext, c float64, constScale float64) *
 	out := NewCiphertext(ev.params, ct.Degree(), level)
 	out.Scale = ct.Scale * constScale
 	for i := range ct.Value {
-		for l := 0; l <= level; l++ {
-			q := rQ.Moduli[l]
-			u := res[l]
-			uShoup := nt.ShoupPrec(u, q)
-			a, b := ct.Value[i].Coeffs[l], out.Value[i].Coeffs[l]
-			for j := range a {
-				b[j] = nt.MulModShoup(a[j], u, uShoup, q)
+		src, dst := ct.Value[i], out.Value[i]
+		par.For(level+1, par.Grain(rQ.N), func(start, end int) {
+			for l := start; l < end; l++ {
+				q := rQ.Moduli[l]
+				u := res[l]
+				uShoup := nt.ShoupPrec(u, q)
+				a, b := src.Coeffs[l], dst.Coeffs[l]
+				for j := range a {
+					b[j] = nt.MulModShoup(a[j], u, uShoup, q)
+				}
 			}
-		}
+		})
 	}
 	return out
 }
@@ -286,14 +297,16 @@ func (ev *Evaluator) AddConst(ct *Ciphertext, c float64) *Ciphertext {
 	out := ct.CopyNew()
 	level := ct.Level()
 	res := ev.constResidues(c*ct.Scale, level)
-	for i := 0; i <= level; i++ {
-		q := rQ.Moduli[i]
-		u := res[i]
-		row := out.Value[0].Coeffs[i]
-		for j := range row {
-			row[j] = nt.Add(row[j], u, q)
+	par.For(level+1, par.Grain(rQ.N), func(start, end int) {
+		for i := start; i < end; i++ {
+			q := rQ.Moduli[i]
+			u := res[i]
+			row := out.Value[0].Coeffs[i]
+			for j := range row {
+				row[j] = nt.Add(row[j], u, q)
+			}
 		}
-	}
+	})
 	return out
 }
 
@@ -347,21 +360,28 @@ func (ev *Evaluator) automorphism(ct *Ciphertext, gal uint64) (*Ciphertext, erro
 	out := NewCiphertext(ev.params, 1, level)
 	out.Scale = ct.Scale
 	// phi(ct) decrypts under phi(s); key-switch phi(c1) back to s.
-	phi0 := rQ.NewPoly(level)
-	phi1 := rQ.NewPoly(level)
+	phi0 := rQ.GetPolyNoZero(level)
+	phi1 := rQ.GetPolyNoZero(level)
 	rQ.AutomorphismNTT(ct.Value[0], idx, phi0)
 	rQ.AutomorphismNTT(ct.Value[1], idx, phi1)
 	d0, d1, err := ev.keySwitch(phi1, &key.SwitchingKey)
+	rQ.PutPoly(phi1)
 	if err != nil {
+		rQ.PutPoly(phi0)
 		return nil, err
 	}
 	rQ.Add(phi0, d0, out.Value[0])
 	d1.Copy(out.Value[1])
+	rQ.PutPoly(phi0)
+	rQ.PutPoly(d0)
+	rQ.PutPoly(d1)
 	return out, nil
 }
 
 // keySwitch computes (d0, d1) with d0 + d1*s ~= c1*sFrom, for c1 in NTT
-// domain at its level, using hybrid RNS-digit key switching.
+// domain at its level, using hybrid RNS-digit key switching. The returned
+// polynomials are pooled scratch owned by the caller, who must release
+// them with RingQ().PutPoly once consumed.
 func (ev *Evaluator) keySwitch(c1 *ring.Poly, swk *SwitchingKey) (d0, d1 *ring.Poly, err error) {
 	params := ev.params
 	rQ, rP := params.RingQ(), params.RingP()
@@ -373,15 +393,16 @@ func (ev *Evaluator) keySwitch(c1 *ring.Poly, swk *SwitchingKey) (d0, d1 *ring.P
 		return nil, nil, fmt.Errorf("ckks: switching key has %d digits, need %d", len(swk.BQ), digits)
 	}
 
-	c1c := c1.CopyNew()
+	c1c := rQ.GetPolyNoZero(level)
+	c1.Copy(c1c)
 	rQ.INTT(c1c, c1c)
 
-	accQ0 := rQ.NewPoly(level)
-	accQ1 := rQ.NewPoly(level)
-	accP0 := rP.NewPoly(rP.MaxLevel())
-	accP1 := rP.NewPoly(rP.MaxLevel())
-	tQ := rQ.NewPoly(level)
-	tP := rP.NewPoly(rP.MaxLevel())
+	accQ0 := rQ.GetPoly(level)
+	accQ1 := rQ.GetPoly(level)
+	accP0 := rP.GetPoly(rP.MaxLevel())
+	accP1 := rP.GetPoly(rP.MaxLevel())
+	tQ := rQ.GetPolyNoZero(level)
+	tP := rP.GetPolyNoZero(rP.MaxLevel())
 
 	for d := 0; d < digits; d++ {
 		start := d * alpha
@@ -397,16 +418,28 @@ func (ev *Evaluator) keySwitch(c1 *ring.Poly, swk *SwitchingKey) (d0, d1 *ring.P
 		rQ.MulCoeffsThenAdd(tQ, swk.AQ[d], accQ1)
 		rP.MulCoeffsThenAdd(tP, swk.AP[d], accP1)
 	}
+	rQ.PutPoly(c1c)
+	rQ.PutPoly(tQ)
+	rP.PutPoly(tP)
 
-	rQ.INTT(accQ0, accQ0)
-	rP.INTT(accP0, accP0)
-	be.ModDownQP(accQ0, accP0)
-	rQ.NTT(accQ0, accQ0)
-
-	rQ.INTT(accQ1, accQ1)
-	rP.INTT(accP1, accP1)
-	be.ModDownQP(accQ1, accP1)
-	rQ.NTT(accQ1, accQ1)
+	// The two output halves are independent pipelines; run them as two
+	// coarse tasks on top of the limb-level parallelism inside each step.
+	par.Do(
+		func() {
+			rQ.INTT(accQ0, accQ0)
+			rP.INTT(accP0, accP0)
+			be.ModDownQP(accQ0, accP0)
+			rQ.NTT(accQ0, accQ0)
+		},
+		func() {
+			rQ.INTT(accQ1, accQ1)
+			rP.INTT(accP1, accP1)
+			be.ModDownQP(accQ1, accP1)
+			rQ.NTT(accQ1, accQ1)
+		},
+	)
+	rP.PutPoly(accP0)
+	rP.PutPoly(accP1)
 
 	return accQ0, accQ1, nil
 }

@@ -3,6 +3,7 @@ package ckks
 import (
 	"fmt"
 
+	"antace/internal/par"
 	"antace/internal/ring"
 )
 
@@ -15,11 +16,23 @@ import (
 // on them) use this for their baby-step rotations.
 
 // hoistedDecomp holds the NTT-domain digit decomposition of one
-// polynomial over the basis Q∪P.
+// polynomial over the basis Q∪P. Its polynomials are pooled scratch:
+// whoever ends up holding the decomposition must call release.
 type hoistedDecomp struct {
 	level int
 	tQ    []*ring.Poly // per digit, rows 0..level
 	tP    []*ring.Poly // per digit, all P rows
+}
+
+// release returns the decomposition's polynomials to the ring pools.
+func (h *hoistedDecomp) release(rQ, rP *ring.Ring) {
+	for _, p := range h.tQ {
+		rQ.PutPoly(p)
+	}
+	for _, p := range h.tP {
+		rP.PutPoly(p)
+	}
+	h.tQ, h.tP = nil, nil
 }
 
 // decomposeForKeySwitch computes the shared digit decomposition of c1
@@ -32,7 +45,8 @@ func (ev *Evaluator) decomposeForKeySwitch(c1 *ring.Poly) *hoistedDecomp {
 	alpha := params.Alpha()
 	digits := (level + 1 + alpha - 1) / alpha
 
-	c1c := c1.CopyNew()
+	c1c := rQ.GetPolyNoZero(level)
+	c1.Copy(c1c)
 	rQ.INTT(c1c, c1c)
 
 	h := &hoistedDecomp{level: level}
@@ -42,20 +56,22 @@ func (ev *Evaluator) decomposeForKeySwitch(c1 *ring.Poly) *hoistedDecomp {
 		if end > level+1 {
 			end = level + 1
 		}
-		tQ := rQ.NewPoly(level)
-		tP := rP.NewPoly(rP.MaxLevel())
+		tQ := rQ.GetPolyNoZero(level)
+		tP := rP.GetPolyNoZero(rP.MaxLevel())
 		be.ModUpDigitQP(c1c, start, end, level, tQ, tP)
 		rQ.NTT(tQ, tQ)
 		rP.NTT(tP, tP)
 		h.tQ = append(h.tQ, tQ)
 		h.tP = append(h.tP, tP)
 	}
+	rQ.PutPoly(c1c)
 	return h
 }
 
 // applyKeySwitchHoisted finishes a key switch from a (possibly permuted)
 // decomposition: multiply-accumulate against the key digits and divide
-// by P.
+// by P. The returned polynomials are pooled scratch owned by the caller
+// (release with RingQ().PutPoly).
 func (ev *Evaluator) applyKeySwitchHoisted(h *hoistedDecomp, swk *SwitchingKey) (d0, d1 *ring.Poly, err error) {
 	params := ev.params
 	rQ, rP := params.RingQ(), params.RingP()
@@ -63,35 +79,43 @@ func (ev *Evaluator) applyKeySwitchHoisted(h *hoistedDecomp, swk *SwitchingKey) 
 	if len(h.tQ) > len(swk.BQ) {
 		return nil, nil, fmt.Errorf("ckks: switching key has %d digits, need %d", len(swk.BQ), len(h.tQ))
 	}
-	accQ0 := rQ.NewPoly(h.level)
-	accQ1 := rQ.NewPoly(h.level)
-	accP0 := rP.NewPoly(rP.MaxLevel())
-	accP1 := rP.NewPoly(rP.MaxLevel())
+	accQ0 := rQ.GetPoly(h.level)
+	accQ1 := rQ.GetPoly(h.level)
+	accP0 := rP.GetPoly(rP.MaxLevel())
+	accP1 := rP.GetPoly(rP.MaxLevel())
 	for d := range h.tQ {
 		rQ.MulCoeffsThenAdd(h.tQ[d], swk.BQ[d], accQ0)
 		rP.MulCoeffsThenAdd(h.tP[d], swk.BP[d], accP0)
 		rQ.MulCoeffsThenAdd(h.tQ[d], swk.AQ[d], accQ1)
 		rP.MulCoeffsThenAdd(h.tP[d], swk.AP[d], accP1)
 	}
-	rQ.INTT(accQ0, accQ0)
-	rP.INTT(accP0, accP0)
-	be.ModDownQP(accQ0, accP0)
-	rQ.NTT(accQ0, accQ0)
-
-	rQ.INTT(accQ1, accQ1)
-	rP.INTT(accP1, accP1)
-	be.ModDownQP(accQ1, accP1)
-	rQ.NTT(accQ1, accQ1)
+	par.Do(
+		func() {
+			rQ.INTT(accQ0, accQ0)
+			rP.INTT(accP0, accP0)
+			be.ModDownQP(accQ0, accP0)
+			rQ.NTT(accQ0, accQ0)
+		},
+		func() {
+			rQ.INTT(accQ1, accQ1)
+			rP.INTT(accP1, accP1)
+			be.ModDownQP(accQ1, accP1)
+			rQ.NTT(accQ1, accQ1)
+		},
+	)
+	rP.PutPoly(accP0)
+	rP.PutPoly(accP1)
 	return accQ0, accQ1, nil
 }
 
 // permute applies a Galois automorphism (as an NTT index table) to every
-// digit, yielding the decomposition of the rotated polynomial.
+// digit, yielding the decomposition of the rotated polynomial. The result
+// is pooled scratch; release it after use.
 func (h *hoistedDecomp) permute(rQ, rP *ring.Ring, idxQ, idxP []int) *hoistedDecomp {
 	out := &hoistedDecomp{level: h.level}
 	for d := range h.tQ {
-		tQ := rQ.NewPoly(h.level)
-		tP := rP.NewPoly(rP.MaxLevel())
+		tQ := rQ.GetPolyNoZero(h.level)
+		tP := rP.GetPolyNoZero(rP.MaxLevel())
 		rQ.AutomorphismNTT(h.tQ[d], idxQ, tQ)
 		rP.AutomorphismNTT(h.tP[d], idxP, tP)
 		out.tQ = append(out.tQ, tQ)
@@ -110,6 +134,11 @@ func (ev *Evaluator) RotateHoisted(ct *Ciphertext, ks []int) (map[int]*Ciphertex
 	out := make(map[int]*Ciphertext, len(ks))
 	var h *hoistedDecomp
 	rQ, rP := ev.params.RingQ(), ev.params.RingP()
+	defer func() {
+		if h != nil {
+			h.release(rQ, rP)
+		}
+	}()
 	level := ct.Level()
 	for _, k := range ks {
 		if _, done := out[k]; done {
@@ -139,6 +168,7 @@ func (ev *Evaluator) RotateHoisted(ct *Ciphertext, ks []int) (map[int]*Ciphertex
 		}
 		hk := h.permute(rQ, rP, idxQ, idxP)
 		d0, d1, err := ev.applyKeySwitchHoisted(hk, &key.SwitchingKey)
+		hk.release(rQ, rP)
 		if err != nil {
 			return nil, err
 		}
@@ -147,6 +177,8 @@ func (ev *Evaluator) RotateHoisted(ct *Ciphertext, ks []int) (map[int]*Ciphertex
 		rQ.AutomorphismNTT(ct.Value[0], idxQ, res.Value[0])
 		rQ.Add(res.Value[0], d0, res.Value[0])
 		d1.Copy(res.Value[1])
+		rQ.PutPoly(d0)
+		rQ.PutPoly(d1)
 		out[k] = res
 	}
 	return out, nil

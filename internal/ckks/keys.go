@@ -5,6 +5,7 @@ import (
 	"math/big"
 
 	"antace/internal/nt"
+	"antace/internal/par"
 	"antace/internal/ring"
 )
 
@@ -197,19 +198,23 @@ func (kg *KeyGenerator) GenSwitchingKey(sFrom *ring.Poly, sk *SecretKey) *Switch
 
 		// Add w_d * sFrom on the Q side (w_d ≡ 0 mod p_j, so P side
 		// receives nothing).
-		tmp := rQ.NewPoly(L)
-		wm := new(big.Int)
-		for i := 0; i <= L; i++ {
-			qi := new(big.Int).SetUint64(rQ.Moduli[i])
-			wi := wm.Mod(w, qi).Uint64()
-			wiShoup := nt.ShoupPrec(wi, rQ.Moduli[i])
-			row := tmp.Coeffs[i]
-			src := sFrom.Coeffs[i]
-			for j := 0; j < rQ.N; j++ {
-				row[j] = nt.MulModShoup(src[j], wi, wiShoup, rQ.Moduli[i])
+		tmp := rQ.GetPolyNoZero(L)
+		par.For(L+1, par.Grain(rQ.N), func(start, end int) {
+			wm := new(big.Int)
+			qi := new(big.Int)
+			for i := start; i < end; i++ {
+				qi.SetUint64(rQ.Moduli[i])
+				wi := wm.Mod(w, qi).Uint64()
+				wiShoup := nt.ShoupPrec(wi, rQ.Moduli[i])
+				row := tmp.Coeffs[i]
+				src := sFrom.Coeffs[i]
+				for j := 0; j < rQ.N; j++ {
+					row[j] = nt.MulModShoup(src[j], wi, wiShoup, rQ.Moduli[i])
+				}
 			}
-		}
+		})
 		rQ.Add(bQ, tmp, bQ)
+		rQ.PutPoly(tmp)
 
 		swk.BQ[d], swk.BP[d] = bQ, bP
 		swk.AQ[d], swk.AP[d] = aQ, aP

@@ -1,0 +1,137 @@
+package ckks
+
+import (
+	"testing"
+
+	"antace/internal/par"
+	"antace/internal/ring"
+)
+
+func runWithWorkers(n int, fn func()) {
+	prev := par.Workers()
+	par.SetWorkers(n)
+	defer par.SetWorkers(prev)
+	fn()
+}
+
+// equalCiphertexts reports bit-identical polynomial coefficients.
+func equalCiphertexts(a, b *Ciphertext) bool {
+	if len(a.Value) != len(b.Value) || a.Scale != b.Scale {
+		return false
+	}
+	for i := range a.Value {
+		if !a.Value[i].Equal(b.Value[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// TestParallelMatchesSerial fixes the input ciphertext bytes (keygen and
+// encryption happen once, outside the measured ops) and asserts each
+// evaluator operation yields bit-identical ciphertexts under 1 and 8
+// workers. par.SetMinWork(1) runs first so the rings built by
+// newTestContext capture a grain that parallelises even at LogN 8.
+func TestParallelMatchesSerial(t *testing.T) {
+	par.SetMinWork(1)
+	defer par.SetMinWork(0)
+
+	tc := newTestContext(t, []int{1, 2, 3})
+	level := tc.params.MaxLevel()
+	scale := tc.params.DefaultScale()
+
+	va := randomComplexVector(tc.params.Slots(), 1, 101)
+	vb := randomComplexVector(tc.params.Slots(), 1, 202)
+	pa, err := tc.enc.Encode(va, level, scale)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pb, err := tc.enc.Encode(vb, level, scale)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cta := tc.encSk.Encrypt(pa)
+	ctb := tc.encSk.Encrypt(pb)
+
+	cases := []struct {
+		name string
+		run  func() *Ciphertext
+	}{
+		{"Encode", func() *Ciphertext {
+			pt, err := tc.enc.Encode(va, level, scale)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return &Ciphertext{Value: []*ring.Poly{pt.Value}, Scale: pt.Scale}
+		}},
+		{"MulRelin", func() *Ciphertext {
+			out, err := tc.eval.MulRelin(cta.CopyNew(), ctb.CopyNew())
+			if err != nil {
+				t.Fatal(err)
+			}
+			return out
+		}},
+		{"Rescale", func() *Ciphertext {
+			prod, err := tc.eval.Mul(cta.CopyNew(), ctb.CopyNew())
+			if err != nil {
+				t.Fatal(err)
+			}
+			out, err := tc.eval.Rescale(prod)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return out
+		}},
+		{"Rotate", func() *Ciphertext {
+			out, err := tc.eval.Rotate(cta.CopyNew(), 2)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return out
+		}},
+		{"Conjugate", func() *Ciphertext {
+			out, err := tc.eval.Conjugate(cta.CopyNew())
+			if err != nil {
+				t.Fatal(err)
+			}
+			return out
+		}},
+		{"RotateHoisted", func() *Ciphertext {
+			outs, err := tc.eval.RotateHoisted(cta.CopyNew(), []int{1, 2, 3})
+			if err != nil {
+				t.Fatal(err)
+			}
+			// Fold the rotations into one ciphertext so a single compare
+			// covers every hoisted output.
+			acc := outs[1]
+			for _, k := range []int{2, 3} {
+				if acc, err = tc.eval.Add(acc, outs[k]); err != nil {
+					t.Fatal(err)
+				}
+			}
+			return acc
+		}},
+		{"MulByConst", func() *Ciphertext {
+			return tc.eval.MulByConst(cta.CopyNew(), 1.5, scale)
+		}},
+		{"AddConst", func() *Ciphertext {
+			return tc.eval.AddConst(cta.CopyNew(), 0.25)
+		}},
+		{"ModRaise", func() *Ciphertext {
+			low := cta.CopyNew()
+			tc.eval.DropLevel(low, low.Level())
+			return tc.eval.ModRaise(low, level)
+		}},
+	}
+
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			var serial, parallel *Ciphertext
+			runWithWorkers(1, func() { serial = c.run() })
+			runWithWorkers(8, func() { parallel = c.run() })
+			if !equalCiphertexts(serial, parallel) {
+				t.Fatal("ciphertexts differ between 1 and 8 workers")
+			}
+		})
+	}
+}

@@ -1,0 +1,219 @@
+// Package par is the shared parallel execution layer for the FHE runtime:
+// a fixed worker pool sized from GOMAXPROCS (overridable with the
+// ACE_WORKERS environment variable) and a For primitive that distributes
+// independent loop iterations — RNS limbs, key-switching digits,
+// ciphertext batches — across the pool.
+//
+// Design constraints, in order:
+//
+//  1. Determinism. Workers only ever execute disjoint index ranges of a
+//     caller-provided body; no reduction order is introduced, so results
+//     are bit-identical to the serial loop (the modular arithmetic in
+//     internal/ring is exact).
+//  2. No deadlock under nesting. A For body may itself call For (the
+//     evaluator parallelises over limbs inside digits). The calling
+//     goroutine always participates in its own loop and helper dispatch
+//     is non-blocking, so progress never depends on a free worker.
+//  3. Cheap fallback. Loops whose total work is below a grain threshold
+//     run inline on the caller with zero scheduling overhead, keeping the
+//     tiny rings used by unit tests fast.
+//
+// The pool is process-global: limb counts are small (tens), so a single
+// pool shared by every Ring and Evaluator wastes no parallelism and
+// avoids per-object goroutine churn.
+package par
+
+import (
+	"os"
+	"runtime"
+	"strconv"
+	"sync"
+	"sync/atomic"
+)
+
+// pool is a fixed set of worker goroutines consuming closures from a
+// buffered channel. Submission is non-blocking: if every worker is busy
+// and the queue is full, the caller runs the work itself.
+type pool struct {
+	tasks chan func()
+}
+
+// grow spawns extra worker goroutines consuming from the shared queue.
+func (p *pool) grow(extra int) {
+	for i := 0; i < extra; i++ {
+		go func() {
+			for f := range p.tasks {
+				f()
+			}
+		}()
+	}
+}
+
+// tryRun submits f to the pool without blocking. It reports false when
+// the queue is full, in which case the caller must run f (or fold its
+// work into its own loop).
+func (p *pool) tryRun(f func()) bool {
+	select {
+	case p.tasks <- f:
+		return true
+	default:
+		return false
+	}
+}
+
+var (
+	mu          sync.Mutex
+	numWorkers  int
+	poolSize    int // goroutines alive in defaultPool
+	defaultPool *pool
+)
+
+func init() {
+	SetWorkers(workersFromEnv())
+}
+
+// workersFromEnv resolves the worker count: ACE_WORKERS if set and
+// positive, else GOMAXPROCS.
+func workersFromEnv() int {
+	if s := os.Getenv("ACE_WORKERS"); s != "" {
+		if n, err := strconv.Atoi(s); err == nil && n > 0 {
+			return n
+		}
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// Workers returns the current worker count (1 means fully serial).
+func Workers() int {
+	mu.Lock()
+	defer mu.Unlock()
+	return numWorkers
+}
+
+// SetWorkers sets the degree of parallelism. n < 1 is clamped to 1 (fully
+// serial). Intended for tests (the differential serial-vs-parallel suite)
+// and for embedders that know better than GOMAXPROCS. The pool only ever
+// grows — shrinking just caps how many chunks For dispatches, and the
+// surplus goroutines idle on an empty channel — so resizing is safe while
+// other goroutines are mid-For.
+func SetWorkers(n int) {
+	if n < 1 {
+		n = 1
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	numWorkers = n
+	want := n - 1 // the calling goroutine is always worker #0
+	if want <= poolSize {
+		return
+	}
+	if defaultPool == nil {
+		defaultPool = &pool{tasks: make(chan func(), 64)}
+	}
+	defaultPool.grow(want - poolSize)
+	poolSize = want
+}
+
+// For executes fn over the half-open range [0, n) split into contiguous
+// chunks of at least grain iterations, distributing chunks across the
+// worker pool. fn is called as fn(start, end) on disjoint ranges covering
+// [0, n) exactly once; chunk boundaries never depend on timing, only on
+// (n, grain, Workers()), so any per-chunk scratch is used deterministically.
+//
+// When the pool is serial, n <= 0, or n <= grain, fn runs inline as a
+// single fn(0, n) call. grain < 1 is treated as 1.
+func For(n, grain int, fn func(start, end int)) {
+	if n <= 0 {
+		return
+	}
+	if grain < 1 {
+		grain = 1
+	}
+	mu.Lock()
+	w := numWorkers
+	p := defaultPool
+	mu.Unlock()
+	if w <= 1 || n <= grain || p == nil {
+		fn(0, n)
+		return
+	}
+	chunks := (n + grain - 1) / grain
+	if chunks > w {
+		chunks = w
+	}
+	size := (n + chunks - 1) / chunks
+
+	var next int64
+	body := func() {
+		for {
+			i := atomic.AddInt64(&next, 1) - 1
+			start := int(i) * size
+			if start >= n {
+				return
+			}
+			end := start + size
+			if end > n {
+				end = n
+			}
+			fn(start, end)
+		}
+	}
+
+	var wg sync.WaitGroup
+	for i := 1; i < chunks; i++ {
+		wg.Add(1)
+		if !p.tryRun(func() { defer wg.Done(); body() }) {
+			wg.Done()
+			break // saturated: caller and already-dispatched helpers finish the range
+		}
+	}
+	body() // the caller always participates — nesting cannot deadlock
+	wg.Wait()
+}
+
+// Do runs the given functions, possibly concurrently, and returns when
+// all have completed. It is a convenience for small static task sets
+// (e.g. the two halves of a key-switch output).
+func Do(fns ...func()) {
+	if len(fns) == 1 {
+		fns[0]()
+		return
+	}
+	For(len(fns), 1, func(start, end int) {
+		for i := start; i < end; i++ {
+			fns[i]()
+		}
+	})
+}
+
+// minWork is the serial/parallel break-even point in coefficient
+// operations per chunk; see Grain. Overridable for tests via SetMinWork.
+var minWork int64 = 1 << 13
+
+// SetMinWork overrides the work threshold below which loops stay serial.
+// n <= 0 restores the default. Tests use SetMinWork(1) to force parallel
+// chunking on the tiny rings they construct; note rings capture their
+// grain at construction time, so call this before NewRing/NewParameters.
+func SetMinWork(n int) {
+	if n <= 0 {
+		n = 1 << 13
+	}
+	atomic.StoreInt64(&minWork, int64(n))
+}
+
+// Grain returns a chunk size (in items) such that each chunk carries at
+// least minWork units of work, given the per-item cost. It never returns
+// less than 1. Ring operations use this to stay serial on the tiny
+// degrees exercised by unit tests while splitting real parameter sets
+// limb-per-worker.
+func Grain(itemCost int) int {
+	mw := int(atomic.LoadInt64(&minWork))
+	if itemCost <= 0 {
+		return mw
+	}
+	g := mw / itemCost
+	if g < 1 {
+		g = 1
+	}
+	return g
+}

@@ -1,0 +1,100 @@
+package par
+
+import (
+	"sync/atomic"
+	"testing"
+)
+
+// TestForCoversRangeExactlyOnce checks every index is visited once, for a
+// spread of sizes, grains and worker counts (including shrink/grow).
+func TestForCoversRangeExactlyOnce(t *testing.T) {
+	defer SetWorkers(workersFromEnv())
+	for _, w := range []int{1, 2, 4, 8} {
+		SetWorkers(w)
+		for _, n := range []int{0, 1, 7, 64, 1000, 4097} {
+			for _, grain := range []int{0, 1, 3, 100, 5000} {
+				hits := make([]int32, n)
+				For(n, grain, func(start, end int) {
+					if start < 0 || end > n || start >= end {
+						t.Errorf("w=%d n=%d grain=%d: bad chunk [%d,%d)", w, n, grain, start, end)
+					}
+					for i := start; i < end; i++ {
+						atomic.AddInt32(&hits[i], 1)
+					}
+				})
+				for i, h := range hits {
+					if h != 1 {
+						t.Fatalf("w=%d n=%d grain=%d: index %d visited %d times", w, n, grain, i, h)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestForNested checks that a For body calling For makes progress even
+// when the pool is saturated.
+func TestForNested(t *testing.T) {
+	defer SetWorkers(workersFromEnv())
+	SetWorkers(4)
+	var total int64
+	For(16, 1, func(start, end int) {
+		for i := start; i < end; i++ {
+			For(32, 1, func(s, e int) {
+				atomic.AddInt64(&total, int64(e-s))
+			})
+		}
+	})
+	if total != 16*32 {
+		t.Fatalf("nested For executed %d inner iterations, want %d", total, 16*32)
+	}
+}
+
+// TestForDeterministicChunks checks chunk boundaries depend only on
+// (n, grain, workers), which lets callers key per-chunk scratch off start.
+func TestForDeterministicChunks(t *testing.T) {
+	defer SetWorkers(workersFromEnv())
+	SetWorkers(3)
+	collect := func() map[int]int {
+		m := make(map[int]int)
+		var mu32 int32
+		For(100, 10, func(start, end int) {
+			for !atomic.CompareAndSwapInt32(&mu32, 0, 1) {
+			}
+			m[start] = end
+			atomic.StoreInt32(&mu32, 0)
+		})
+		return m
+	}
+	a, b := collect(), collect()
+	if len(a) != len(b) {
+		t.Fatalf("chunking not deterministic: %v vs %v", a, b)
+	}
+	for s, e := range a {
+		if b[s] != e {
+			t.Fatalf("chunking not deterministic at start=%d: %d vs %d", s, e, b[s])
+		}
+	}
+}
+
+func TestDo(t *testing.T) {
+	defer SetWorkers(workersFromEnv())
+	SetWorkers(2)
+	var a, b int32
+	Do(func() { atomic.StoreInt32(&a, 1) }, func() { atomic.StoreInt32(&b, 1) })
+	if a != 1 || b != 1 {
+		t.Fatalf("Do skipped a task: a=%d b=%d", a, b)
+	}
+}
+
+func TestGrain(t *testing.T) {
+	if g := Grain(1 << 20); g != 1 {
+		t.Fatalf("Grain(large) = %d, want 1", g)
+	}
+	if g := Grain(16); g < 2 {
+		t.Fatalf("Grain(16) = %d, want a serial-friendly chunk", g)
+	}
+	if g := Grain(0); g < 1 {
+		t.Fatalf("Grain(0) = %d", g)
+	}
+}

@@ -2,6 +2,7 @@ package ring
 
 import (
 	"antace/internal/nt"
+	"antace/internal/par"
 )
 
 // Automorphism applies the Galois automorphism X -> X^gal (gal odd, taken
@@ -10,20 +11,25 @@ func (r *Ring) Automorphism(p1 *Poly, gal uint64, p2 *Poly) {
 	n := uint64(r.N)
 	mask := 2*n - 1
 	l := minLevel(p1, p2)
-	tmp := make([]uint64, r.N)
-	for i := 0; i <= l; i++ {
-		q := r.Moduli[i]
-		a := p1.Coeffs[i]
-		for j := uint64(0); j < n; j++ {
-			idx := (j * gal) & mask
-			if idx < n {
-				tmp[idx] = a[j]
-			} else {
-				tmp[idx-n] = nt.Neg(a[j], q)
+	par.For(l+1, r.grainPW, func(start, end int) {
+		// j -> (j*gal)&mask is a bijection for odd gal, so the scratch row
+		// is fully overwritten per limb and needs no zeroing.
+		tmp := r.getBuf()
+		defer r.putBuf(tmp)
+		for i := start; i < end; i++ {
+			q := r.Moduli[i]
+			a := p1.Coeffs[i]
+			for j := uint64(0); j < n; j++ {
+				idx := (j * gal) & mask
+				if idx < n {
+					tmp[idx] = a[j]
+				} else {
+					tmp[idx-n] = nt.Neg(a[j], q)
+				}
 			}
+			copy(p2.Coeffs[i], tmp)
 		}
-		copy(p2.Coeffs[i], tmp)
-	}
+	})
 }
 
 // AutomorphismNTTIndex precomputes the permutation applied by the Galois
@@ -50,20 +56,23 @@ func (r *Ring) AutomorphismNTTIndex(gal uint64) []int {
 func (r *Ring) AutomorphismNTT(p1 *Poly, index []int, p2 *Poly) {
 	l := minLevel(p1, p2)
 	n := r.N
-	var tmp []uint64
-	for i := 0; i <= l; i++ {
-		a, b := p1.Coeffs[i], p2.Coeffs[i]
-		if &a[0] == &b[0] {
-			if tmp == nil {
-				tmp = make([]uint64, n)
+	par.For(l+1, r.grainPW, func(start, end int) {
+		var tmp []uint64
+		for i := start; i < end; i++ {
+			a, b := p1.Coeffs[i], p2.Coeffs[i]
+			if &a[0] == &b[0] {
+				if tmp == nil {
+					tmp = r.getBuf()
+					defer r.putBuf(tmp)
+				}
+				copy(tmp, a)
+				a = tmp
 			}
-			copy(tmp, a)
-			a = tmp
+			for j := 0; j < n; j++ {
+				b[j] = a[index[j]]
+			}
 		}
-		for j := 0; j < n; j++ {
-			b[j] = a[index[j]]
-		}
-	}
+	})
 }
 
 // GaloisElementForRotation returns the Galois element 5^k mod 2N realising

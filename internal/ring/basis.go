@@ -2,8 +2,10 @@ package ring
 
 import (
 	"math/big"
+	"sync"
 
 	"antace/internal/nt"
+	"antace/internal/par"
 )
 
 // DivRoundByLastModulus divides p (coefficient domain, level l) by its last
@@ -18,27 +20,29 @@ func (r *Ring) DivRoundByLastModulus(p, pOut *Poly) {
 	ql := r.Moduli[l]
 	half := ql >> 1
 	last := p.Coeffs[l]
-	for i := 0; i < l; i++ {
-		qi := r.Moduli[i]
-		mi := r.Mods[i]
-		inv := r.rescaleQlInv[l][i]
-		invShoup := r.rescaleQlInvShoup[l][i]
-		a, b := p.Coeffs[i], pOut.Coeffs[i]
-		for j := 0; j < n; j++ {
-			// Centered remainder of the last row, reduced mod q_i.
-			xl := last[j]
-			var delta uint64
-			if xl > half {
-				delta = qi - nt.BRedAdd(ql-xl, mi)
-				if delta == qi {
-					delta = 0
+	par.For(l, r.grainPW, func(start, end int) {
+		for i := start; i < end; i++ {
+			qi := r.Moduli[i]
+			mi := r.Mods[i]
+			inv := r.rescaleQlInv[l][i]
+			invShoup := r.rescaleQlInvShoup[l][i]
+			a, b := p.Coeffs[i], pOut.Coeffs[i]
+			for j := 0; j < n; j++ {
+				// Centered remainder of the last row, reduced mod q_i.
+				xl := last[j]
+				var delta uint64
+				if xl > half {
+					delta = qi - nt.BRedAdd(ql-xl, mi)
+					if delta == qi {
+						delta = 0
+					}
+				} else {
+					delta = nt.BRedAdd(xl, mi)
 				}
-			} else {
-				delta = nt.BRedAdd(xl, mi)
+				b[j] = nt.MulModShoup(nt.Sub(a[j], delta, qi), inv, invShoup, qi)
 			}
-			b[j] = nt.MulModShoup(nt.Sub(a[j], delta, qi), inv, invShoup, qi)
 		}
-	}
+	})
 	pOut.Coeffs = pOut.Coeffs[:l]
 }
 
@@ -53,32 +57,37 @@ func (r *Ring) DivRoundByLastModulusNTT(p, pOut *Poly) {
 	n := r.N
 	ql := r.Moduli[l]
 	half := ql >> 1
-	last := append([]uint64(nil), p.Coeffs[l]...)
+	last := r.getBuf()
+	defer r.putBuf(last)
+	copy(last, p.Coeffs[l])
 	r.inttRow(last, l)
-	delta := make([]uint64, n)
-	for i := 0; i < l; i++ {
-		qi := r.Moduli[i]
-		mi := r.Mods[i]
-		inv := r.rescaleQlInv[l][i]
-		invShoup := r.rescaleQlInvShoup[l][i]
-		for j := 0; j < n; j++ {
-			xl := last[j]
-			if xl > half {
-				d := qi - nt.BRedAdd(ql-xl, mi)
-				if d == qi {
-					d = 0
+	par.For(l, r.grainNTT, func(start, end int) {
+		delta := r.getBuf()
+		defer r.putBuf(delta)
+		for i := start; i < end; i++ {
+			qi := r.Moduli[i]
+			mi := r.Mods[i]
+			inv := r.rescaleQlInv[l][i]
+			invShoup := r.rescaleQlInvShoup[l][i]
+			for j := 0; j < n; j++ {
+				xl := last[j]
+				if xl > half {
+					d := qi - nt.BRedAdd(ql-xl, mi)
+					if d == qi {
+						d = 0
+					}
+					delta[j] = d
+				} else {
+					delta[j] = nt.BRedAdd(xl, mi)
 				}
-				delta[j] = d
-			} else {
-				delta[j] = nt.BRedAdd(xl, mi)
+			}
+			r.nttRow(delta, i)
+			a, b := p.Coeffs[i], pOut.Coeffs[i]
+			for j := 0; j < n; j++ {
+				b[j] = nt.MulModShoup(nt.Sub(a[j], delta[j], qi), inv, invShoup, qi)
 			}
 		}
-		r.nttRow(delta, i)
-		a, b := p.Coeffs[i], pOut.Coeffs[i]
-		for j := 0; j < n; j++ {
-			b[j] = nt.MulModShoup(nt.Sub(a[j], delta[j], qi), inv, invShoup, qi)
-		}
-	}
+	})
 	pOut.Coeffs = pOut.Coeffs[:l]
 }
 
@@ -109,11 +118,73 @@ type BasisExtender struct {
 	pInvModQ        []uint64   // P^-1 mod q_i
 	pInvModQShoup   []uint64
 	pModQ           []uint64 // P mod q_i
+
+	// Gadget constants per digit span [start, end), built lazily on first
+	// use: the spans are fixed by the key-switching digit layout, so each
+	// table is computed once and ModUpDigitQP's hot path stays free of
+	// big-integer arithmetic.
+	mu        sync.Mutex
+	digitTabs map[int]*digitTable
+}
+
+// digitTable caches, for one digit span with product D = prod d_t:
+// the CRT weights (D/d_t)^-1 mod d_t and, for every output modulus m in
+// Q ∪ P, the residues (D/d_t) mod m.
+type digitTable struct {
+	inv      []uint64   // [t]
+	invShoup []uint64   // [t]
+	overQ    [][]uint64 // [i][t] = (D/d_t) mod q_i
+	overP    [][]uint64 // [j][t] = (D/d_t) mod p_j
+}
+
+func (be *BasisExtender) digitTableFor(start, end int) *digitTable {
+	key := start<<16 | end
+	be.mu.Lock()
+	defer be.mu.Unlock()
+	if dt, ok := be.digitTabs[key]; ok {
+		return dt
+	}
+	L := len(be.rQ.Moduli)
+	K := len(be.rP.Moduli)
+	digitMods := be.rQ.Moduli[start:end]
+	d := end - start
+	D := big.NewInt(1)
+	for _, q := range digitMods {
+		D.Mul(D, new(big.Int).SetUint64(q))
+	}
+	dt := &digitTable{
+		inv:      make([]uint64, d),
+		invShoup: make([]uint64, d),
+		overQ:    make([][]uint64, L),
+		overP:    make([][]uint64, K),
+	}
+	for i := 0; i < L; i++ {
+		dt.overQ[i] = make([]uint64, d)
+	}
+	for j := 0; j < K; j++ {
+		dt.overP[j] = make([]uint64, d)
+	}
+	tmp := new(big.Int)
+	for t, q := range digitMods {
+		qi := new(big.Int).SetUint64(q)
+		dit := new(big.Int).Quo(D, qi)
+		inv := new(big.Int).ModInverse(tmp.Mod(dit, qi), qi).Uint64()
+		dt.inv[t] = inv
+		dt.invShoup[t] = nt.ShoupPrec(inv, q)
+		for i := 0; i < L; i++ {
+			dt.overQ[i][t] = tmp.Mod(dit, new(big.Int).SetUint64(be.rQ.Moduli[i])).Uint64()
+		}
+		for j := 0; j < K; j++ {
+			dt.overP[j][t] = tmp.Mod(dit, new(big.Int).SetUint64(be.rP.Moduli[j])).Uint64()
+		}
+	}
+	be.digitTabs[key] = dt
+	return dt
 }
 
 // NewBasisExtender precomputes conversion tables between rQ and rP.
 func NewBasisExtender(rQ, rP *Ring) *BasisExtender {
-	be := &BasisExtender{rQ: rQ, rP: rP}
+	be := &BasisExtender{rQ: rQ, rP: rP, digitTabs: make(map[int]*digitTable)}
 	L := len(rQ.Moduli)
 	K := len(rP.Moduli)
 
@@ -181,30 +252,28 @@ func (be *BasisExtender) ModUpDigitQP(pQ *Poly, start, end, level int, outQ, out
 	K := len(be.rP.Moduli)
 	d := end - start
 	digitMods := be.rQ.Moduli[start:end]
-	D := big.NewInt(1)
-	for _, q := range digitMods {
-		D.Mul(D, new(big.Int).SetUint64(q))
-	}
+	dt := be.digitTableFor(start, end)
 	// y_i = x_i * (D/d_i)^-1 mod d_i, then x mod m ~= sum_i y_i*(D/d_i) mod m.
 	ys := make([][]uint64, d)
-	di := make([]*big.Int, d)
-	for i, q := range digitMods {
-		qi := new(big.Int).SetUint64(q)
-		di[i] = new(big.Int).Quo(D, qi)
-		inv := new(big.Int).ModInverse(new(big.Int).Mod(di[i], qi), qi).Uint64()
-		invShoup := nt.ShoupPrec(inv, q)
-		ys[i] = make([]uint64, n)
-		src := pQ.Coeffs[start+i]
-		for k := 0; k < n; k++ {
-			ys[i][k] = nt.MulModShoup(src[k], inv, invShoup, q)
+	defer func() {
+		for _, y := range ys {
+			be.rQ.putBuf(y)
 		}
+	}()
+	for i := range ys {
+		ys[i] = be.rQ.getBuf()
 	}
-	convertTo := func(m nt.Modulus, dst []uint64) {
-		over := make([]uint64, d)
-		mb := new(big.Int).SetUint64(m.Q)
-		for i := 0; i < d; i++ {
-			over[i] = new(big.Int).Mod(di[i], mb).Uint64()
+	par.For(d, be.rQ.grainPW, func(dStart, dEnd int) {
+		for i := dStart; i < dEnd; i++ {
+			q := digitMods[i]
+			src := pQ.Coeffs[start+i]
+			y := ys[i]
+			for k := 0; k < n; k++ {
+				y[k] = nt.MulModShoup(src[k], dt.inv[i], dt.invShoup[i], q)
+			}
 		}
+	})
+	convertTo := func(m nt.Modulus, over, dst []uint64) {
 		for k := 0; k < n; k++ {
 			acc := uint64(0)
 			for i := 0; i < d; i++ {
@@ -213,16 +282,22 @@ func (be *BasisExtender) ModUpDigitQP(pQ *Poly, start, end, level int, outQ, out
 			dst[k] = acc
 		}
 	}
-	for i := 0; i <= level; i++ {
-		if i >= start && i < end {
-			copy(outQ.Coeffs[i], pQ.Coeffs[i])
-			continue
+	// The output rows — level+1 in the Q basis plus K in the P basis — are
+	// independent; distribute them over one flat index space. The grain
+	// accounts for the O(d·N) inner product per row.
+	par.For(level+1+K, par.Grain(d*n), func(rStart, rEnd int) {
+		for i := rStart; i < rEnd; i++ {
+			switch {
+			case i > level:
+				j := i - level - 1
+				convertTo(be.rP.Mods[j], dt.overP[j], outP.Coeffs[j])
+			case i >= start && i < end:
+				copy(outQ.Coeffs[i], pQ.Coeffs[i])
+			default:
+				convertTo(be.rQ.Mods[i], dt.overQ[i], outQ.Coeffs[i])
+			}
 		}
-		convertTo(be.rQ.Mods[i], outQ.Coeffs[i])
-	}
-	for j := 0; j < K; j++ {
-		convertTo(be.rP.Mods[j], outP.Coeffs[j])
-	}
+	})
 }
 
 // ModDownQP computes round((xQ, xP) / P) mod Q_l: the P-part is base-
@@ -235,26 +310,38 @@ func (be *BasisExtender) ModDownQP(pQ, pP *Poly) {
 	K := len(be.rP.Moduli)
 	// y_j = x_j * (P/p_j)^-1 mod p_j.
 	ys := make([][]uint64, K)
+	defer func() {
+		for _, y := range ys {
+			be.rQ.putBuf(y)
+		}
+	}()
 	for j := 0; j < K; j++ {
-		ys[j] = make([]uint64, n)
-		mp := be.rP.Mods[j]
-		src := pP.Coeffs[j]
-		for k := 0; k < n; k++ {
-			ys[j][k] = nt.MulModShoup(src[k], be.poverpjInv[j], be.poverpjInvShoup[j], mp.Q)
-		}
+		ys[j] = be.rQ.getBuf()
 	}
-	for i := 0; i <= l; i++ {
-		mq := be.rQ.Mods[i]
-		qi := mq.Q
-		dst := pQ.Coeffs[i]
-		for k := 0; k < n; k++ {
-			conv := uint64(0)
-			for j := 0; j < K; j++ {
-				conv = nt.Add(conv, nt.MulMod(ys[j][k], be.poverpjModQ[j][i], mq), qi)
+	par.For(K, be.rQ.grainPW, func(start, end int) {
+		for j := start; j < end; j++ {
+			mp := be.rP.Mods[j]
+			src := pP.Coeffs[j]
+			y := ys[j]
+			for k := 0; k < n; k++ {
+				y[k] = nt.MulModShoup(src[k], be.poverpjInv[j], be.poverpjInvShoup[j], mp.Q)
 			}
-			dst[k] = nt.MulModShoup(nt.Sub(dst[k], conv, qi), be.pInvModQ[i], be.pInvModQShoupAt(i), qi)
 		}
-	}
+	})
+	par.For(l+1, par.Grain(K*n), func(start, end int) {
+		for i := start; i < end; i++ {
+			mq := be.rQ.Mods[i]
+			qi := mq.Q
+			dst := pQ.Coeffs[i]
+			for k := 0; k < n; k++ {
+				conv := uint64(0)
+				for j := 0; j < K; j++ {
+					conv = nt.Add(conv, nt.MulMod(ys[j][k], be.poverpjModQ[j][i], mq), qi)
+				}
+				dst[k] = nt.MulModShoup(nt.Sub(dst[k], conv, qi), be.pInvModQ[i], be.pInvModQShoupAt(i), qi)
+			}
+		}
+	})
 }
 
 func (be *BasisExtender) pInvModQShoupAt(i int) uint64 { return be.pInvModQShoup[i] }

@@ -4,6 +4,7 @@ import (
 	"math/bits"
 
 	"antace/internal/nt"
+	"antace/internal/par"
 )
 
 // bitReverse returns the logN-bit reversal of i.
@@ -44,23 +45,27 @@ func newNTTTables(n int, psi uint64, m nt.Modulus) nttTables {
 // slot i, the convention assumed by the automorphism index tables.
 func (r *Ring) NTT(p, pOut *Poly) {
 	l := minLevel(p, pOut)
-	for i := 0; i <= l; i++ {
-		if &p.Coeffs[i][0] != &pOut.Coeffs[i][0] {
-			copy(pOut.Coeffs[i], p.Coeffs[i])
+	par.For(l+1, r.grainNTT, func(start, end int) {
+		for i := start; i < end; i++ {
+			if &p.Coeffs[i][0] != &pOut.Coeffs[i][0] {
+				copy(pOut.Coeffs[i], p.Coeffs[i])
+			}
+			r.nttRow(pOut.Coeffs[i], i)
 		}
-		r.nttRow(pOut.Coeffs[i], i)
-	}
+	})
 }
 
 // INTT transforms p (NTT domain) into pOut (coefficient domain).
 func (r *Ring) INTT(p, pOut *Poly) {
 	l := minLevel(p, pOut)
-	for i := 0; i <= l; i++ {
-		if &p.Coeffs[i][0] != &pOut.Coeffs[i][0] {
-			copy(pOut.Coeffs[i], p.Coeffs[i])
+	par.For(l+1, r.grainNTT, func(start, end int) {
+		for i := start; i < end; i++ {
+			if &p.Coeffs[i][0] != &pOut.Coeffs[i][0] {
+				copy(pOut.Coeffs[i], p.Coeffs[i])
+			}
+			r.inttRow(pOut.Coeffs[i], i)
 		}
-		r.inttRow(pOut.Coeffs[i], i)
-	}
+	})
 }
 
 // nttRow applies the forward negacyclic NTT in place on one RNS row.
@@ -114,28 +119,34 @@ func (r *Ring) inttRow(a []uint64, row int) {
 
 // MulPolyNaive computes p3 = p1 * p2 by schoolbook negacyclic convolution
 // in coefficient domain. Quadratic; used only by tests as a reference.
+// Every (j,k) pair is accumulated unconditionally — no sparsity shortcut —
+// so the reference exercises the exact same index arithmetic for zero and
+// nonzero coefficients alike.
 func (r *Ring) MulPolyNaive(p1, p2, p3 *Poly) {
 	l := minLevel(p1, p2, p3)
 	n := r.N
-	for i := 0; i <= l; i++ {
-		m := r.Mods[i]
-		q := r.Moduli[i]
-		a, b := p1.Coeffs[i], p2.Coeffs[i]
-		c := make([]uint64, n)
-		for j := 0; j < n; j++ {
-			if a[j] == 0 {
-				continue
+	par.For(l+1, par.Grain(n*n), func(start, end int) {
+		c := r.getBuf()
+		defer r.putBuf(c)
+		for i := start; i < end; i++ {
+			m := r.Mods[i]
+			q := r.Moduli[i]
+			a, b := p1.Coeffs[i], p2.Coeffs[i]
+			for j := range c {
+				c[j] = 0
 			}
-			for k := 0; k < n; k++ {
-				prod := nt.MulMod(a[j], b[k], m)
-				idx := j + k
-				if idx >= n {
-					c[idx-n] = nt.Sub(c[idx-n], prod, q)
-				} else {
-					c[idx] = nt.Add(c[idx], prod, q)
+			for j := 0; j < n; j++ {
+				for k := 0; k < n; k++ {
+					prod := nt.MulMod(a[j], b[k], m)
+					idx := j + k
+					if idx >= n {
+						c[idx-n] = nt.Sub(c[idx-n], prod, q)
+					} else {
+						c[idx] = nt.Add(c[idx], prod, q)
+					}
 				}
 			}
+			copy(p3.Coeffs[i], c)
 		}
-		copy(p3.Coeffs[i], c)
-	}
+	})
 }

@@ -1,0 +1,89 @@
+package ring
+
+import "antace/internal/par"
+
+// Scratch pooling. The CKKS hot path (key switching, hoisted rotations,
+// rescaling, bootstrapping) used to allocate fresh coefficient slices for
+// every intermediate polynomial — tens of megabytes per ciphertext
+// multiplication at real parameter sizes, all garbage within the call.
+// Each Ring therefore owns two sync.Pool-backed free lists:
+//
+//   - a row pool of bare []uint64 scratch rows of length N, used inside
+//     limb loops (automorphism permutation buffers, rescale deltas,
+//     basis-conversion intermediates);
+//   - a Poly pool of full-chain polynomials, handed out at any level via
+//     GetPoly/GetPolyNoZero and returned with PutPoly.
+//
+// Ownership contract: whoever calls GetPoly must either PutPoly it or
+// hand it to a caller that does. Returning a poly twice, or using it
+// after PutPoly, is a data race exactly like a double free; the
+// -race differential suite guards the disciplined call sites in
+// internal/ckks and internal/bootstrap. Polys are zeroed on Get (not on
+// Put), so GetPolyNoZero is safe only when every row is fully overwritten
+// before being read.
+//
+// Both pools are safe for concurrent use, as is the Ring itself: all Ring
+// methods are either read-only on the receiver or write only to
+// caller-provided outputs.
+
+// getBuf returns a scratch row of length N with undefined contents.
+func (r *Ring) getBuf() []uint64 {
+	if v := r.bufPool.Get(); v != nil {
+		return *(v.(*[]uint64))
+	}
+	return make([]uint64, r.N)
+}
+
+// putBuf returns a scratch row obtained from getBuf.
+func (r *Ring) putBuf(b []uint64) {
+	if len(b) != r.N {
+		return
+	}
+	r.bufPool.Put(&b)
+}
+
+// GetPoly returns a zeroed polynomial at the given level from the pool.
+func (r *Ring) GetPoly(level int) *Poly {
+	p := r.GetPolyNoZero(level)
+	par.For(level+1, r.grainPW, func(start, end int) {
+		for i := start; i < end; i++ {
+			row := p.Coeffs[i]
+			for j := range row {
+				row[j] = 0
+			}
+		}
+	})
+	return p
+}
+
+// GetPolyNoZero returns a pooled polynomial at the given level whose
+// coefficients are undefined (leftovers from a previous user). Use only
+// when every row will be fully written before it is read.
+func (r *Ring) GetPolyNoZero(level int) *Poly {
+	if level < 0 || level >= len(r.Moduli) {
+		panic("ring: pooled poly level out of range")
+	}
+	var p *Poly
+	if v := r.polyPool.Get(); v != nil {
+		p = v.(*Poly)
+	} else {
+		p = r.NewPoly(r.MaxLevel())
+		p.pooled = p.Coeffs
+	}
+	p.Coeffs = p.pooled[:level+1]
+	return p
+}
+
+// PutPoly returns a polynomial obtained from GetPoly/GetPolyNoZero to the
+// pool. Polys not originating from this ring's pool are ignored, so
+// callers may unconditionally release what they were given.
+func (r *Ring) PutPoly(p *Poly) {
+	if p == nil || p.pooled == nil {
+		return
+	}
+	if len(p.pooled) != len(r.Moduli) || len(p.pooled[0]) != r.N {
+		return
+	}
+	p.Coeffs = p.pooled
+	r.polyPool.Put(p)
+}

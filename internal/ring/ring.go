@@ -9,8 +9,10 @@ package ring
 import (
 	"fmt"
 	"math/bits"
+	"sync"
 
 	"antace/internal/nt"
+	"antace/internal/par"
 )
 
 // Poly is a polynomial in RNS representation: Coeffs[i][j] is the j-th
@@ -19,6 +21,11 @@ import (
 // tracked by the owner (ciphertexts in this library live in NTT domain).
 type Poly struct {
 	Coeffs [][]uint64
+
+	// pooled, when non-nil, holds the full-chain backing rows of a
+	// pool-owned polynomial (see Ring.GetPoly); Coeffs is a level view
+	// into it.
+	pooled [][]uint64
 }
 
 // Level returns the level of the polynomial (number of rows minus one).
@@ -35,8 +42,15 @@ func (p *Poly) N() int {
 // CopyNew returns a deep copy of p.
 func (p *Poly) CopyNew() *Poly {
 	q := &Poly{Coeffs: make([][]uint64, len(p.Coeffs))}
+	if len(p.Coeffs) == 0 {
+		return q
+	}
+	n := len(p.Coeffs[0])
+	backing := make([]uint64, len(p.Coeffs)*n)
 	for i := range p.Coeffs {
-		q.Coeffs[i] = append([]uint64(nil), p.Coeffs[i]...)
+		row := backing[i*n : (i+1)*n : (i+1)*n]
+		copy(row, p.Coeffs[i])
+		q.Coeffs[i] = row
 	}
 	return q
 }
@@ -97,6 +111,13 @@ type nttTables struct {
 
 // Ring is Z_Q[X]/(X^N+1) for Q the product of a chain of NTT-friendly
 // primes. It precomputes NTT tables and the RNS rescaling constants.
+//
+// All Ring methods are safe for concurrent use: precomputed tables are
+// read-only after construction, results go only to caller-provided
+// outputs, and internal scratch comes from per-ring pools. Limb loops are
+// distributed over the internal/par worker pool; because every limb is an
+// independent exact modular computation, parallel results are
+// bit-identical to serial ones.
 type Ring struct {
 	N      int
 	LogN   int
@@ -109,6 +130,15 @@ type Ring struct {
 	// DivRoundByLastModulus at level l for row i < l.
 	rescaleQlInv      [][]uint64
 	rescaleQlInvShoup [][]uint64
+
+	// grainPW (pointwise, O(N) per limb) and grainNTT (O(N logN) per
+	// limb) are the minimum limbs per worker chunk; tiny test rings fall
+	// below the threshold and run serially.
+	grainPW  int
+	grainNTT int
+
+	bufPool  sync.Pool // *[]uint64 scratch rows, length N
+	polyPool sync.Pool // *Poly at the full chain (see pool.go)
 }
 
 // NewRing constructs the ring of degree n (a power of two) with the given
@@ -121,9 +151,11 @@ func NewRing(n int, moduli []uint64) (*Ring, error) {
 		return nil, fmt.Errorf("ring: empty modulus chain")
 	}
 	r := &Ring{
-		N:      n,
-		LogN:   bits.Len(uint(n)) - 1,
-		Moduli: append([]uint64(nil), moduli...),
+		N:        n,
+		LogN:     bits.Len(uint(n)) - 1,
+		Moduli:   append([]uint64(nil), moduli...),
+		grainPW:  par.Grain(n),
+		grainNTT: par.Grain(n * (bits.Len(uint(n)) - 1)),
 	}
 	r.Mods = make([]nt.Modulus, len(moduli))
 	r.tables = make([]nttTables, len(moduli))
@@ -157,14 +189,17 @@ func NewRing(n int, moduli []uint64) (*Ring, error) {
 	return r, nil
 }
 
-// NewPoly allocates a zero polynomial at the given level.
+// NewPoly allocates a zero polynomial at the given level. All rows share
+// one contiguous backing array: three heap objects total instead of one
+// per limb, and sequential-limb passes walk memory linearly.
 func (r *Ring) NewPoly(level int) *Poly {
 	if level < 0 || level >= len(r.Moduli) {
 		panic(fmt.Sprintf("ring: level %d out of range [0,%d]", level, len(r.Moduli)-1))
 	}
+	backing := make([]uint64, (level+1)*r.N)
 	p := &Poly{Coeffs: make([][]uint64, level+1)}
 	for i := range p.Coeffs {
-		p.Coeffs[i] = make([]uint64, r.N)
+		p.Coeffs[i] = backing[i*r.N : (i+1)*r.N : (i+1)*r.N]
 	}
 	return p
 }
@@ -186,76 +221,88 @@ func minLevel(ps ...*Poly) int {
 // Add sets p3 = p1 + p2 over the common rows of all three.
 func (r *Ring) Add(p1, p2, p3 *Poly) {
 	l := minLevel(p1, p2, p3)
-	for i := 0; i <= l; i++ {
-		q := r.Moduli[i]
-		a, b, c := p1.Coeffs[i], p2.Coeffs[i], p3.Coeffs[i]
-		for j := 0; j < r.N; j++ {
-			c[j] = nt.Add(a[j], b[j], q)
+	par.For(l+1, r.grainPW, func(start, end int) {
+		for i := start; i < end; i++ {
+			q := r.Moduli[i]
+			a, b, c := p1.Coeffs[i], p2.Coeffs[i], p3.Coeffs[i]
+			for j := 0; j < r.N; j++ {
+				c[j] = nt.Add(a[j], b[j], q)
+			}
 		}
-	}
+	})
 }
 
 // Sub sets p3 = p1 - p2 over the common rows of all three.
 func (r *Ring) Sub(p1, p2, p3 *Poly) {
 	l := minLevel(p1, p2, p3)
-	for i := 0; i <= l; i++ {
-		q := r.Moduli[i]
-		a, b, c := p1.Coeffs[i], p2.Coeffs[i], p3.Coeffs[i]
-		for j := 0; j < r.N; j++ {
-			c[j] = nt.Sub(a[j], b[j], q)
+	par.For(l+1, r.grainPW, func(start, end int) {
+		for i := start; i < end; i++ {
+			q := r.Moduli[i]
+			a, b, c := p1.Coeffs[i], p2.Coeffs[i], p3.Coeffs[i]
+			for j := 0; j < r.N; j++ {
+				c[j] = nt.Sub(a[j], b[j], q)
+			}
 		}
-	}
+	})
 }
 
 // Neg sets p2 = -p1 over the common rows.
 func (r *Ring) Neg(p1, p2 *Poly) {
 	l := minLevel(p1, p2)
-	for i := 0; i <= l; i++ {
-		q := r.Moduli[i]
-		a, b := p1.Coeffs[i], p2.Coeffs[i]
-		for j := 0; j < r.N; j++ {
-			b[j] = nt.Neg(a[j], q)
+	par.For(l+1, r.grainPW, func(start, end int) {
+		for i := start; i < end; i++ {
+			q := r.Moduli[i]
+			a, b := p1.Coeffs[i], p2.Coeffs[i]
+			for j := 0; j < r.N; j++ {
+				b[j] = nt.Neg(a[j], q)
+			}
 		}
-	}
+	})
 }
 
 // MulCoeffs sets p3 = p1 ⊙ p2 (pointwise), valid in NTT domain.
 func (r *Ring) MulCoeffs(p1, p2, p3 *Poly) {
 	l := minLevel(p1, p2, p3)
-	for i := 0; i <= l; i++ {
-		m := r.Mods[i]
-		a, b, c := p1.Coeffs[i], p2.Coeffs[i], p3.Coeffs[i]
-		for j := 0; j < r.N; j++ {
-			c[j] = nt.MulMod(a[j], b[j], m)
+	par.For(l+1, r.grainPW, func(start, end int) {
+		for i := start; i < end; i++ {
+			m := r.Mods[i]
+			a, b, c := p1.Coeffs[i], p2.Coeffs[i], p3.Coeffs[i]
+			for j := 0; j < r.N; j++ {
+				c[j] = nt.MulMod(a[j], b[j], m)
+			}
 		}
-	}
+	})
 }
 
 // MulCoeffsThenAdd sets p3 += p1 ⊙ p2 (pointwise), valid in NTT domain.
 func (r *Ring) MulCoeffsThenAdd(p1, p2, p3 *Poly) {
 	l := minLevel(p1, p2, p3)
-	for i := 0; i <= l; i++ {
-		m := r.Mods[i]
-		q := r.Moduli[i]
-		a, b, c := p1.Coeffs[i], p2.Coeffs[i], p3.Coeffs[i]
-		for j := 0; j < r.N; j++ {
-			c[j] = nt.Add(c[j], nt.MulMod(a[j], b[j], m), q)
+	par.For(l+1, r.grainPW, func(start, end int) {
+		for i := start; i < end; i++ {
+			m := r.Mods[i]
+			q := r.Moduli[i]
+			a, b, c := p1.Coeffs[i], p2.Coeffs[i], p3.Coeffs[i]
+			for j := 0; j < r.N; j++ {
+				c[j] = nt.Add(c[j], nt.MulMod(a[j], b[j], m), q)
+			}
 		}
-	}
+	})
 }
 
 // MulScalar sets p2 = p1 * scalar, where scalar is a non-negative integer.
 func (r *Ring) MulScalar(p1 *Poly, scalar uint64, p2 *Poly) {
 	l := minLevel(p1, p2)
-	for i := 0; i <= l; i++ {
-		m := r.Mods[i]
-		s := nt.BRedAdd(scalar, m)
-		sp := nt.ShoupPrec(s, m.Q)
-		a, b := p1.Coeffs[i], p2.Coeffs[i]
-		for j := 0; j < r.N; j++ {
-			b[j] = nt.MulModShoup(a[j], s, sp, m.Q)
+	par.For(l+1, r.grainPW, func(start, end int) {
+		for i := start; i < end; i++ {
+			m := r.Mods[i]
+			s := nt.BRedAdd(scalar, m)
+			sp := nt.ShoupPrec(s, m.Q)
+			a, b := p1.Coeffs[i], p2.Coeffs[i]
+			for j := 0; j < r.N; j++ {
+				b[j] = nt.MulModShoup(a[j], s, sp, m.Q)
+			}
 		}
-	}
+	})
 }
 
 // AddScalar sets p2 = p1 + scalar (added to the constant coefficient in
@@ -263,14 +310,16 @@ func (r *Ring) MulScalar(p1 *Poly, scalar uint64, p2 *Poly) {
 // which is the correct embedding of a constant).
 func (r *Ring) AddScalar(p1 *Poly, scalar uint64, p2 *Poly) {
 	l := minLevel(p1, p2)
-	for i := 0; i <= l; i++ {
-		m := r.Mods[i]
-		s := nt.BRedAdd(scalar, m)
-		a, b := p1.Coeffs[i], p2.Coeffs[i]
-		for j := 0; j < r.N; j++ {
-			b[j] = nt.Add(a[j], s, m.Q)
+	par.For(l+1, r.grainPW, func(start, end int) {
+		for i := start; i < end; i++ {
+			m := r.Mods[i]
+			s := nt.BRedAdd(scalar, m)
+			a, b := p1.Coeffs[i], p2.Coeffs[i]
+			for j := 0; j < r.N; j++ {
+				b[j] = nt.Add(a[j], s, m.Q)
+			}
 		}
-	}
+	})
 }
 
 // MulByVectorMontgomeryThenAdd is not provided; see MulCoeffsThenAdd.
@@ -281,26 +330,31 @@ func (r *Ring) Shift(p1 *Poly, k int, p2 *Poly) {
 	n := r.N
 	k = ((k % (2 * n)) + 2*n) % (2 * n)
 	l := minLevel(p1, p2)
-	for i := 0; i <= l; i++ {
-		q := r.Moduli[i]
-		a := p1.Coeffs[i]
-		b := make([]uint64, n)
-		for j := 0; j < n; j++ {
-			idx := j + k
-			neg := false
-			if idx >= 2*n {
-				idx -= 2 * n
+	par.For(l+1, r.grainPW, func(start, end int) {
+		// One scratch row per chunk: the shift writes every index of b
+		// (j -> idx is a bijection), so it needs no zeroing between limbs.
+		b := r.getBuf()
+		defer r.putBuf(b)
+		for i := start; i < end; i++ {
+			q := r.Moduli[i]
+			a := p1.Coeffs[i]
+			for j := 0; j < n; j++ {
+				idx := j + k
+				neg := false
+				if idx >= 2*n {
+					idx -= 2 * n
+				}
+				if idx >= n {
+					idx -= n
+					neg = true
+				}
+				if neg {
+					b[idx] = nt.Neg(a[j], q)
+				} else {
+					b[idx] = a[j]
+				}
 			}
-			if idx >= n {
-				idx -= n
-				neg = true
-			}
-			if neg {
-				b[idx] = nt.Neg(a[j], q)
-			} else {
-				b[idx] = a[j]
-			}
+			copy(p2.Coeffs[i], b)
 		}
-		copy(p2.Coeffs[i], b)
-	}
+	})
 }
