@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test verify race bench
+.PHONY: build test verify race bench serve-smoke
 
 build:
 	$(GO) build ./...
@@ -9,11 +9,18 @@ test:
 	$(GO) test ./...
 
 # Race-test the concurrency-bearing packages: the ring engine, the CKKS
-# evaluator and the bootstrapper all fan limb work out across the
-# internal/par worker pool. ACE_WORKERS=8 forces parallel scheduling even
-# on single-core CI machines.
+# evaluator and the bootstrapper fan limb work out across the internal/par
+# worker pool, and the serving layer runs a worker pool of evaluators over
+# a shared session cache. ACE_WORKERS=8 forces parallel scheduling even on
+# single-core CI machines.
 race:
-	ACE_WORKERS=8 $(GO) test -race ./internal/ring/... ./internal/ckks/... ./internal/bootstrap/... ./internal/par/...
+	ACE_WORKERS=8 $(GO) test -race ./internal/ring/... ./internal/ckks/... ./internal/bootstrap/... ./internal/par/... ./internal/serve/... ./internal/fheclient/... ./internal/vm/...
+
+# Loopback smoke test of the serving layer: start an in-process daemon,
+# register a session through the real client, infer, decrypt, compare to
+# the cleartext reference.
+serve-smoke:
+	$(GO) test -count=1 -run 'TestLoopbackInference' ./internal/serve/ -v
 
 verify:
 	$(GO) vet ./...

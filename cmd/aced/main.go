@@ -1,0 +1,135 @@
+// aced is the encrypted-inference daemon: it compiles one model at
+// startup and serves the v1 HTTP API (see internal/serve). Clients
+// fetch GET /v1/program, upload their evaluation keys once via
+// POST /v1/sessions, then stream ciphertexts through POST /v1/infer;
+// GET /v1/healthz and /v1/statz expose liveness and counters. SIGTERM
+// drains accepted requests before exit.
+//
+// Quick start (demo model, reduced-scale parameters):
+//
+//	aced -addr :8080
+//
+// Production scale (hours per image, exactly as the paper measures):
+//
+//	aced -addr :8080 -model resnet20.onnx -profile paper
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"antace"
+	"antace/internal/onnx"
+	"antace/internal/serve"
+)
+
+func main() {
+	var (
+		addr         = flag.String("addr", ":8080", "listen address")
+		modelPath    = flag.String("model", "", "ONNX model to serve (default: built-in 64-feature linear demo)")
+		profile      = flag.String("profile", "test", "compilation profile: test (reduced scale) or paper (128-bit security)")
+		workers      = flag.Int("workers", 0, "evaluation worker pool size (0 = auto)")
+		queue        = flag.Int("queue", 0, "request queue depth (0 = 4x workers)")
+		budgetMB     = flag.Int64("session-budget-mb", 256, "resident evaluation-key budget in MiB")
+		deadline     = flag.Duration("deadline", time.Minute, "default per-request deadline")
+		maxDeadline  = flag.Duration("max-deadline", 10*time.Minute, "clamp on client-requested deadlines")
+		drainTimeout = flag.Duration("drain-timeout", 30*time.Second, "how long to wait for in-flight requests on shutdown")
+	)
+	flag.Parse()
+
+	model, name, err := loadModel(*modelPath)
+	if err != nil {
+		log.Fatalf("aced: %v", err)
+	}
+	var prof ace.Profile
+	switch *profile {
+	case "test":
+		prof = ace.TestProfile()
+	case "paper":
+		prof = ace.PaperProfile()
+	default:
+		log.Fatalf("aced: unknown profile %q (want test or paper)", *profile)
+	}
+
+	log.Printf("aced: compiling %s (profile %s)", name, *profile)
+	start := time.Now()
+	prog, err := ace.Compile(model, prof)
+	if err != nil {
+		log.Fatalf("aced: compile: %v", err)
+	}
+	log.Printf("aced: compiled in %s", time.Since(start).Round(time.Millisecond))
+	ace.Describe(prog, os.Stderr)
+
+	srv, err := serve.New(serve.Program{
+		Name:   name,
+		CKKS:   prog.CKKS,
+		VecLen: prog.VectorLen(),
+	}, serve.Config{
+		Workers:         *workers,
+		QueueDepth:      *queue,
+		SessionBudget:   *budgetMB << 20,
+		DefaultDeadline: *deadline,
+		MaxDeadline:     *maxDeadline,
+	})
+	if err != nil {
+		log.Fatalf("aced: %v", err)
+	}
+
+	httpSrv := &http.Server{Addr: *addr, Handler: srv}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() {
+		log.Printf("aced: serving %s on %s", name, *addr)
+		errc <- httpSrv.ListenAndServe()
+	}()
+
+	select {
+	case err := <-errc:
+		log.Fatalf("aced: listen: %v", err)
+	case <-ctx.Done():
+	}
+
+	// SIGTERM: stop the listener and drain accepted work in parallel —
+	// handlers blocked on queued jobs return once the workers finish
+	// them, which is what Shutdown waits for.
+	log.Printf("aced: draining (up to %s)...", *drainTimeout)
+	shCtx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	drained := make(chan error, 1)
+	go func() { drained <- srv.Drain(shCtx) }()
+	if err := httpSrv.Shutdown(shCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		log.Printf("aced: http shutdown: %v", err)
+	}
+	if err := <-drained; err != nil {
+		log.Printf("aced: drain incomplete: %v", err)
+		os.Exit(1)
+	}
+	log.Printf("aced: drained cleanly")
+}
+
+// loadModel reads the ONNX file, or builds the demo linear classifier
+// when no path is given (the quickstart example's model).
+func loadModel(path string) (*ace.Model, string, error) {
+	if path == "" {
+		m, err := onnx.BuildLinear(64, 10, 42)
+		if err != nil {
+			return nil, "", err
+		}
+		return m, "linear-demo-64x10", nil
+	}
+	m, err := ace.LoadONNX(path)
+	if err != nil {
+		return nil, "", fmt.Errorf("loading %s: %w", path, err)
+	}
+	return m, path, nil
+}

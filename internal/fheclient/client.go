@@ -1,0 +1,280 @@
+// Package fheclient is the client half of the serving layer's threat
+// model: it owns the secret key and never sends it anywhere. Dial
+// fetches the compiled program's spec from an aced daemon, Register
+// generates a fresh key pair plus exactly the evaluation keys the
+// program needs and uploads the public ones, and Infer encrypts a slot
+// vector, streams the ciphertext through the server and decrypts the
+// reply locally.
+package fheclient
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"sync"
+	"time"
+
+	"antace/internal/ckks"
+	"antace/internal/serve/api"
+)
+
+// APIError is a non-2xx reply from the daemon, with the decoded server
+// message when one was sent.
+type APIError struct {
+	Status     int
+	Message    string
+	RetryAfter time.Duration // populated on 429 responses
+}
+
+func (e *APIError) Error() string {
+	if e.Message == "" {
+		return fmt.Sprintf("fheclient: server returned %d", e.Status)
+	}
+	return fmt.Sprintf("fheclient: server returned %d: %s", e.Status, e.Message)
+}
+
+// IsQueueFull reports whether the server pushed back with 429.
+func (e *APIError) IsQueueFull() bool { return e.Status == http.StatusTooManyRequests }
+
+// IsDeadline reports whether the server gave up on the request deadline.
+func (e *APIError) IsDeadline() bool { return e.Status == http.StatusGatewayTimeout }
+
+// Client talks to one aced daemon. Infer is safe for concurrent use by
+// multiple goroutines sharing the registered session; the stateful
+// encryptor is serialized internally while HTTP round trips (the slow
+// part) proceed in parallel.
+type Client struct {
+	base string
+	hc   *http.Client
+	spec api.ProgramSpec
+
+	params *ckks.Parameters
+	enc    *ckks.Encoder
+
+	mu        sync.Mutex // guards the sampler-bearing encryptor
+	encryptor *ckks.Encryptor
+	decryptor *ckks.Decryptor
+	sessionID string
+}
+
+// Dial fetches the program spec and compiles the matching parameters
+// (prime derivation is deterministic, so client and server rings agree
+// bit for bit). A nil http.Client uses http.DefaultClient.
+func Dial(ctx context.Context, baseURL string, hc *http.Client) (*Client, error) {
+	if hc == nil {
+		hc = http.DefaultClient
+	}
+	c := &Client{base: baseURL, hc: hc}
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, baseURL+api.PathProgram, nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := hc.Do(req)
+	if err != nil {
+		return nil, fmt.Errorf("fheclient: fetching program spec: %w", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, apiError(resp)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&c.spec); err != nil {
+		return nil, fmt.Errorf("fheclient: decoding program spec: %w", err)
+	}
+	if c.params, err = ckks.ParamsFromBytes(c.spec.Params); err != nil {
+		return nil, fmt.Errorf("fheclient: compiling server parameters: %w", err)
+	}
+	c.enc = ckks.NewEncoder(c.params)
+	return c, nil
+}
+
+// Spec returns the program spec fetched at Dial time.
+func (c *Client) Spec() api.ProgramSpec { return c.spec }
+
+// Params returns the compiled parameter set.
+func (c *Client) Params() *ckks.Parameters { return c.params }
+
+// SessionID returns the registered session, or "" before Register.
+func (c *Client) SessionID() string { return c.sessionID }
+
+// Register generates a key pair, derives the evaluation keys the program
+// spec demands (relinearization plus the exact rotation set, including
+// the bootstrap circuit's), uploads the public bundle and stores the
+// returned session ID. The secret key stays inside the Client. A nil
+// seed draws fresh randomness; pass one only in tests.
+func (c *Client) Register(ctx context.Context, seed *[32]byte) (string, error) {
+	kg := ckks.NewKeyGenerator(c.params, seed)
+	sk := kg.GenSecretKey()
+	pk := kg.GenPublicKey(sk)
+	keys := &ckks.EvaluationKeySet{
+		Galois: kg.GenGaloisKeys(c.spec.Rotations, c.spec.Conjugation, sk),
+	}
+	if c.spec.NeedRlk {
+		keys.Rlk = kg.GenRelinearizationKey(sk)
+	}
+	bundle, err := keys.MarshalBinary()
+	if err != nil {
+		return "", fmt.Errorf("fheclient: encoding key bundle: %w", err)
+	}
+
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.base+api.PathSessions, bytes.NewReader(bundle))
+	if err != nil {
+		return "", err
+	}
+	req.Header.Set("Content-Type", api.ContentTypeBinary)
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return "", fmt.Errorf("fheclient: uploading keys: %w", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusCreated {
+		return "", apiError(resp)
+	}
+	var reply api.SessionReply
+	if err := json.NewDecoder(resp.Body).Decode(&reply); err != nil {
+		return "", fmt.Errorf("fheclient: decoding session reply: %w", err)
+	}
+
+	c.mu.Lock()
+	c.sessionID = reply.SessionID
+	c.encryptor = ckks.NewEncryptor(c.params, pk)
+	c.decryptor = ckks.NewDecryptor(c.params, sk)
+	c.mu.Unlock()
+	return reply.SessionID, nil
+}
+
+// Encrypt packs a slot vector at the program's input level and scale.
+func (c *Client) Encrypt(values []float64) (*ckks.Ciphertext, error) {
+	if len(values) != c.spec.VecLen {
+		return nil, fmt.Errorf("fheclient: input length %d, program compiled for %d", len(values), c.spec.VecLen)
+	}
+	pt, err := c.enc.EncodeReal(values, c.spec.InputLevel, c.spec.InputScale)
+	if err != nil {
+		return nil, err
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.encryptor == nil {
+		return nil, fmt.Errorf("fheclient: not registered (call Register first)")
+	}
+	return c.encryptor.Encrypt(pt), nil
+}
+
+// Decrypt recovers the slot vector from a result ciphertext.
+func (c *Client) Decrypt(ct *ckks.Ciphertext) ([]float64, error) {
+	c.mu.Lock()
+	dec := c.decryptor
+	c.mu.Unlock()
+	if dec == nil {
+		return nil, fmt.Errorf("fheclient: not registered (call Register first)")
+	}
+	return c.enc.DecodeReal(dec.Decrypt(ct), c.spec.VecLen), nil
+}
+
+// InferCipher streams one ciphertext through the server and returns the
+// encrypted result. The request deadline is taken from ctx and forwarded
+// to the server so both sides give up together.
+func (c *Client) InferCipher(ctx context.Context, ct *ckks.Ciphertext) (*ckks.Ciphertext, error) {
+	c.mu.Lock()
+	id := c.sessionID
+	c.mu.Unlock()
+	if id == "" {
+		return nil, fmt.Errorf("fheclient: not registered (call Register first)")
+	}
+	body, err := ct.MarshalBinary()
+	if err != nil {
+		return nil, fmt.Errorf("fheclient: encoding ciphertext: %w", err)
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.base+api.PathInfer, bytes.NewReader(body))
+	if err != nil {
+		return nil, err
+	}
+	req.Header.Set("Content-Type", api.ContentTypeBinary)
+	req.Header.Set(api.HeaderSession, id)
+	if dl, ok := ctx.Deadline(); ok {
+		// Give the server slightly less than our own budget, so its 504
+		// reaches us before ctx aborts the connection and we lose the
+		// diagnosis.
+		remaining := time.Until(dl)
+		margin := remaining / 10
+		if margin < 50*time.Millisecond {
+			margin = 50 * time.Millisecond
+		}
+		if ms := (remaining - margin).Milliseconds(); ms > 0 {
+			req.Header.Set(api.HeaderDeadlineMs, strconv.FormatInt(ms, 10))
+		}
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return nil, fmt.Errorf("fheclient: inference request: %w", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, apiError(resp)
+	}
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, fmt.Errorf("fheclient: reading result: %w", err)
+	}
+	out := &ckks.Ciphertext{}
+	if err := out.UnmarshalBinary(data); err != nil {
+		return nil, fmt.Errorf("fheclient: decoding result: %w", err)
+	}
+	return out, nil
+}
+
+// Infer runs one encrypted inference end to end: encrypt locally, stream
+// through the server, decrypt locally.
+func (c *Client) Infer(ctx context.Context, values []float64) ([]float64, error) {
+	ct, err := c.Encrypt(values)
+	if err != nil {
+		return nil, err
+	}
+	out, err := c.InferCipher(ctx, ct)
+	if err != nil {
+		return nil, err
+	}
+	return c.Decrypt(out)
+}
+
+// Drop deletes the registered session server-side.
+func (c *Client) Drop(ctx context.Context) error {
+	c.mu.Lock()
+	id := c.sessionID
+	c.mu.Unlock()
+	if id == "" {
+		return nil
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodDelete, c.base+api.PathSessions+"/"+id, nil)
+	if err != nil {
+		return err
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusNoContent {
+		return apiError(resp)
+	}
+	c.mu.Lock()
+	c.sessionID = ""
+	c.mu.Unlock()
+	return nil
+}
+
+// apiError decodes a non-2xx response into an APIError.
+func apiError(resp *http.Response) error {
+	e := &APIError{Status: resp.StatusCode}
+	var reply api.ErrorReply
+	if err := json.NewDecoder(io.LimitReader(resp.Body, 1<<16)).Decode(&reply); err == nil {
+		e.Message = reply.Error
+	}
+	if sec, err := strconv.Atoi(resp.Header.Get("Retry-After")); err == nil {
+		e.RetryAfter = time.Duration(sec) * time.Second
+	}
+	return e
+}

@@ -1,0 +1,86 @@
+// Package api defines the wire-level contract of the aced serving
+// daemon: URL paths, header names and the JSON envelopes exchanged by
+// internal/serve (the server) and internal/fheclient (the client).
+// Bulk payloads — evaluation-key bundles and ciphertexts — travel as raw
+// application/octet-stream bodies in the versioned ckks binary format;
+// JSON carries only small control data.
+package api
+
+// URL paths of the v1 API.
+const (
+	PathSessions = "/v1/sessions"
+	PathInfer    = "/v1/infer"
+	PathProgram  = "/v1/program"
+	PathHealthz  = "/v1/healthz"
+	PathStatz    = "/v1/statz"
+)
+
+// Request headers.
+const (
+	// HeaderSession carries the session ID on inference requests.
+	HeaderSession = "X-ACE-Session"
+	// HeaderDeadlineMs carries an optional per-request deadline in
+	// milliseconds; the server clamps it to its configured maximum and
+	// aborts the homomorphic evaluation when it expires.
+	HeaderDeadlineMs = "X-ACE-Deadline-Ms"
+)
+
+// ContentTypeBinary is the media type of key and ciphertext bodies.
+const ContentTypeBinary = "application/octet-stream"
+
+// ProgramSpec is returned by GET /v1/program: everything a client needs
+// to generate compatible key material and encrypt inputs. Params holds a
+// serialized ckks.ParametersLiteral — prime generation is deterministic,
+// so decoding it yields the server's exact rings.
+type ProgramSpec struct {
+	Name        string  `json:"name"`
+	Params      []byte  `json:"params"`
+	LogN        int     `json:"log_n"`
+	VecLen      int     `json:"vec_len"`
+	InputLevel  int     `json:"input_level"`
+	InputScale  float64 `json:"input_scale"`
+	Rotations   []int   `json:"rotations"`
+	Conjugation bool    `json:"conjugation"`
+	NeedRlk     bool    `json:"need_rlk"`
+	Bootstraps  int     `json:"bootstraps"`
+}
+
+// SessionReply is returned by POST /v1/sessions.
+type SessionReply struct {
+	SessionID string `json:"session_id"`
+	KeyBytes  int64  `json:"key_bytes"`
+	GaloisLen int    `json:"galois_len"`
+}
+
+// ErrorReply is the body of every non-2xx response.
+type ErrorReply struct {
+	Error string `json:"error"`
+}
+
+// Healthz is returned by GET /v1/healthz.
+type Healthz struct {
+	Status string `json:"status"` // "ok" or "draining"
+}
+
+// Statz is returned by GET /v1/statz.
+type Statz struct {
+	Served     uint64 `json:"served"`
+	Rejected   uint64 `json:"rejected"`
+	TimedOut   uint64 `json:"timed_out"`
+	Failed     uint64 `json:"failed"`
+	QueueDepth int    `json:"queue_depth"`
+	QueueCap   int    `json:"queue_cap"`
+	Workers    int    `json:"workers"`
+	Draining   bool   `json:"draining"`
+
+	Sessions         int    `json:"sessions"`
+	SessionBytes     int64  `json:"session_bytes"`
+	SessionBudget    int64  `json:"session_budget"`
+	SessionHits      uint64 `json:"session_hits"`
+	SessionMisses    uint64 `json:"session_misses"`
+	SessionEvictions uint64 `json:"session_evictions"`
+
+	LatencyMsP50 float64 `json:"latency_ms_p50"`
+	LatencyMsP90 float64 `json:"latency_ms_p90"`
+	LatencyMsP99 float64 `json:"latency_ms_p99"`
+}

@@ -1,0 +1,66 @@
+package serve
+
+import (
+	"context"
+	"sync"
+	"time"
+
+	"antace/internal/ckks"
+)
+
+// job is one inference request in flight: the session whose keys to
+// evaluate under, the input ciphertext, and a buffered reply channel so
+// the worker never blocks on a handler that already gave up.
+type job struct {
+	ctx      context.Context
+	sess     *session
+	ct       *ckks.Ciphertext
+	done     chan jobResult
+	enqueued time.Time
+}
+
+type jobResult struct {
+	ct  *ckks.Ciphertext
+	err error
+}
+
+// scheduler owns the bounded queue and the worker pool. Workers pull
+// jobs in FIFO order and run exec, which builds a per-request machine
+// around the session's keys (the Evaluator is per-goroutine; parameters,
+// encoder and bootstrapper are shared read-only).
+type scheduler struct {
+	queue chan *job
+	wg    sync.WaitGroup
+	exec  func(*job) jobResult
+}
+
+func newScheduler(depth, workers int, exec func(*job) jobResult) *scheduler {
+	s := &scheduler{queue: make(chan *job, depth), exec: exec}
+	s.wg.Add(workers)
+	for i := 0; i < workers; i++ {
+		go s.worker()
+	}
+	return s
+}
+
+func (s *scheduler) worker() {
+	defer s.wg.Done()
+	for j := range s.queue {
+		// A request whose deadline expired while queued is dropped
+		// without touching the evaluator: completing doomed work would
+		// only delay live requests behind it.
+		if err := j.ctx.Err(); err != nil {
+			j.done <- jobResult{err: err}
+			continue
+		}
+		j.done <- s.exec(j)
+	}
+}
+
+// stop closes the queue and waits for the workers to finish everything
+// already accepted. The caller must guarantee no further enqueues (the
+// server's draining flag, taken under the same lock as the send).
+func (s *scheduler) stop() {
+	close(s.queue)
+	s.wg.Wait()
+}

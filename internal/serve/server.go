@@ -1,0 +1,486 @@
+// Package serve is the encrypted-inference serving layer: the paper's
+// client/server threat model (Figure 2) made operational. A daemon loads
+// one compiled FHE program at startup; clients fetch the program spec,
+// generate their own key material, upload the public evaluation keys
+// once (POST /v1/sessions — they are tens of megabytes, cached under an
+// LRU byte budget and reused across requests), then stream ciphertexts
+// through POST /v1/infer. A bounded queue feeds a pool of workers, each
+// evaluating with its own per-request Evaluator around shared read-only
+// parameters, encoder and bootstrapper; deadlines propagate into the
+// instruction loop via context, queue overflow answers 429 with
+// Retry-After, and SIGTERM drains accepted work before exit.
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"runtime"
+	"slices"
+	"strconv"
+	"sync"
+	"time"
+
+	"antace/internal/bootstrap"
+	"antace/internal/ckks"
+	"antace/internal/ckksir"
+	"antace/internal/ir"
+	"antace/internal/serve/api"
+	"antace/internal/vm"
+)
+
+// Config tunes the serving layer; zero values select the defaults noted
+// on each field.
+type Config struct {
+	// Workers is the evaluation pool size (default GOMAXPROCS capped at
+	// 4 — each evaluation already fans limb work across internal/par).
+	Workers int
+	// QueueDepth bounds the request queue (default 4×Workers). A full
+	// queue answers 429 rather than buffering unbounded ciphertexts.
+	QueueDepth int
+	// SessionBudget caps resident evaluation-key bytes (default 256 MiB).
+	SessionBudget int64
+	// MaxUploadBytes caps one key-bundle upload (default SessionBudget).
+	MaxUploadBytes int64
+	// MaxCipherBytes caps one request ciphertext (default 64 MiB).
+	MaxCipherBytes int64
+	// DefaultDeadline applies when a request carries no deadline header
+	// (default 60s); MaxDeadline clamps client-supplied values
+	// (default 10m).
+	DefaultDeadline time.Duration
+	MaxDeadline     time.Duration
+	// RetryAfter is the hint sent with 429 responses (default 1s).
+	RetryAfter time.Duration
+	// LatencyWindow is the sample count behind the statz quantiles
+	// (default 1024).
+	LatencyWindow int
+}
+
+func (c Config) withDefaults() Config {
+	if c.Workers <= 0 {
+		c.Workers = min(runtime.GOMAXPROCS(0), 4)
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 4 * c.Workers
+	}
+	if c.SessionBudget <= 0 {
+		c.SessionBudget = 256 << 20
+	}
+	if c.MaxUploadBytes <= 0 {
+		c.MaxUploadBytes = c.SessionBudget
+	}
+	if c.MaxCipherBytes <= 0 {
+		c.MaxCipherBytes = 64 << 20
+	}
+	if c.DefaultDeadline <= 0 {
+		c.DefaultDeadline = 60 * time.Second
+	}
+	if c.MaxDeadline <= 0 {
+		c.MaxDeadline = 10 * time.Minute
+	}
+	if c.RetryAfter <= 0 {
+		c.RetryAfter = time.Second
+	}
+	return c
+}
+
+// Program is the compiled artifact the daemon serves: the executable
+// CKKS module plus the metadata clients need to participate. It is the
+// serving-layer view of core.Compiled, kept structural so tests can
+// assemble one straight from a ckksir.Result.
+type Program struct {
+	Name   string
+	CKKS   *ckksir.Result
+	VecLen int
+}
+
+// Server implements the v1 HTTP API over one compiled program.
+type Server struct {
+	cfg      Config
+	name     string
+	module   *ir.Module
+	params   *ckks.Parameters
+	enc      *ckks.Encoder
+	boot     *bootstrap.Bootstrapper
+	spec     api.ProgramSpec
+	required []uint64 // Galois elements every session must provide
+	needRlk  bool
+
+	sessions *sessionCache
+	sched    *scheduler
+	stats    counters
+	lat      *latencyWindow
+	mux      *http.ServeMux
+
+	mu       sync.RWMutex // guards draining vs. queue sends and close
+	draining bool
+
+	// beforeExec is a test hook invoked by workers ahead of evaluation;
+	// nil outside tests.
+	beforeExec func(*job)
+}
+
+// New builds a server for a compiled program: parameters and (when the
+// program bootstraps) the bootstrap circuit are instantiated once here
+// and shared read-only across all workers and sessions.
+func New(prog Program, cfg Config) (*Server, error) {
+	res := prog.CKKS
+	if res == nil || res.Module == nil || res.Module.Main() == nil {
+		return nil, fmt.Errorf("serve: program has no executable module")
+	}
+	cfg = cfg.withDefaults()
+	params, err := ckks.NewParameters(res.Literal)
+	if err != nil {
+		return nil, err
+	}
+	var bt *bootstrap.Bootstrapper
+	rotations := append([]int(nil), res.Rotations...)
+	conj := false
+	if res.Boot != nil {
+		if bt, err = bootstrap.NewBootstrapper(params, *res.Boot, res.InputScale); err != nil {
+			return nil, err
+		}
+		rotations = append(rotations, bt.RequiredRotations()...)
+		conj = true
+	}
+	slices.Sort(rotations)
+	rotations = slices.Compact(rotations)
+
+	paramBytes, err := res.Literal.MarshalBinary()
+	if err != nil {
+		return nil, err
+	}
+	s := &Server{
+		cfg:    cfg,
+		name:   prog.Name,
+		module: res.Module,
+		params: params,
+		enc:    ckks.NewEncoder(params),
+		boot:   bt,
+		spec: api.ProgramSpec{
+			Name:        prog.Name,
+			Params:      paramBytes,
+			LogN:        res.Literal.LogN,
+			VecLen:      prog.VecLen,
+			InputLevel:  res.InputLevel,
+			InputScale:  res.InputScale,
+			Rotations:   rotations,
+			Conjugation: conj,
+			NeedRlk:     true,
+			Bootstraps:  res.Bootstraps,
+		},
+		needRlk:  true,
+		sessions: newSessionCache(cfg.SessionBudget),
+		lat:      newLatencyWindow(cfg.LatencyWindow),
+	}
+	rQ := params.RingQ()
+	for _, k := range rotations {
+		s.required = append(s.required, rQ.GaloisElementForRotation(k))
+	}
+	if conj {
+		s.required = append(s.required, rQ.GaloisElementForConjugation())
+	}
+	s.sched = newScheduler(cfg.QueueDepth, cfg.Workers, s.execute)
+
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET "+api.PathProgram, s.handleProgram)
+	mux.HandleFunc("POST "+api.PathSessions, s.handleRegister)
+	mux.HandleFunc("DELETE "+api.PathSessions+"/{id}", s.handleDrop)
+	mux.HandleFunc("POST "+api.PathInfer, s.handleInfer)
+	mux.HandleFunc("GET "+api.PathHealthz, s.handleHealthz)
+	mux.HandleFunc("GET "+api.PathStatz, s.handleStatz)
+	s.mux = mux
+	return s, nil
+}
+
+// ServeHTTP dispatches to the v1 API.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+// Spec returns the program spec served at /v1/program.
+func (s *Server) Spec() api.ProgramSpec { return s.spec }
+
+// Drain stops accepting inference work, waits for every accepted request
+// to finish (each carries a deadline, so the wait is bounded), then
+// stops the workers. Safe to call once; the HTTP listener should be shut
+// down alongside it.
+func (s *Server) Drain(ctx context.Context) error {
+	s.mu.Lock()
+	already := s.draining
+	s.draining = true
+	s.mu.Unlock()
+	if already {
+		return nil
+	}
+	done := make(chan struct{})
+	go func() {
+		s.sched.stop()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// tryEnqueue submits a job unless the server drains or the queue is
+// full. The read lock pairs with Drain's write lock so no send can race
+// the queue close.
+func (s *Server) tryEnqueue(j *job) (ok, draining bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if s.draining {
+		return false, true
+	}
+	select {
+	case s.sched.queue <- j:
+		return true, false
+	default:
+		return false, false
+	}
+}
+
+// execute runs one job on a fresh per-request machine around the shared
+// read-only parts; it is called from worker goroutines.
+func (s *Server) execute(j *job) jobResult {
+	if s.beforeExec != nil {
+		s.beforeExec(j)
+	}
+	m := vm.NewMachine(s.params, j.sess.keys, s.boot, s.enc)
+	out, err := m.RunCtx(j.ctx, s.module, j.ct)
+	return jobResult{ct: out, err: err}
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func writeErr(w http.ResponseWriter, status int, format string, args ...any) {
+	writeJSON(w, status, api.ErrorReply{Error: fmt.Sprintf(format, args...)})
+}
+
+// readBody reads a bounded octet-stream body.
+func readBody(w http.ResponseWriter, r *http.Request, limit int64) ([]byte, error) {
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, limit))
+	if err != nil {
+		return nil, fmt.Errorf("reading body: %w", err)
+	}
+	return body, nil
+}
+
+func (s *Server) handleProgram(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.spec)
+}
+
+// validateKeys rejects bundles that would fail mid-request: the server
+// checks key completeness at registration time, when the client can
+// still fix it, rather than at evaluation time.
+func (s *Server) validateKeys(keys *ckks.EvaluationKeySet) error {
+	if s.needRlk && keys.Rlk == nil {
+		return fmt.Errorf("bundle is missing the relinearization key")
+	}
+	var missing []uint64
+	for _, gal := range s.required {
+		if _, err := keys.GaloisKeyFor(gal); err != nil {
+			missing = append(missing, gal)
+		}
+	}
+	if len(missing) > 0 {
+		if len(missing) > 8 {
+			return fmt.Errorf("bundle is missing %d Galois keys (first: %v)", len(missing), missing[:8])
+		}
+		return fmt.Errorf("bundle is missing Galois keys for elements %v", missing)
+	}
+	return nil
+}
+
+func (s *Server) handleRegister(w http.ResponseWriter, r *http.Request) {
+	body, err := readBody(w, r, s.cfg.MaxUploadBytes)
+	if err != nil {
+		writeErr(w, http.StatusRequestEntityTooLarge, "key upload: %v", err)
+		return
+	}
+	keys := &ckks.EvaluationKeySet{}
+	if err := keys.UnmarshalBinary(body); err != nil {
+		writeErr(w, http.StatusBadRequest, "decoding key bundle: %v", err)
+		return
+	}
+	if err := s.validateKeys(keys); err != nil {
+		writeErr(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	sess, err := s.sessions.put(keys, int64(len(body)))
+	if err != nil {
+		writeErr(w, http.StatusRequestEntityTooLarge, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusCreated, api.SessionReply{
+		SessionID: sess.id,
+		KeyBytes:  sess.bytes,
+		GaloisLen: len(keys.Galois),
+	})
+}
+
+func (s *Server) handleDrop(w http.ResponseWriter, r *http.Request) {
+	if !s.sessions.drop(r.PathValue("id")) {
+		writeErr(w, http.StatusNotFound, "unknown session")
+		return
+	}
+	w.WriteHeader(http.StatusNoContent)
+}
+
+// deadline resolves the per-request deadline from the header, clamped to
+// the configured maximum.
+func (s *Server) deadline(r *http.Request) (time.Duration, error) {
+	h := r.Header.Get(api.HeaderDeadlineMs)
+	if h == "" {
+		return s.cfg.DefaultDeadline, nil
+	}
+	ms, err := strconv.ParseInt(h, 10, 64)
+	if err != nil || ms <= 0 {
+		return 0, fmt.Errorf("bad %s header %q", api.HeaderDeadlineMs, h)
+	}
+	d := time.Duration(ms) * time.Millisecond
+	if d > s.cfg.MaxDeadline {
+		d = s.cfg.MaxDeadline
+	}
+	return d, nil
+}
+
+func (s *Server) handleInfer(w http.ResponseWriter, r *http.Request) {
+	id := r.Header.Get(api.HeaderSession)
+	if id == "" {
+		id = r.URL.Query().Get("session")
+	}
+	if id == "" {
+		writeErr(w, http.StatusBadRequest, "missing %s header", api.HeaderSession)
+		return
+	}
+	d, err := s.deadline(r)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	body, err := readBody(w, r, s.cfg.MaxCipherBytes)
+	if err != nil {
+		writeErr(w, http.StatusRequestEntityTooLarge, "ciphertext: %v", err)
+		return
+	}
+	ct := &ckks.Ciphertext{}
+	if err := ct.UnmarshalBinary(body); err != nil {
+		writeErr(w, http.StatusBadRequest, "decoding ciphertext: %v", err)
+		return
+	}
+	sess, ok := s.sessions.get(id)
+	if !ok {
+		writeErr(w, http.StatusNotFound, "unknown session %s (register keys first)", id)
+		return
+	}
+
+	ctx, cancel := context.WithTimeout(r.Context(), d)
+	defer cancel()
+	j := &job{ctx: ctx, sess: sess, ct: ct, done: make(chan jobResult, 1), enqueued: time.Now()}
+	ok, draining := s.tryEnqueue(j)
+	if draining {
+		writeErr(w, http.StatusServiceUnavailable, "server is draining")
+		return
+	}
+	if !ok {
+		s.stats.rejected.Add(1)
+		w.Header().Set("Retry-After", strconv.Itoa(int(s.cfg.RetryAfter/time.Second)))
+		writeErr(w, http.StatusTooManyRequests, "queue full (%d deep)", s.cfg.QueueDepth)
+		return
+	}
+
+	select {
+	case res := <-j.done:
+		s.finish(w, j, res)
+	case <-ctx.Done():
+		// Still queued or mid-evaluation; the worker observes the same
+		// context and abandons the job.
+		s.failCtx(w, ctx.Err(), d)
+	}
+}
+
+// finish writes a completed job's response.
+func (s *Server) finish(w http.ResponseWriter, j *job, res jobResult) {
+	if res.err != nil {
+		if errors.Is(res.err, context.DeadlineExceeded) || errors.Is(res.err, context.Canceled) {
+			s.failCtx(w, res.err, 0)
+			return
+		}
+		s.stats.failed.Add(1)
+		writeErr(w, http.StatusInternalServerError, "evaluation failed: %v", res.err)
+		return
+	}
+	out, err := res.ct.MarshalBinary()
+	if err != nil {
+		s.stats.failed.Add(1)
+		writeErr(w, http.StatusInternalServerError, "encoding result: %v", err)
+		return
+	}
+	s.stats.served.Add(1)
+	s.lat.add(time.Since(j.enqueued))
+	w.Header().Set("Content-Type", api.ContentTypeBinary)
+	w.WriteHeader(http.StatusOK)
+	_, _ = w.Write(out)
+}
+
+// failCtx maps a context error to its HTTP status: an expired deadline is
+// 504; a client that went away gets a best-effort 499 (nobody reads it).
+func (s *Server) failCtx(w http.ResponseWriter, err error, d time.Duration) {
+	if errors.Is(err, context.DeadlineExceeded) {
+		s.stats.timedOut.Add(1)
+		if d > 0 {
+			writeErr(w, http.StatusGatewayTimeout, "deadline of %s exceeded", d)
+		} else {
+			writeErr(w, http.StatusGatewayTimeout, "deadline exceeded")
+		}
+		return
+	}
+	w.WriteHeader(499) // client closed request (nginx convention)
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	s.mu.RLock()
+	draining := s.draining
+	s.mu.RUnlock()
+	if draining {
+		writeJSON(w, http.StatusServiceUnavailable, api.Healthz{Status: "draining"})
+		return
+	}
+	writeJSON(w, http.StatusOK, api.Healthz{Status: "ok"})
+}
+
+func (s *Server) handleStatz(w http.ResponseWriter, r *http.Request) {
+	count, used, hits, misses, evictions := s.sessions.snapshot()
+	p50, p90, p99 := s.lat.quantiles()
+	s.mu.RLock()
+	draining := s.draining
+	s.mu.RUnlock()
+	writeJSON(w, http.StatusOK, api.Statz{
+		Served:           s.stats.served.Load(),
+		Rejected:         s.stats.rejected.Load(),
+		TimedOut:         s.stats.timedOut.Load(),
+		Failed:           s.stats.failed.Load(),
+		QueueDepth:       len(s.sched.queue),
+		QueueCap:         s.cfg.QueueDepth,
+		Workers:          s.cfg.Workers,
+		Draining:         draining,
+		Sessions:         count,
+		SessionBytes:     used,
+		SessionBudget:    s.cfg.SessionBudget,
+		SessionHits:      hits,
+		SessionMisses:    misses,
+		SessionEvictions: evictions,
+		LatencyMsP50:     p50,
+		LatencyMsP90:     p90,
+		LatencyMsP99:     p99,
+	})
+}

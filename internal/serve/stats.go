@@ -1,0 +1,61 @@
+package serve
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// counters are the monotone request counters behind /v1/statz.
+type counters struct {
+	served   atomic.Uint64 // completed with a 200
+	rejected atomic.Uint64 // 429: queue full
+	timedOut atomic.Uint64 // 504: deadline expired while queued or running
+	failed   atomic.Uint64 // 5xx: evaluation error
+}
+
+// latencyWindow keeps the most recent request latencies in a fixed ring
+// and computes quantiles on demand — O(1) memory, no dependency, and
+// precise enough for a /statz page (exact over the window).
+type latencyWindow struct {
+	mu     sync.Mutex
+	buf    []time.Duration
+	next   int
+	filled int
+}
+
+func newLatencyWindow(size int) *latencyWindow {
+	if size <= 0 {
+		size = 1024
+	}
+	return &latencyWindow{buf: make([]time.Duration, size)}
+}
+
+func (w *latencyWindow) add(d time.Duration) {
+	w.mu.Lock()
+	w.buf[w.next] = d
+	w.next = (w.next + 1) % len(w.buf)
+	if w.filled < len(w.buf) {
+		w.filled++
+	}
+	w.mu.Unlock()
+}
+
+// quantiles returns the p50/p90/p99 latencies in milliseconds over the
+// window, or zeros when nothing has been recorded.
+func (w *latencyWindow) quantiles() (p50, p90, p99 float64) {
+	w.mu.Lock()
+	sample := make([]time.Duration, w.filled)
+	copy(sample, w.buf[:w.filled])
+	w.mu.Unlock()
+	if len(sample) == 0 {
+		return 0, 0, 0
+	}
+	sort.Slice(sample, func(i, j int) bool { return sample[i] < sample[j] })
+	at := func(q float64) float64 {
+		i := int(q * float64(len(sample)-1))
+		return float64(sample[i]) / float64(time.Millisecond)
+	}
+	return at(0.50), at(0.90), at(0.99)
+}

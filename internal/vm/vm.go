@@ -7,6 +7,7 @@
 package vm
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -86,6 +87,26 @@ func New(res *ckksir.Result, vecLen int, seed *[32]byte) (*Machine, *Client, err
 	return m, c, nil
 }
 
+// NewMachine assembles a server machine from shared, read-only parts and
+// one client's evaluation keys: the serving layer holds a single set of
+// parameters, one encoder and (when the program bootstraps) one
+// bootstrapper, all safe to share across machines, while the Evaluator is
+// created fresh here because it is per-goroutine. The keys typically
+// arrive over the wire (ckks.EvaluationKeySet.UnmarshalBinary) rather
+// than from a local KeyGenerator — the server never sees a secret key.
+func NewMachine(params *ckks.Parameters, keys *ckks.EvaluationKeySet, bt *bootstrap.Bootstrapper, enc *ckks.Encoder) *Machine {
+	if enc == nil {
+		enc = ckks.NewEncoder(params)
+	}
+	return &Machine{
+		Params:   params,
+		Eval:     ckks.NewEvaluator(params, keys),
+		Boot:     bt,
+		enc:      enc,
+		KeyCount: len(keys.Galois),
+	}
+}
+
 // Encrypt packs and encrypts a slot vector at the compiled input level
 // and scale.
 func (c *Client) Encrypt(values []float64) (*ckks.Ciphertext, error) {
@@ -106,6 +127,15 @@ func (c *Client) Decrypt(ct *ckks.Ciphertext) []float64 {
 
 // Run executes the module's main function on an encrypted input.
 func (m *Machine) Run(mod *ir.Module, input *ckks.Ciphertext) (*ckks.Ciphertext, error) {
+	return m.RunCtx(context.Background(), mod, input)
+}
+
+// RunCtx executes the module's main function on an encrypted input,
+// checking ctx between instructions: when a serving deadline expires the
+// run aborts with ctx.Err() instead of completing doomed work. One
+// instruction is the abort granularity — a bootstrap, the longest single
+// op, still runs to completion once started.
+func (m *Machine) RunCtx(ctx context.Context, mod *ir.Module, input *ckks.Ciphertext) (*ckks.Ciphertext, error) {
 	f := mod.Main()
 	if f == nil {
 		return nil, fmt.Errorf("vm: empty module")
@@ -121,6 +151,9 @@ func (m *Machine) Run(mod *ir.Module, input *ckks.Ciphertext) (*ckks.Ciphertext,
 	}
 
 	for idx, in := range f.Body {
+		if err := ctx.Err(); err != nil {
+			return nil, fmt.Errorf("vm: aborted before instr %d (%s): %w", idx, in.Op, err)
+		}
 		var err error
 		switch in.Op {
 		case ckksir.OpEncode:

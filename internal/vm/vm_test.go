@@ -1,9 +1,13 @@
 package vm
 
 import (
+	"context"
+	"errors"
 	"math"
 	"testing"
+	"time"
 
+	"antace/internal/ckks"
 	"antace/internal/ckksir"
 	"antace/internal/ir"
 	"antace/internal/nnir"
@@ -70,6 +74,93 @@ func TestMachineRunsLinearModel(t *testing.T) {
 	}
 	if machine.KeyCount != len(res.Rotations) {
 		t.Fatalf("key count %d, analysis says %d", machine.KeyCount, len(res.Rotations))
+	}
+}
+
+// TestRunCtxCancellation proves server deadlines reach the run loop: a
+// context canceled mid-flight aborts the program between instructions.
+func TestRunCtxCancellation(t *testing.T) {
+	res, vres := compileLinear(t)
+	machine, client, err := New(res, vres.InLayout.L, ring.SeedFromInt(11))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ct, err := client.Encrypt(make([]float64, vres.InLayout.L))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := machine.RunCtx(ctx, res.Module, ct); !errors.Is(err, context.Canceled) {
+		t.Fatalf("expected context.Canceled, got %v", err)
+	}
+
+	ctx2, cancel2 := context.WithTimeout(context.Background(), time.Nanosecond)
+	defer cancel2()
+	time.Sleep(time.Millisecond)
+	if _, err := machine.RunCtx(ctx2, res.Module, ct); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("expected context.DeadlineExceeded, got %v", err)
+	}
+
+	// A live context still runs to completion.
+	if _, err := machine.RunCtx(context.Background(), res.Module, ct); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestNewMachineFromWireKeys replays the serving flow in miniature: the
+// client generates keys, ships them as bytes, and a machine built from
+// the deserialized set produces the same decrypted result as the
+// locally keyed one.
+func TestNewMachineFromWireKeys(t *testing.T) {
+	res, vres := compileLinear(t)
+	machine, client, err := New(res, vres.InLayout.L, ring.SeedFromInt(12))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	params, err := ckks.NewParameters(res.Literal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	kg := ckks.NewKeyGenerator(params, ring.SeedFromInt(12))
+	sk := kg.GenSecretKey()
+	keys := &ckks.EvaluationKeySet{
+		Rlk:    kg.GenRelinearizationKey(sk),
+		Galois: kg.GenGaloisKeys(res.Rotations, false, sk),
+	}
+	wire, err := keys.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got ckks.EvaluationKeySet
+	if err := got.UnmarshalBinary(wire); err != nil {
+		t.Fatal(err)
+	}
+
+	remote := NewMachine(params, &got, nil, nil)
+	input := make([]float64, vres.InLayout.L)
+	for i := range input {
+		input[i] = float64(i%3)/3 - 0.3
+	}
+	ct, err := client.Encrypt(input)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out1, err := machine.Run(res.Module, ct)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out2, err := remote.Run(res.Module, ct)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, b := client.Decrypt(out1), client.Decrypt(out2)
+	for i := range a {
+		if math.Abs(a[i]-b[i]) > 1e-4 {
+			t.Fatalf("slot %d: local keys %g, wire keys %g", i, a[i], b[i])
+		}
 	}
 }
 
