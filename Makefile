@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test verify race bench serve-smoke
+.PHONY: build test verify race bench serve-smoke chaos
 
 build:
 	$(GO) build ./...
@@ -22,9 +22,19 @@ race:
 serve-smoke:
 	$(GO) test -count=1 -run 'TestLoopbackInference' ./internal/serve/ -v
 
+# Chaos suite: deterministic fault injection (internal/fault) drives the
+# daemon through worker panics, dropped responses and queue-full storms
+# under the race detector. Seeds are fixed inside the tests, so failures
+# replay exactly; -count=1 defeats the test cache because fault points
+# are process-global state.
+chaos:
+	$(GO) test -count=1 -race -run 'Chaos' ./internal/serve/ -v
+	$(GO) test -count=1 -race ./internal/fault/
+
 verify:
 	$(GO) vet ./...
 	$(MAKE) race
+	$(MAKE) chaos
 	$(GO) test ./...
 
 # Microbenchmarks for the limb-parallel engine and buffer pooling

@@ -27,6 +27,7 @@ import (
 	"time"
 
 	"antace"
+	"antace/internal/fault"
 	"antace/internal/onnx"
 	"antace/internal/serve"
 )
@@ -44,6 +45,16 @@ func main() {
 		drainTimeout = flag.Duration("drain-timeout", 30*time.Second, "how long to wait for in-flight requests on shutdown")
 	)
 	flag.Parse()
+
+	// Chaos runs arm deterministic fault injection via ACE_FAULTS (see
+	// internal/fault); outside of them this is a no-op.
+	if armed, err := fault.ArmFromEnv(); err != nil {
+		log.Fatalf("aced: ACE_FAULTS: %v", err)
+	} else if armed {
+		for _, p := range fault.Snapshot() {
+			log.Printf("aced: fault armed: %s (seed %d, count %d)", p.Point, p.Seed, p.Count)
+		}
+	}
 
 	model, name, err := loadModel(*modelPath)
 	if err != nil {
@@ -110,8 +121,20 @@ func main() {
 	if err := httpSrv.Shutdown(shCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
 		log.Printf("aced: http shutdown: %v", err)
 	}
-	if err := <-drained; err != nil {
-		log.Printf("aced: drain incomplete: %v", err)
+	drainErr := <-drained
+
+	// Flush the final counters and close any armed fault injectors so a
+	// chaos run's log ends with a reconcilable account of what happened.
+	st := srv.StatzSnapshot()
+	log.Printf("aced: final counters: served=%d rejected=%d timed_out=%d failed=%d panics=%d idem_replays=%d faults_fired=%d",
+		st.Served, st.Rejected, st.TimedOut, st.Failed, st.Panics, st.IdemReplays, st.FaultsFired)
+	for _, p := range fault.Snapshot() {
+		log.Printf("aced: fault %s fired %d/%d (calls %d)", p.Point, p.Fired, p.Count, p.Calls)
+	}
+	fault.Disarm()
+
+	if drainErr != nil {
+		log.Printf("aced: drain incomplete: %v", drainErr)
 		os.Exit(1)
 	}
 	log.Printf("aced: drained cleanly")

@@ -296,7 +296,9 @@ func (bt *Bootstrapper) Bootstrap(ev *ckks.Evaluator, ct *ckks.Ciphertext, targe
 	// was built with, so the output values carry a factor rel = D'/D.
 	out.Scale = out.Scale * rel
 	if out.Level() > targetLevel {
-		ev.DropLevel(out, out.Level()-targetLevel)
+		if err := ev.DropLevel(out, out.Level()-targetLevel); err != nil {
+			return nil, err
+		}
 	}
 	return out, nil
 }

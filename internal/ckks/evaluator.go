@@ -5,6 +5,7 @@ import (
 	"math"
 	"math/big"
 
+	"antace/internal/fault"
 	"antace/internal/nt"
 	"antace/internal/par"
 	"antace/internal/ring"
@@ -43,19 +44,20 @@ func scaleClose(a, b float64) bool {
 
 // alignLevels drops both ciphertexts to their common level, returning
 // copies when truncation is needed.
-func (ev *Evaluator) alignLevels(a, b *Ciphertext) (*Ciphertext, *Ciphertext) {
+func (ev *Evaluator) alignLevels(a, b *Ciphertext) (*Ciphertext, *Ciphertext, error) {
 	la, lb := a.Level(), b.Level()
 	if la == lb {
-		return a, b
+		return a, b, nil
 	}
+	var err error
 	if la > lb {
 		a = a.CopyNew()
-		ev.DropLevel(a, la-lb)
+		err = ev.DropLevel(a, la-lb)
 	} else {
 		b = b.CopyNew()
-		ev.DropLevel(b, lb-la)
+		err = ev.DropLevel(b, lb-la)
 	}
-	return a, b
+	return a, b, err
 }
 
 // Add returns a + b. Scales must match; levels are aligned automatically.
@@ -63,7 +65,10 @@ func (ev *Evaluator) Add(a, b *Ciphertext) (*Ciphertext, error) {
 	if !scaleClose(a.Scale, b.Scale) {
 		return nil, fmt.Errorf("ckks: addition scale mismatch: %g vs %g", a.Scale, b.Scale)
 	}
-	a, b = ev.alignLevels(a, b)
+	a, b, err := ev.alignLevels(a, b)
+	if err != nil {
+		return nil, err
+	}
 	rQ := ev.params.RingQ()
 	deg := max(a.Degree(), b.Degree())
 	out := NewCiphertext(ev.params, deg, a.Level())
@@ -105,7 +110,9 @@ func (ev *Evaluator) AddPlain(a *Ciphertext, pt *Plaintext) (*Ciphertext, error)
 	}
 	level := min(a.Level(), pt.Level())
 	out := a.CopyNew()
-	ev.DropLevel(out, a.Level()-level)
+	if err := ev.DropLevel(out, a.Level()-level); err != nil {
+		return nil, err
+	}
 	ev.params.RingQ().Add(out.Value[0], pt.Value, out.Value[0])
 	return out, nil
 }
@@ -117,7 +124,9 @@ func (ev *Evaluator) SubPlain(a *Ciphertext, pt *Plaintext) (*Ciphertext, error)
 	}
 	level := min(a.Level(), pt.Level())
 	out := a.CopyNew()
-	ev.DropLevel(out, a.Level()-level)
+	if err := ev.DropLevel(out, a.Level()-level); err != nil {
+		return nil, err
+	}
 	ev.params.RingQ().Sub(out.Value[0], pt.Value, out.Value[0])
 	return out, nil
 }
@@ -140,7 +149,10 @@ func (ev *Evaluator) Mul(a, b *Ciphertext) (*Ciphertext, error) {
 	if a.Degree() != 1 || b.Degree() != 1 {
 		return nil, fmt.Errorf("ckks: Mul requires degree-1 inputs (got %d and %d); relinearise first", a.Degree(), b.Degree())
 	}
-	a, b = ev.alignLevels(a, b)
+	a, b, err := ev.alignLevels(a, b)
+	if err != nil {
+		return nil, err
+	}
 	rQ := ev.params.RingQ()
 	out := NewCiphertext(ev.params, 2, a.Level())
 	out.Scale = a.Scale * b.Scale
@@ -192,6 +204,9 @@ func (ev *Evaluator) Relinearize(ct *Ciphertext) (*Ciphertext, error) {
 // Rescale divides the ciphertext by its last prime, dropping one level
 // and dividing the scale accordingly.
 func (ev *Evaluator) Rescale(ct *Ciphertext) (*Ciphertext, error) {
+	if ferr := fault.Inject(fault.CKKSRescaleErr); ferr != nil {
+		return nil, ferr
+	}
 	level := ct.Level()
 	if level == 0 {
 		return nil, fmt.Errorf("ckks: cannot rescale at level 0")
@@ -201,24 +216,30 @@ func (ev *Evaluator) Rescale(ct *Ciphertext) (*Ciphertext, error) {
 	out := &Ciphertext{Value: make([]*ring.Poly, len(ct.Value)), Scale: ct.Scale / float64(ql)}
 	for i := range ct.Value {
 		out.Value[i] = rQ.NewPoly(level)
-		rQ.DivRoundByLastModulusNTT(ct.Value[i], out.Value[i])
+		if err := rQ.DivRoundByLastModulusNTT(ct.Value[i], out.Value[i]); err != nil {
+			return nil, err
+		}
 	}
 	return out, nil
 }
 
 // DropLevel truncates the ciphertext by n levels in place (exact RNS
-// modulus switching: the scale is unchanged).
-func (ev *Evaluator) DropLevel(ct *Ciphertext, n int) {
+// modulus switching: the scale is unchanged). Dropping below level 0 is
+// reported as an error — compiled programs can legitimately reach it
+// when level tracking and runtime state diverge, and the serving layer
+// must surface that as a request failure, not a crash.
+func (ev *Evaluator) DropLevel(ct *Ciphertext, n int) error {
 	if n <= 0 {
-		return
+		return nil
 	}
 	level := ct.Level()
 	if n > level {
-		panic("ckks: DropLevel below 0")
+		return fmt.Errorf("ckks: cannot drop %d levels from level %d", n, level)
 	}
 	for i := range ct.Value {
 		ct.Value[i].Resize(level-n, ev.params.N())
 	}
+	return nil
 }
 
 // ScaleUp multiplies the ciphertext by the integer u and declares the

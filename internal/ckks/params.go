@@ -222,3 +222,13 @@ func (p *Parameters) Literal() ParametersLiteral { return p.lit }
 // BasisExtender exposes the Q<->P conversion engine (used by the
 // evaluator and the bootstrapper).
 func (p *Parameters) BasisExtender() *ring.BasisExtender { return p.be }
+
+// DiscardScratch orphans the scratch pools of both rings. Recovery
+// boundaries call it after catching a panic that unwound through pooled
+// buffers: whatever state those buffers were left in, they are never
+// recycled into later evaluations. Safe under concurrent use — healthy
+// in-flight operations at worst lose their buffers to the GC.
+func (p *Parameters) DiscardScratch() {
+	p.ringQ.DiscardPools()
+	p.ringP.DiscardPools()
+}

@@ -313,7 +313,9 @@ func (pe *polyEvalState) evalBaby(coeffs []float64, scale float64) (*Ciphertext,
 		term := ev.MulByConst(base, coeffs[i], s/base.Scale)
 		term.Scale = s
 		if term.Level() > lcom {
-			ev.DropLevel(term, term.Level()-lcom)
+			if err := ev.DropLevel(term, term.Level()-lcom); err != nil {
+				return nil, err
+			}
 		}
 		if acc == nil {
 			acc = term
@@ -331,7 +333,9 @@ func (pe *polyEvalState) evalBaby(coeffs []float64, scale float64) (*Ciphertext,
 		acc = ev.MulByConst(base, 0, 1)
 		acc.Scale = s
 		if acc.Level() > lcom {
-			ev.DropLevel(acc, acc.Level()-lcom)
+			if err := ev.DropLevel(acc, acc.Level()-lcom); err != nil {
+				return nil, err
+			}
 		}
 	}
 	if coeffs[0] != 0 {
@@ -407,7 +411,9 @@ func (ev *Evaluator) EvaluateReLU(ct *Ciphertext, stages []*poly.Polynomial, bou
 	// relu(x) = x * h(x/bound): multiply by the original ciphertext.
 	xd := ct.CopyNew()
 	if xd.Level() > h.Level() {
-		ev.DropLevel(xd, xd.Level()-h.Level())
+		if err := ev.DropLevel(xd, xd.Level()-h.Level()); err != nil {
+			return nil, err
+		}
 	}
 	prod, err := ev.Mul(xd, h)
 	if err != nil {

@@ -1,0 +1,202 @@
+package fault
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+)
+
+func TestParseSpec(t *testing.T) {
+	cases := []struct {
+		spec string
+		want []SpecEntry
+		ok   bool
+	}{
+		{"", nil, true},
+		{"  ", nil, true},
+		{"serve.worker.panic", []SpecEntry{{Point: "serve.worker.panic", Count: 1}}, true},
+		{"p:3", []SpecEntry{{Point: "p", Count: 3}}, true},
+		{"p:3:7", []SpecEntry{{Point: "p", Count: 3, Seed: 7}}, true},
+		{"a:1:0, b:2:5", []SpecEntry{{Point: "a", Count: 1}, {Point: "b", Count: 2, Seed: 5}}, true},
+		{"p:0", nil, false},      // zero count
+		{"p:x", nil, false},      // non-numeric count
+		{"p:1:y", nil, false},    // non-numeric seed
+		{"p:1:2:3", nil, false},  // too many fields
+		{":1", nil, false},       // empty name
+		{"a,,b", nil, false},     // empty entry
+		{"a:1,a:2", nil, false},  // duplicate point
+		{"a b:1", nil, false},    // whitespace in name
+		{"p:18446744073709551615", []SpecEntry{{Point: "p", Count: ^uint64(0)}}, true},
+	}
+	for _, c := range cases {
+		got, err := ParseSpec(c.spec)
+		if c.ok != (err == nil) {
+			t.Fatalf("ParseSpec(%q): err=%v, want ok=%v", c.spec, err, c.ok)
+		}
+		if !c.ok {
+			continue
+		}
+		if len(got) != len(c.want) {
+			t.Fatalf("ParseSpec(%q) = %+v, want %+v", c.spec, got, c.want)
+		}
+		for i := range got {
+			if got[i] != c.want[i] {
+				t.Fatalf("ParseSpec(%q)[%d] = %+v, want %+v", c.spec, i, got[i], c.want[i])
+			}
+		}
+	}
+}
+
+// TestInjectWindow pins the deterministic firing semantics: with
+// count=2, seed=1 the point fires on exactly invocations 2 and 3.
+func TestInjectWindow(t *testing.T) {
+	t.Cleanup(Disarm)
+	if err := Arm("p:2:1"); err != nil {
+		t.Fatal(err)
+	}
+	var fires []int
+	for i := 1; i <= 6; i++ {
+		if err := Inject("p"); err != nil {
+			fires = append(fires, i)
+			var inj *InjectedError
+			if !errors.As(err, &inj) || inj.Point != "p" {
+				t.Fatalf("invocation %d returned %v, want *InjectedError for p", i, err)
+			}
+		}
+	}
+	if len(fires) != 2 || fires[0] != 2 || fires[1] != 3 {
+		t.Fatalf("fired on invocations %v, want [2 3]", fires)
+	}
+	snap := Snapshot()
+	if len(snap) != 1 || snap[0].Calls != 6 || snap[0].Fired != 2 {
+		t.Fatalf("snapshot %+v, want 6 calls / 2 fired", snap)
+	}
+	if TotalFired() != 2 {
+		t.Fatalf("TotalFired = %d, want 2", TotalFired())
+	}
+}
+
+func TestInjectDisarmedIsNil(t *testing.T) {
+	Disarm()
+	for i := 0; i < 3; i++ {
+		if err := Inject("anything"); err != nil {
+			t.Fatalf("disarmed Inject returned %v", err)
+		}
+	}
+	if Snapshot() != nil {
+		t.Fatalf("disarmed snapshot should be nil")
+	}
+}
+
+func TestInjectUnarmedPointIsNil(t *testing.T) {
+	t.Cleanup(Disarm)
+	if err := Arm("other:1"); err != nil {
+		t.Fatal(err)
+	}
+	if err := Inject("p"); err != nil {
+		t.Fatalf("unarmed point fired: %v", err)
+	}
+}
+
+func TestInjectPanicConvertsThroughFromPanic(t *testing.T) {
+	t.Cleanup(Disarm)
+	if err := Arm("boom:1"); err != nil {
+		t.Fatal(err)
+	}
+	var re *RuntimeError
+	func() {
+		defer func() {
+			if rec := recover(); rec != nil {
+				re = FromPanic("test.op", rec)
+			}
+		}()
+		InjectPanic("boom")
+	}()
+	if re == nil {
+		t.Fatal("InjectPanic did not panic")
+	}
+	if re.Code != CodeEvalPanic || re.Op != "test.op" || len(re.Stack) == 0 {
+		t.Fatalf("FromPanic produced %+v", re)
+	}
+	var inj *InjectedError
+	if !errors.As(re, &inj) {
+		t.Fatalf("RuntimeError does not unwrap to the injected cause: %v", re)
+	}
+}
+
+func TestArmFromEnv(t *testing.T) {
+	t.Cleanup(Disarm)
+	t.Setenv("ACE_FAULTS", "p:1:0")
+	armed, err := ArmFromEnv()
+	if err != nil || !armed {
+		t.Fatalf("ArmFromEnv = %v, %v", armed, err)
+	}
+	if err := Inject("p"); err == nil {
+		t.Fatal("armed point did not fire")
+	}
+
+	t.Setenv("ACE_FAULTS", "")
+	armed, err = ArmFromEnv()
+	if err != nil || armed {
+		t.Fatalf("empty ACE_FAULTS: armed=%v err=%v", armed, err)
+	}
+
+	t.Setenv("ACE_FAULTS", "p:bad")
+	if _, err := ArmFromEnv(); err == nil {
+		t.Fatal("bad ACE_FAULTS accepted")
+	}
+}
+
+func TestAsRuntime(t *testing.T) {
+	if AsRuntime(CodeEvalError, "op", nil) != nil {
+		t.Fatal("nil error should map to nil")
+	}
+	plain := fmt.Errorf("plain failure")
+	re := AsRuntime(CodeEvalError, "op", plain)
+	if re.Code != CodeEvalError || !errors.Is(re, plain) {
+		t.Fatalf("plain error wrapped as %+v", re)
+	}
+	// Already-typed errors pass through unchanged, even wrapped.
+	wrapped := fmt.Errorf("ctx: %w", re)
+	if got := AsRuntime(CodeEvalPanic, "other", wrapped); got != re {
+		t.Fatalf("typed error rewrapped: %+v", got)
+	}
+	// Injection errors are coded CodeInjected.
+	inj := &InjectedError{Point: "p", Hit: 1}
+	if got := AsRuntime(CodeEvalError, "op", fmt.Errorf("x: %w", inj)); got.Code != CodeInjected {
+		t.Fatalf("injected error coded %q, want %q", got.Code, CodeInjected)
+	}
+}
+
+// TestInjectConcurrent drives an armed point from many goroutines under
+// -race: exactly count fires happen, whatever the interleaving.
+func TestInjectConcurrent(t *testing.T) {
+	t.Cleanup(Disarm)
+	if err := Arm("c:5:10"); err != nil {
+		t.Fatal(err)
+	}
+	const goroutines, per = 8, 25
+	fires := make(chan struct{}, goroutines*per)
+	done := make(chan struct{})
+	for g := 0; g < goroutines; g++ {
+		go func() {
+			for i := 0; i < per; i++ {
+				if Inject("c") != nil {
+					fires <- struct{}{}
+				}
+			}
+			done <- struct{}{}
+		}()
+	}
+	for g := 0; g < goroutines; g++ {
+		<-done
+	}
+	close(fires)
+	n := 0
+	for range fires {
+		n++
+	}
+	if n != 5 {
+		t.Fatalf("%d fires, want exactly 5", n)
+	}
+}

@@ -1,0 +1,46 @@
+package fault
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzParseSpec hardens the ACE_FAULTS parser: arbitrary input must
+// either parse into well-formed entries or fail cleanly — never panic,
+// and never produce an entry the spec grammar forbids.
+func FuzzParseSpec(f *testing.F) {
+	f.Add("serve.worker.panic:1:0")
+	f.Add("a:1,b:2:3")
+	f.Add("p:18446744073709551615:18446744073709551615")
+	f.Add(" , ")
+	f.Add("::::")
+	f.Add("a:1,a:1")
+	f.Add(strings.Repeat("x", 1024))
+	f.Fuzz(func(t *testing.T, spec string) {
+		entries, err := ParseSpec(spec)
+		if err != nil {
+			if entries != nil {
+				t.Fatalf("error %v alongside entries %+v", err, entries)
+			}
+			return
+		}
+		seen := map[string]bool{}
+		for _, e := range entries {
+			if e.Point == "" || strings.ContainsAny(e.Point, " \t,:") {
+				t.Fatalf("accepted malformed point name %q from %q", e.Point, spec)
+			}
+			if e.Count == 0 {
+				t.Fatalf("accepted zero count from %q", spec)
+			}
+			if seen[e.Point] {
+				t.Fatalf("accepted duplicate point %q from %q", e.Point, spec)
+			}
+			seen[e.Point] = true
+		}
+		// A parsed spec must arm without error (Arm = ParseSpec + install).
+		if err := Arm(spec); err != nil {
+			t.Fatalf("ParseSpec accepted %q but Arm rejected it: %v", spec, err)
+		}
+		Disarm()
+	})
+}

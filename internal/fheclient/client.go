@@ -11,30 +11,38 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
+	"math/rand/v2"
 	"net/http"
 	"strconv"
 	"sync"
 	"time"
 
 	"antace/internal/ckks"
+	"antace/internal/fault"
 	"antace/internal/serve/api"
 )
 
 // APIError is a non-2xx reply from the daemon, with the decoded server
-// message when one was sent.
+// message and stable failure code when one was sent.
 type APIError struct {
 	Status     int
 	Message    string
-	RetryAfter time.Duration // populated on 429 responses
+	Code       string        // fault-taxonomy code (EVAL_PANIC, ...) when the server sent one
+	RetryAfter time.Duration // populated on 429/503 responses carrying Retry-After
 }
 
 func (e *APIError) Error() string {
-	if e.Message == "" {
+	switch {
+	case e.Message == "":
 		return fmt.Sprintf("fheclient: server returned %d", e.Status)
+	case e.Code != "":
+		return fmt.Sprintf("fheclient: server returned %d [%s]: %s", e.Status, e.Code, e.Message)
+	default:
+		return fmt.Sprintf("fheclient: server returned %d: %s", e.Status, e.Message)
 	}
-	return fmt.Sprintf("fheclient: server returned %d: %s", e.Status, e.Message)
 }
 
 // IsQueueFull reports whether the server pushed back with 429.
@@ -42,6 +50,77 @@ func (e *APIError) IsQueueFull() bool { return e.Status == http.StatusTooManyReq
 
 // IsDeadline reports whether the server gave up on the request deadline.
 func (e *APIError) IsDeadline() bool { return e.Status == http.StatusGatewayTimeout }
+
+// retryable reports whether another attempt can succeed: queue pushback,
+// a draining/restarting server, or an evaluation that died in a
+// recovered panic (the idempotency key makes re-sending safe). Client
+// errors and server deadline exhaustion are final.
+func (e *APIError) retryable() bool {
+	switch e.Status {
+	case http.StatusTooManyRequests, http.StatusServiceUnavailable:
+		return true
+	case http.StatusInternalServerError:
+		return e.Code == "EVAL_PANIC" || e.Code == "FAULT_INJECTED"
+	default:
+		return false
+	}
+}
+
+// RetryPolicy tunes Infer's retry loop. The zero value is sane:
+// DefaultRetryPolicy is applied by Dial; SetRetryPolicy overrides it;
+// MaxAttempts=1 disables retries entirely.
+type RetryPolicy struct {
+	// MaxAttempts bounds total tries per call, the first included
+	// (default 4).
+	MaxAttempts int
+	// BaseDelay seeds the exponential backoff (default 50ms); attempt k
+	// waits BaseDelay×2^k with up to 50% random jitter subtracted, so
+	// synchronized clients spread out.
+	BaseDelay time.Duration
+	// MaxDelay caps a single backoff sleep (default 2s).
+	MaxDelay time.Duration
+	// Budget caps the total time spent sleeping between attempts per
+	// call (default 15s); the context deadline bounds everything anyway.
+	Budget time.Duration
+}
+
+// DefaultRetryPolicy is the policy Dial installs.
+func DefaultRetryPolicy() RetryPolicy {
+	return RetryPolicy{MaxAttempts: 4, BaseDelay: 50 * time.Millisecond, MaxDelay: 2 * time.Second, Budget: 15 * time.Second}
+}
+
+func (p RetryPolicy) withDefaults() RetryPolicy {
+	if p.MaxAttempts <= 0 {
+		p.MaxAttempts = 4
+	}
+	if p.BaseDelay <= 0 {
+		p.BaseDelay = 50 * time.Millisecond
+	}
+	if p.MaxDelay <= 0 {
+		p.MaxDelay = 2 * time.Second
+	}
+	if p.Budget <= 0 {
+		p.Budget = 15 * time.Second
+	}
+	return p
+}
+
+// backoff computes the sleep before attempt number attempt (1-based
+// count of failures so far), honoring a server Retry-After hint as the
+// floor when it is longer than the computed delay.
+func (p RetryPolicy) backoff(attempt int, retryAfter time.Duration) time.Duration {
+	d := p.BaseDelay << (attempt - 1)
+	if d > p.MaxDelay || d <= 0 {
+		d = p.MaxDelay
+	}
+	// Full jitter over [d/2, d]: deterministic chaos runs rely on the
+	// retry happening, not on its exact spacing.
+	d = d/2 + time.Duration(rand.Int64N(int64(d/2)+1))
+	if retryAfter > d {
+		d = retryAfter
+	}
+	return d
+}
 
 // Client talks to one aced daemon. Infer is safe for concurrent use by
 // multiple goroutines sharing the registered session; the stateful
@@ -55,11 +134,17 @@ type Client struct {
 	params *ckks.Parameters
 	enc    *ckks.Encoder
 
+	retry RetryPolicy
+
 	mu        sync.Mutex // guards the sampler-bearing encryptor
 	encryptor *ckks.Encryptor
 	decryptor *ckks.Decryptor
 	sessionID string
 }
+
+// SetRetryPolicy replaces the retry policy Dial installed. Not safe to
+// call concurrently with Infer.
+func (c *Client) SetRetryPolicy(p RetryPolicy) { c.retry = p.withDefaults() }
 
 // Dial fetches the program spec and compiles the matching parameters
 // (prime derivation is deterministic, so client and server rings agree
@@ -68,7 +153,7 @@ func Dial(ctx context.Context, baseURL string, hc *http.Client) (*Client, error)
 	if hc == nil {
 		hc = http.DefaultClient
 	}
-	c := &Client{base: baseURL, hc: hc}
+	c := &Client{base: baseURL, hc: hc, retry: DefaultRetryPolicy()}
 	req, err := http.NewRequestWithContext(ctx, http.MethodGet, baseURL+api.PathProgram, nil)
 	if err != nil {
 		return nil, err
@@ -174,9 +259,25 @@ func (c *Client) Decrypt(ct *ckks.Ciphertext) ([]float64, error) {
 	return c.enc.DecodeReal(dec.Decrypt(ct), c.spec.VecLen), nil
 }
 
+// transientError marks a failure where the request may never have
+// reached the server, or its response was lost in flight — safe to
+// retry because the idempotency key prevents double execution.
+type transientError struct{ err error }
+
+func (e *transientError) Error() string { return e.err.Error() }
+func (e *transientError) Unwrap() error { return e.err }
+
 // InferCipher streams one ciphertext through the server and returns the
 // encrypted result. The request deadline is taken from ctx and forwarded
 // to the server so both sides give up together.
+//
+// Transient failures — connection errors, 429/503 pushback, and 500s
+// whose code marks a recovered panic — are retried under the client's
+// RetryPolicy with exponential backoff plus jitter, honoring a server
+// Retry-After hint. Every attempt of one call carries the same
+// randomly drawn idempotency key, so a retry whose predecessor actually
+// executed replays the stored result instead of running the program
+// twice.
 func (c *Client) InferCipher(ctx context.Context, ct *ckks.Ciphertext) (*ckks.Ciphertext, error) {
 	c.mu.Lock()
 	id := c.sessionID
@@ -188,12 +289,56 @@ func (c *Client) InferCipher(ctx context.Context, ct *ckks.Ciphertext) (*ckks.Ci
 	if err != nil {
 		return nil, fmt.Errorf("fheclient: encoding ciphertext: %w", err)
 	}
+
+	idemKey := fmt.Sprintf("%016x%016x", rand.Uint64(), rand.Uint64())
+	pol := c.retry.withDefaults()
+	var slept time.Duration
+	for attempt := 1; ; attempt++ {
+		out, err := c.inferOnce(ctx, id, idemKey, body)
+		if err == nil {
+			return out, nil
+		}
+		retryAfter, retryable := classify(err)
+		if !retryable || attempt >= pol.MaxAttempts || ctx.Err() != nil {
+			var te *transientError
+			if errors.As(err, &te) {
+				err = te.err
+			}
+			return nil, err
+		}
+		d := pol.backoff(attempt, retryAfter)
+		if slept+d > pol.Budget {
+			return nil, fmt.Errorf("fheclient: retry budget %v exhausted after %d attempts: %w", pol.Budget, attempt, err)
+		}
+		select {
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		case <-time.After(d):
+			slept += d
+		}
+	}
+}
+
+// classify decides whether err is worth another attempt and extracts any
+// server pacing hint.
+func classify(err error) (retryAfter time.Duration, retryable bool) {
+	var apiErr *APIError
+	if errors.As(err, &apiErr) {
+		return apiErr.RetryAfter, apiErr.retryable()
+	}
+	var te *transientError
+	return 0, errors.As(err, &te)
+}
+
+// inferOnce performs one HTTP round trip of InferCipher.
+func (c *Client) inferOnce(ctx context.Context, id, idemKey string, body []byte) (*ckks.Ciphertext, error) {
 	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.base+api.PathInfer, bytes.NewReader(body))
 	if err != nil {
 		return nil, err
 	}
 	req.Header.Set("Content-Type", api.ContentTypeBinary)
 	req.Header.Set(api.HeaderSession, id)
+	req.Header.Set(api.HeaderIdemKey, idemKey)
 	if dl, ok := ctx.Deadline(); ok {
 		// Give the server slightly less than our own budget, so its 504
 		// reaches us before ctx aborts the connection and we lose the
@@ -209,15 +354,24 @@ func (c *Client) InferCipher(ctx context.Context, ct *ckks.Ciphertext) (*ckks.Ci
 	}
 	resp, err := c.hc.Do(req)
 	if err != nil {
-		return nil, fmt.Errorf("fheclient: inference request: %w", err)
+		if ctx.Err() != nil {
+			return nil, fmt.Errorf("fheclient: inference request: %w", err)
+		}
+		return nil, &transientError{fmt.Errorf("fheclient: inference request: %w", err)}
 	}
 	defer resp.Body.Close()
+	// Chaos hook: the server already answered, but the response is lost
+	// before we read it — exactly the window where only the idempotency
+	// key keeps a retry from executing the program twice.
+	if ferr := fault.Inject(fault.ClientConnReset); ferr != nil {
+		return nil, &transientError{fmt.Errorf("fheclient: inference request: connection reset: %w", ferr)}
+	}
 	if resp.StatusCode != http.StatusOK {
 		return nil, apiError(resp)
 	}
 	data, err := io.ReadAll(resp.Body)
 	if err != nil {
-		return nil, fmt.Errorf("fheclient: reading result: %w", err)
+		return nil, &transientError{fmt.Errorf("fheclient: reading result: %w", err)}
 	}
 	out := &ckks.Ciphertext{}
 	if err := out.UnmarshalBinary(data); err != nil {
@@ -272,6 +426,7 @@ func apiError(resp *http.Response) error {
 	var reply api.ErrorReply
 	if err := json.NewDecoder(io.LimitReader(resp.Body, 1<<16)).Decode(&reply); err == nil {
 		e.Message = reply.Error
+		e.Code = reply.Code
 	}
 	if sec, err := strconv.Atoi(resp.Header.Get("Retry-After")); err == nil {
 		e.RetryAfter = time.Duration(sec) * time.Second

@@ -122,6 +122,11 @@ func SetWorkers(n int) {
 //
 // When the pool is serial, n <= 0, or n <= grain, fn runs inline as a
 // single fn(0, n) call. grain < 1 is treated as 1.
+//
+// A panic in fn is contained: helpers recover it, every participant
+// drains out, and the first panic value is re-raised on the calling
+// goroutine after the barrier — so callers can recover a parallel loop's
+// panic exactly like a serial one, with no helper still running.
 func For(n, grain int, fn func(start, end int)) {
 	if n <= 0 {
 		return
@@ -159,16 +164,41 @@ func For(n, grain int, fn func(start, end int)) {
 		}
 	}
 
+	// Panic containment: a panic in fn on a pool goroutine would kill the
+	// whole process (nothing above a bare worker can recover it), so every
+	// participant recovers and parks the first panic value; the caller
+	// re-raises it after the barrier. The barrier is what makes recovery
+	// at higher layers (vm, serve) sound: when For panics out, no helper
+	// is still writing to the caller's buffers.
+	var (
+		panicOnce sync.Once
+		panicVal  any
+	)
+	safeBody := func() {
+		defer func() {
+			if rec := recover(); rec != nil {
+				panicOnce.Do(func() { panicVal = rec })
+				// Drain the remaining chunks so sibling participants exit
+				// promptly instead of computing doomed work.
+				atomic.AddInt64(&next, int64(chunks))
+			}
+		}()
+		body()
+	}
+
 	var wg sync.WaitGroup
 	for i := 1; i < chunks; i++ {
 		wg.Add(1)
-		if !p.tryRun(func() { defer wg.Done(); body() }) {
+		if !p.tryRun(func() { defer wg.Done(); safeBody() }) {
 			wg.Done()
 			break // saturated: caller and already-dispatched helpers finish the range
 		}
 	}
-	body() // the caller always participates — nesting cannot deadlock
+	safeBody() // the caller always participates — nesting cannot deadlock
 	wg.Wait()
+	if panicVal != nil {
+		panic(panicVal)
+	}
 }
 
 // Do runs the given functions, possibly concurrently, and returns when

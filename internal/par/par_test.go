@@ -98,3 +98,54 @@ func TestGrain(t *testing.T) {
 		t.Fatalf("Grain(0) = %d", g)
 	}
 }
+
+// TestForPanicPropagates: a panic in the loop body — including on a pool
+// helper goroutine — must surface on the calling goroutine after every
+// participant has drained, and the pool must stay usable afterwards.
+func TestForPanicPropagates(t *testing.T) {
+	defer SetWorkers(workersFromEnv())
+	for _, w := range []int{1, 4, 8} {
+		SetWorkers(w)
+		var rec any
+		func() {
+			defer func() { rec = recover() }()
+			For(64, 1, func(start, end int) {
+				for i := start; i < end; i++ {
+					if i == 37 {
+						panic("boom at 37")
+					}
+				}
+			})
+		}()
+		if rec == nil {
+			t.Fatalf("workers=%d: panic did not propagate", w)
+		}
+		if s, ok := rec.(string); !ok || s != "boom at 37" {
+			t.Fatalf("workers=%d: propagated %v, want the original panic value", w, rec)
+		}
+
+		// The pool survives: a healthy loop still covers its range.
+		var n atomic.Int64
+		For(128, 1, func(start, end int) { n.Add(int64(end - start)) })
+		if n.Load() != 128 {
+			t.Fatalf("workers=%d: pool broken after panic: covered %d/128", w, n.Load())
+		}
+	}
+}
+
+// TestDoPanicPropagates covers the Do convenience wrapper.
+func TestDoPanicPropagates(t *testing.T) {
+	defer SetWorkers(workersFromEnv())
+	SetWorkers(4)
+	var rec any
+	func() {
+		defer func() { rec = recover() }()
+		Do(
+			func() {},
+			func() { panic("do-boom") },
+		)
+	}()
+	if rec == nil {
+		t.Fatal("Do did not propagate the panic")
+	}
+}

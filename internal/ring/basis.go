@@ -1,6 +1,7 @@
 package ring
 
 import (
+	"errors"
 	"math/big"
 	"sync"
 
@@ -10,11 +11,13 @@ import (
 
 // DivRoundByLastModulus divides p (coefficient domain, level l) by its last
 // modulus q_l with rounding, writing the level l-1 result into pOut.
-// This is the CKKS rescale primitive.
-func (r *Ring) DivRoundByLastModulus(p, pOut *Poly) {
+// This is the CKKS rescale primitive. Rescaling at level 0 is a state
+// error a caller can reach with exhausted ciphertexts, so it is reported
+// rather than panicked.
+func (r *Ring) DivRoundByLastModulus(p, pOut *Poly) error {
 	l := p.Level()
 	if l == 0 {
-		panic("ring: cannot rescale at level 0")
+		return errRescaleLevel0
 	}
 	n := r.N
 	ql := r.Moduli[l]
@@ -44,15 +47,16 @@ func (r *Ring) DivRoundByLastModulus(p, pOut *Poly) {
 		}
 	})
 	pOut.Coeffs = pOut.Coeffs[:l]
+	return nil
 }
 
 // DivRoundByLastModulusNTT is DivRoundByLastModulus for polynomials in NTT
 // domain: it INTTs only the last row, forms the per-modulus correction and
 // NTTs it back, avoiding a full domain round trip.
-func (r *Ring) DivRoundByLastModulusNTT(p, pOut *Poly) {
+func (r *Ring) DivRoundByLastModulusNTT(p, pOut *Poly) error {
 	l := p.Level()
 	if l == 0 {
-		panic("ring: cannot rescale at level 0")
+		return errRescaleLevel0
 	}
 	n := r.N
 	ql := r.Moduli[l]
@@ -89,7 +93,12 @@ func (r *Ring) DivRoundByLastModulusNTT(p, pOut *Poly) {
 		}
 	})
 	pOut.Coeffs = pOut.Coeffs[:l]
+	return nil
 }
+
+// errRescaleLevel0 is returned by both rescale primitives when the input
+// has no modulus left to drop.
+var errRescaleLevel0 = errors.New("ring: cannot rescale at level 0")
 
 // ModulusAtLevel returns Q_l = prod_{i<=l} q_i as a big integer.
 func (r *Ring) ModulusAtLevel(l int) *big.Int {

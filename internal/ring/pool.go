@@ -1,6 +1,10 @@
 package ring
 
-import "antace/internal/par"
+import (
+	"sync"
+
+	"antace/internal/par"
+)
 
 // Scratch pooling. The CKKS hot path (key switching, hoisted rotations,
 // rescaling, bootstrapping) used to allocate fresh coefficient slices for
@@ -28,7 +32,7 @@ import "antace/internal/par"
 
 // getBuf returns a scratch row of length N with undefined contents.
 func (r *Ring) getBuf() []uint64 {
-	if v := r.bufPool.Get(); v != nil {
+	if v := r.bufPool.Load().Get(); v != nil {
 		return *(v.(*[]uint64))
 	}
 	return make([]uint64, r.N)
@@ -39,7 +43,21 @@ func (r *Ring) putBuf(b []uint64) {
 	if len(b) != r.N {
 		return
 	}
-	r.bufPool.Put(&b)
+	r.bufPool.Load().Put(&b)
+}
+
+// DiscardPools replaces both scratch pools with fresh empty ones. It is
+// the panic-recovery hygiene step: a panic that unwound through pooled
+// scratch leaves buffers in an unknown state (partially written, already
+// returned by defers mid-unwind, or potentially still referenced), so
+// instead of auditing them the recovery boundary orphans the entire pool
+// and lets the GC collect it. Healthy buffers in flight are released
+// into whichever pool is current when their holder calls Put — losing a
+// few to the orphaned pool costs one reallocation each, which is noise
+// next to a recovered crash. Safe to call concurrently with Get/Put.
+func (r *Ring) DiscardPools() {
+	r.bufPool.Store(new(sync.Pool))
+	r.polyPool.Store(new(sync.Pool))
 }
 
 // GetPoly returns a zeroed polynomial at the given level from the pool.
@@ -64,7 +82,7 @@ func (r *Ring) GetPolyNoZero(level int) *Poly {
 		panic("ring: pooled poly level out of range")
 	}
 	var p *Poly
-	if v := r.polyPool.Get(); v != nil {
+	if v := r.polyPool.Load().Get(); v != nil {
 		p = v.(*Poly)
 	} else {
 		p = r.NewPoly(r.MaxLevel())
@@ -85,5 +103,5 @@ func (r *Ring) PutPoly(p *Poly) {
 		return
 	}
 	p.Coeffs = p.pooled
-	r.polyPool.Put(p)
+	r.polyPool.Load().Put(p)
 }

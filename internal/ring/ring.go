@@ -10,6 +10,7 @@ import (
 	"fmt"
 	"math/bits"
 	"sync"
+	"sync/atomic"
 
 	"antace/internal/nt"
 	"antace/internal/par"
@@ -137,8 +138,12 @@ type Ring struct {
 	grainPW  int
 	grainNTT int
 
-	bufPool  sync.Pool // *[]uint64 scratch rows, length N
-	polyPool sync.Pool // *Poly at the full chain (see pool.go)
+	// The scratch pools live behind atomic pointers so DiscardPools can
+	// swap them wholesale after a recovered panic: buffers already
+	// returned to the old pool are orphaned instead of recycled
+	// (see pool.go).
+	bufPool  atomic.Pointer[sync.Pool] // *[]uint64 scratch rows, length N
+	polyPool atomic.Pointer[sync.Pool] // *Poly at the full chain (see pool.go)
 }
 
 // NewRing constructs the ring of degree n (a power of two) with the given
@@ -157,6 +162,8 @@ func NewRing(n int, moduli []uint64) (*Ring, error) {
 		grainPW:  par.Grain(n),
 		grainNTT: par.Grain(n * (bits.Len(uint(n)) - 1)),
 	}
+	r.bufPool.Store(new(sync.Pool))
+	r.polyPool.Store(new(sync.Pool))
 	r.Mods = make([]nt.Modulus, len(moduli))
 	r.tables = make([]nttTables, len(moduli))
 	for i, q := range moduli {

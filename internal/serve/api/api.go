@@ -23,6 +23,15 @@ const (
 	// milliseconds; the server clamps it to its configured maximum and
 	// aborts the homomorphic evaluation when it expires.
 	HeaderDeadlineMs = "X-ACE-Deadline-Ms"
+	// HeaderIdemKey carries an optional idempotency key on /v1/infer. A
+	// retried request bearing the same key replays the stored result —
+	// bit-identical ciphertext, no re-execution — or attaches to the
+	// in-flight execution if one is still running. Keys are scoped to
+	// the session.
+	HeaderIdemKey = "X-ACE-Idem-Key"
+	// HeaderIdemReplayed marks a response served from the idempotency
+	// cache rather than a fresh evaluation.
+	HeaderIdemReplayed = "X-ACE-Idem-Replayed"
 )
 
 // ContentTypeBinary is the media type of key and ciphertext bodies.
@@ -52,9 +61,13 @@ type SessionReply struct {
 	GaloisLen int    `json:"galois_len"`
 }
 
-// ErrorReply is the body of every non-2xx response.
+// ErrorReply is the body of every non-2xx response. Code, when present,
+// is a stable machine-readable failure class from the internal/fault
+// taxonomy (EVAL_PANIC, EVAL_ERROR, FAULT_INJECTED) that clients key
+// retry decisions on; Error is human-readable detail.
 type ErrorReply struct {
 	Error string `json:"error"`
+	Code  string `json:"code,omitempty"`
 }
 
 // Healthz is returned by GET /v1/healthz.
@@ -68,7 +81,16 @@ type Statz struct {
 	Rejected   uint64 `json:"rejected"`
 	TimedOut   uint64 `json:"timed_out"`
 	Failed     uint64 `json:"failed"`
-	QueueDepth int    `json:"queue_depth"`
+	// Panics counts evaluations that died in a recovered panic — the
+	// worker survived, the request answered 500 EVAL_PANIC.
+	Panics uint64 `json:"panics"`
+	// IdemReplays counts /v1/infer responses served from the idempotency
+	// cache instead of a fresh evaluation.
+	IdemReplays uint64 `json:"idem_replays"`
+	// FaultsFired counts armed injection points firing (zero outside
+	// chaos runs).
+	FaultsFired uint64 `json:"faults_fired"`
+	QueueDepth  int    `json:"queue_depth"`
 	QueueCap   int    `json:"queue_cap"`
 	Workers    int    `json:"workers"`
 	Draining   bool   `json:"draining"`

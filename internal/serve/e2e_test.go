@@ -223,6 +223,9 @@ func TestQueueFullAndDeadline(t *testing.T) {
 	if _, err := c.Register(ctx, ring.SeedFromInt(23)); err != nil {
 		t.Fatal(err)
 	}
+	// This test pins the raw wire behavior (one 429, one 504), so switch
+	// off the client's automatic retries.
+	c.SetRetryPolicy(fheclient.RetryPolicy{MaxAttempts: 1})
 	input := testInput(vres.InLayout.L)
 
 	// Request 1 occupies the worker (parked on the gate).

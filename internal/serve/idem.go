@@ -1,0 +1,83 @@
+package serve
+
+import (
+	"container/list"
+	"sync"
+)
+
+// idemEntry tracks one idempotency key's execution: in flight until done
+// closes, then either a retained success (ok, body set — the exact bytes
+// the first execution produced) or a failure (removed from the cache so
+// a retry re-executes).
+type idemEntry struct {
+	key  string
+	done chan struct{}
+	ok   bool
+	body []byte
+	elem *list.Element // non-nil once retained in the completed LRU
+}
+
+// idemCache makes /v1/infer retries safe: the first request bearing a
+// key owns the execution; concurrent duplicates attach to it and
+// replay its stored bytes, so a client that lost the response to a
+// connection reset can retry without the program running twice. Only
+// successes are retained (bounded LRU) — a failed execution removes its
+// entry, because the correct response to "it broke" is a fresh attempt,
+// not a replayed error.
+type idemCache struct {
+	mu       sync.Mutex
+	capacity int
+	order    *list.List // completed entries, front = most recent
+	byKey    map[string]*idemEntry
+}
+
+func newIdemCache(capacity int) *idemCache {
+	if capacity <= 0 {
+		capacity = 256
+	}
+	return &idemCache{capacity: capacity, order: list.New(), byKey: map[string]*idemEntry{}}
+}
+
+// begin claims the key. The first caller gets owner=true and must
+// eventually call complete; later callers get the same entry with
+// owner=false and wait on entry.done (which may already be closed when
+// the execution finished earlier).
+func (c *idemCache) begin(key string) (entry *idemEntry, owner bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if e, ok := c.byKey[key]; ok {
+		if e.elem != nil {
+			c.order.MoveToFront(e.elem)
+		}
+		return e, false
+	}
+	e := &idemEntry{key: key, done: make(chan struct{})}
+	c.byKey[key] = e
+	return e, true
+}
+
+// complete finalizes an owned entry. Success retains the body under the
+// LRU cap; failure removes the key so the next attempt re-executes.
+// Followers blocked on entry.done observe the final state afterwards.
+func (c *idemCache) complete(e *idemEntry, ok bool, body []byte) {
+	c.mu.Lock()
+	e.ok, e.body = ok, body
+	if ok {
+		e.elem = c.order.PushFront(e)
+		for c.order.Len() > c.capacity {
+			victim := c.order.Remove(c.order.Back()).(*idemEntry)
+			delete(c.byKey, victim.key)
+		}
+	} else {
+		delete(c.byKey, e.key)
+	}
+	c.mu.Unlock()
+	close(e.done)
+}
+
+// len reports live entries (in-flight plus retained), for tests.
+func (c *idemCache) len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.byKey)
+}

@@ -27,6 +27,7 @@ import (
 	"antace/internal/bootstrap"
 	"antace/internal/ckks"
 	"antace/internal/ckksir"
+	"antace/internal/fault"
 	"antace/internal/ir"
 	"antace/internal/serve/api"
 	"antace/internal/vm"
@@ -57,6 +58,9 @@ type Config struct {
 	// LatencyWindow is the sample count behind the statz quantiles
 	// (default 1024).
 	LatencyWindow int
+	// IdemEntries bounds the idempotency result cache (default 256
+	// retained successes; in-flight executions are uncounted).
+	IdemEntries int
 }
 
 func (c Config) withDefaults() Config {
@@ -83,6 +87,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.RetryAfter <= 0 {
 		c.RetryAfter = time.Second
+	}
+	if c.IdemEntries <= 0 {
+		c.IdemEntries = 256
 	}
 	return c
 }
@@ -111,6 +118,7 @@ type Server struct {
 
 	sessions *sessionCache
 	sched    *scheduler
+	idem     *idemCache
 	stats    counters
 	lat      *latencyWindow
 	mux      *http.ServeMux
@@ -174,6 +182,7 @@ func New(prog Program, cfg Config) (*Server, error) {
 		},
 		needRlk:  true,
 		sessions: newSessionCache(cfg.SessionBudget),
+		idem:     newIdemCache(cfg.IdemEntries),
 		lat:      newLatencyWindow(cfg.LatencyWindow),
 	}
 	rQ := params.RingQ()
@@ -246,10 +255,29 @@ func (s *Server) tryEnqueue(j *job) (ok, draining bool) {
 
 // execute runs one job on a fresh per-request machine around the shared
 // read-only parts; it is called from worker goroutines.
-func (s *Server) execute(j *job) jobResult {
+//
+// It is also the serve-side panic isolation boundary: vm.RunCtx already
+// recovers panics below itself, so the recover here catches everything
+// outside it — test hooks, machine construction, the armed
+// serve.worker.panic injection point — and converts it to the same typed
+// failure. Either way the worker goroutine survives, the pool keeps its
+// size, and the now-suspect pooled scratch is discarded rather than
+// recycled.
+func (s *Server) execute(j *job) (res jobResult) {
+	defer func() {
+		if rec := recover(); rec != nil {
+			s.params.DiscardScratch()
+			res = jobResult{err: fault.FromPanic("serve.worker", rec)}
+		}
+		var re *fault.RuntimeError
+		if res.err != nil && errors.As(res.err, &re) && re.Code == fault.CodeEvalPanic {
+			s.stats.panics.Add(1)
+		}
+	}()
 	if s.beforeExec != nil {
 		s.beforeExec(j)
 	}
+	fault.InjectPanic(fault.ServeWorkerPanic)
 	m := vm.NewMachine(s.params, j.sess.keys, s.boot, s.enc)
 	out, err := m.RunCtx(j.ctx, s.module, j.ct)
 	return jobResult{ct: out, err: err}
@@ -263,6 +291,12 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 
 func writeErr(w http.ResponseWriter, status int, format string, args ...any) {
 	writeJSON(w, status, api.ErrorReply{Error: fmt.Sprintf(format, args...)})
+}
+
+// writeErrCode writes a failure with a stable machine-readable code from
+// the fault taxonomy alongside the human-readable message.
+func writeErrCode(w http.ResponseWriter, status int, code, format string, args ...any) {
+	writeJSON(w, status, api.ErrorReply{Error: fmt.Sprintf(format, args...), Code: code})
 }
 
 // readBody reads a bounded octet-stream body.
@@ -385,13 +419,28 @@ func (s *Server) handleInfer(w http.ResponseWriter, r *http.Request) {
 
 	ctx, cancel := context.WithTimeout(r.Context(), d)
 	defer cancel()
+
+	// Idempotency: a keyed request either owns the execution, replays a
+	// stored success bit for bit, or attaches to the in-flight attempt.
+	var entry *idemEntry
+	if idemKey := r.Header.Get(api.HeaderIdemKey); idemKey != "" {
+		var owner bool
+		entry, owner = s.idem.begin(sess.id + "/" + idemKey)
+		if !owner {
+			s.followIdem(w, ctx, entry, d)
+			return
+		}
+	}
+
 	j := &job{ctx: ctx, sess: sess, ct: ct, done: make(chan jobResult, 1), enqueued: time.Now()}
 	ok, draining := s.tryEnqueue(j)
 	if draining {
+		s.completeIdem(entry, false, nil)
 		writeErr(w, http.StatusServiceUnavailable, "server is draining")
 		return
 	}
 	if !ok {
+		s.completeIdem(entry, false, nil)
 		s.stats.rejected.Add(1)
 		w.Header().Set("Retry-After", strconv.Itoa(int(s.cfg.RetryAfter/time.Second)))
 		writeErr(w, http.StatusTooManyRequests, "queue full (%d deep)", s.cfg.QueueDepth)
@@ -400,31 +449,72 @@ func (s *Server) handleInfer(w http.ResponseWriter, r *http.Request) {
 
 	select {
 	case res := <-j.done:
-		s.finish(w, j, res)
+		s.finish(w, j, entry, res)
 	case <-ctx.Done():
 		// Still queued or mid-evaluation; the worker observes the same
-		// context and abandons the job.
+		// context and abandons the job. The idempotency entry dies with
+		// the attempt — the execution did not complete, so a retry must
+		// re-execute.
+		s.completeIdem(entry, false, nil)
 		s.failCtx(w, ctx.Err(), d)
 	}
 }
 
-// finish writes a completed job's response.
-func (s *Server) finish(w http.ResponseWriter, j *job, res jobResult) {
+// followIdem serves a request whose idempotency key is already known:
+// wait for the owning execution (bounded by our own deadline), then
+// replay its stored bytes, or — when the owner failed — answer 503 so
+// the client's retry loop re-issues against a now-clean key.
+func (s *Server) followIdem(w http.ResponseWriter, ctx context.Context, entry *idemEntry, d time.Duration) {
+	select {
+	case <-entry.done:
+	case <-ctx.Done():
+		s.failCtx(w, ctx.Err(), d)
+		return
+	}
+	if !entry.ok {
+		w.Header().Set("Retry-After", strconv.Itoa(int(s.cfg.RetryAfter/time.Second)))
+		writeErr(w, http.StatusServiceUnavailable, "previous attempt under this idempotency key failed; retry")
+		return
+	}
+	s.stats.idemReplays.Add(1)
+	w.Header().Set("Content-Type", api.ContentTypeBinary)
+	w.Header().Set(api.HeaderIdemReplayed, "1")
+	w.WriteHeader(http.StatusOK)
+	_, _ = w.Write(entry.body)
+}
+
+// completeIdem finalizes an owned idempotency entry; nil entries (no key
+// on the request) are ignored.
+func (s *Server) completeIdem(entry *idemEntry, ok bool, body []byte) {
+	if entry != nil {
+		s.idem.complete(entry, ok, body)
+	}
+}
+
+// finish writes a completed job's response. Evaluation failures carry a
+// stable code from the fault taxonomy so clients and dashboards can
+// distinguish a recovered worker panic from an ordinary evaluation
+// error without parsing message text.
+func (s *Server) finish(w http.ResponseWriter, j *job, entry *idemEntry, res jobResult) {
 	if res.err != nil {
+		s.completeIdem(entry, false, nil)
 		if errors.Is(res.err, context.DeadlineExceeded) || errors.Is(res.err, context.Canceled) {
 			s.failCtx(w, res.err, 0)
 			return
 		}
 		s.stats.failed.Add(1)
-		writeErr(w, http.StatusInternalServerError, "evaluation failed: %v", res.err)
+		re := fault.AsRuntime(fault.CodeEvalError, "serve.infer", res.err)
+		writeErrCode(w, http.StatusInternalServerError, re.Code, "evaluation failed: %v", res.err)
 		return
 	}
 	out, err := res.ct.MarshalBinary()
 	if err != nil {
+		s.completeIdem(entry, false, nil)
 		s.stats.failed.Add(1)
-		writeErr(w, http.StatusInternalServerError, "encoding result: %v", err)
+		writeErrCode(w, http.StatusInternalServerError, fault.CodeEvalError, "encoding result: %v", err)
 		return
 	}
+	s.completeIdem(entry, true, out)
 	s.stats.served.Add(1)
 	s.lat.add(time.Since(j.enqueued))
 	w.Header().Set("Content-Type", api.ContentTypeBinary)
@@ -459,16 +549,26 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleStatz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.StatzSnapshot())
+}
+
+// StatzSnapshot assembles the /v1/statz counters. The daemon also calls
+// it on shutdown to flush the final state to the log, so post-mortem
+// counters survive the process.
+func (s *Server) StatzSnapshot() api.Statz {
 	count, used, hits, misses, evictions := s.sessions.snapshot()
 	p50, p90, p99 := s.lat.quantiles()
 	s.mu.RLock()
 	draining := s.draining
 	s.mu.RUnlock()
-	writeJSON(w, http.StatusOK, api.Statz{
+	return api.Statz{
 		Served:           s.stats.served.Load(),
 		Rejected:         s.stats.rejected.Load(),
 		TimedOut:         s.stats.timedOut.Load(),
 		Failed:           s.stats.failed.Load(),
+		Panics:           s.stats.panics.Load(),
+		IdemReplays:      s.stats.idemReplays.Load(),
+		FaultsFired:      fault.TotalFired(),
 		QueueDepth:       len(s.sched.queue),
 		QueueCap:         s.cfg.QueueDepth,
 		Workers:          s.cfg.Workers,
@@ -482,5 +582,5 @@ func (s *Server) handleStatz(w http.ResponseWriter, r *http.Request) {
 		LatencyMsP50:     p50,
 		LatencyMsP90:     p90,
 		LatencyMsP99:     p99,
-	})
+	}
 }

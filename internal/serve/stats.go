@@ -9,10 +9,12 @@ import (
 
 // counters are the monotone request counters behind /v1/statz.
 type counters struct {
-	served   atomic.Uint64 // completed with a 200
-	rejected atomic.Uint64 // 429: queue full
-	timedOut atomic.Uint64 // 504: deadline expired while queued or running
-	failed   atomic.Uint64 // 5xx: evaluation error
+	served      atomic.Uint64 // completed with a 200
+	rejected    atomic.Uint64 // 429: queue full
+	timedOut    atomic.Uint64 // 504: deadline expired while queued or running
+	failed      atomic.Uint64 // 5xx: evaluation error
+	panics      atomic.Uint64 // evaluations that died in a recovered panic
+	idemReplays atomic.Uint64 // 200s served from the idempotency cache
 }
 
 // latencyWindow keeps the most recent request latencies in a fixed ring

@@ -1,0 +1,176 @@
+package vm
+
+import (
+	"context"
+	"errors"
+	"strconv"
+	"sync"
+	"testing"
+
+	"antace/internal/fault"
+)
+
+// TestRunCtxRecoversInjectedPanic: an armed vm.instr.panic mid-program
+// surfaces as a typed *fault.RuntimeError, and the machine stays usable
+// for the next run — the recovery discards scratch pools instead of the
+// process.
+func TestRunCtxRecoversInjectedPanic(t *testing.T) {
+	t.Cleanup(fault.Disarm)
+	res, vres := compileLinear(t)
+	machine, client, err := New(res, vres.InLayout.L, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	input := make([]float64, vres.InLayout.L)
+	ct, err := client.Encrypt(input)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Panic on the third instruction of the first run only.
+	if err := fault.Arm("vm.instr.panic:1:2"); err != nil {
+		t.Fatal(err)
+	}
+	_, err = machine.RunCtx(context.Background(), res.Module, ct)
+	var re *fault.RuntimeError
+	if !errors.As(err, &re) {
+		t.Fatalf("RunCtx returned %v, want *fault.RuntimeError", err)
+	}
+	if re.Code != fault.CodeEvalPanic || len(re.Stack) == 0 {
+		t.Fatalf("RuntimeError %+v, want code %s with a stack", re, fault.CodeEvalPanic)
+	}
+
+	// The fault window is exhausted; the same machine evaluates cleanly.
+	if _, err := machine.RunCtx(context.Background(), res.Module, ct); err != nil {
+		t.Fatalf("machine unusable after recovered panic: %v", err)
+	}
+}
+
+// TestRunCtxInjectedError: vm.instr.err fails the instruction with a
+// returned error carrying the injected cause, no panic involved.
+func TestRunCtxInjectedError(t *testing.T) {
+	t.Cleanup(fault.Disarm)
+	res, vres := compileLinear(t)
+	machine, client, err := New(res, vres.InLayout.L, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ct, err := client.Encrypt(make([]float64, vres.InLayout.L))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := fault.Arm("vm.instr.err:1:0"); err != nil {
+		t.Fatal(err)
+	}
+	_, err = machine.RunCtx(context.Background(), res.Module, ct)
+	var inj *fault.InjectedError
+	if !errors.As(err, &inj) || inj.Point != fault.VMInstrErr {
+		t.Fatalf("RunCtx returned %v, want wrapped *fault.InjectedError", err)
+	}
+}
+
+// TestRunCtxCancelThenPanicPoint pins ordering (a): the context is
+// cancelled before the armed panic instruction is reached, so the run
+// aborts with the context error and the fault never fires.
+func TestRunCtxCancelThenPanicPoint(t *testing.T) {
+	t.Cleanup(fault.Disarm)
+	res, vres := compileLinear(t)
+	machine, client, err := New(res, vres.InLayout.L, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ct, err := client.Encrypt(make([]float64, vres.InLayout.L))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Arm far into the program; cancel before running.
+	if err := fault.Arm("vm.instr.panic:1:3"); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err = machine.RunCtx(ctx, res.Module, ct)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("RunCtx returned %v, want context.Canceled", err)
+	}
+	if fault.TotalFired() != 0 {
+		t.Fatalf("fault fired despite prior cancellation: %+v", fault.Snapshot())
+	}
+}
+
+// TestRunCtxPanicThenCancel pins ordering (b): the panic fires on the
+// first instruction, before the (late) cancellation, so the typed panic
+// error wins.
+func TestRunCtxPanicThenCancel(t *testing.T) {
+	t.Cleanup(fault.Disarm)
+	res, vres := compileLinear(t)
+	machine, client, err := New(res, vres.InLayout.L, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ct, err := client.Encrypt(make([]float64, vres.InLayout.L))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := fault.Arm("vm.instr.panic:1:0"); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	_, err = machine.RunCtx(ctx, res.Module, ct)
+	cancel() // cancellation arrives after the panic was already converted
+	var re *fault.RuntimeError
+	if !errors.As(err, &re) || re.Code != fault.CodeEvalPanic {
+		t.Fatalf("RunCtx returned %v, want EVAL_PANIC RuntimeError", err)
+	}
+}
+
+// TestRunCtxCancellationRacesPanic drives the two abort paths against
+// each other under -race: a worker goroutine runs a program whose
+// mid-program instruction is armed to panic while another goroutine
+// cancels concurrently. Whichever side wins, the outcome must be one of
+// the two typed failures and the machine must survive to run again.
+func TestRunCtxCancellationRacesPanic(t *testing.T) {
+	t.Cleanup(fault.Disarm)
+	res, vres := compileLinear(t)
+	machine, client, err := New(res, vres.InLayout.L, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ct, err := client.Encrypt(make([]float64, vres.InLayout.L))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const rounds = 20
+	for i := 0; i < rounds; i++ {
+		// Re-arm each round; alternate the armed instruction so the
+		// panic lands at different depths relative to the cancel.
+		if err := fault.Arm("vm.instr.panic:1:" + strconv.Itoa(i%4)); err != nil {
+			t.Fatal(err)
+		}
+		ctx, cancel := context.WithCancel(context.Background())
+		var wg sync.WaitGroup
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			cancel()
+		}()
+		_, err := machine.RunCtx(ctx, res.Module, ct)
+		wg.Wait()
+		var re *fault.RuntimeError
+		switch {
+		case errors.Is(err, context.Canceled):
+		case errors.As(err, &re) && re.Code == fault.CodeEvalPanic:
+		default:
+			t.Fatalf("round %d: RunCtx returned %v, want Canceled or EVAL_PANIC", i, err)
+		}
+	}
+
+	// After twenty recovered crashes and cancellations, the machine and
+	// its (possibly repeatedly discarded) scratch pools still evaluate
+	// correctly.
+	fault.Disarm()
+	if _, err := machine.RunCtx(context.Background(), res.Module, ct); err != nil {
+		t.Fatalf("machine broken after race rounds: %v", err)
+	}
+}

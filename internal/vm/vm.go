@@ -14,6 +14,7 @@ import (
 	"antace/internal/bootstrap"
 	"antace/internal/ckks"
 	"antace/internal/ckksir"
+	"antace/internal/fault"
 	"antace/internal/ir"
 	"antace/internal/poly"
 )
@@ -135,7 +136,21 @@ func (m *Machine) Run(mod *ir.Module, input *ckks.Ciphertext) (*ckks.Ciphertext,
 // run aborts with ctx.Err() instead of completing doomed work. One
 // instruction is the abort granularity — a bootstrap, the longest single
 // op, still runs to completion once started.
-func (m *Machine) RunCtx(ctx context.Context, mod *ir.Module, input *ckks.Ciphertext) (*ckks.Ciphertext, error) {
+//
+// RunCtx is a panic-isolation boundary: a panic anywhere below it — the
+// evaluator, the ring engine, a par worker — is recovered, converted to
+// a typed *fault.RuntimeError (code EVAL_PANIC, stack attached), and
+// returned like any other evaluation failure. Because the panic unwound
+// through pooled scratch in an unknown state, the recovery also discards
+// the parameter set's scratch pools before returning, so no suspect
+// buffer is ever recycled into a later evaluation.
+func (m *Machine) RunCtx(ctx context.Context, mod *ir.Module, input *ckks.Ciphertext) (out *ckks.Ciphertext, err error) {
+	defer func() {
+		if rec := recover(); rec != nil {
+			m.Params.DiscardScratch()
+			out, err = nil, fault.FromPanic("vm.RunCtx", rec)
+		}
+	}()
 	f := mod.Main()
 	if f == nil {
 		return nil, fmt.Errorf("vm: empty module")
@@ -153,6 +168,13 @@ func (m *Machine) RunCtx(ctx context.Context, mod *ir.Module, input *ckks.Cipher
 	for idx, in := range f.Body {
 		if err := ctx.Err(); err != nil {
 			return nil, fmt.Errorf("vm: aborted before instr %d (%s): %w", idx, in.Op, err)
+		}
+		// Deterministic chaos hooks: an armed vm.instr.err fails this
+		// instruction with a returned error; vm.instr.panic crashes it,
+		// exercising the recover boundary above.
+		fault.InjectPanic(fault.VMInstrPanic)
+		if ferr := fault.Inject(fault.VMInstrErr); ferr != nil {
+			return nil, fmt.Errorf("vm: instr %d (%s): %w", idx, in.Op, ferr)
 		}
 		var err error
 		switch in.Op {
@@ -180,7 +202,7 @@ func (m *Machine) RunCtx(ctx context.Context, mod *ir.Module, input *ckks.Cipher
 			cts[in.Result], err = ev.Rotate(cts[in.Args[0]], in.AttrInt("k", 0))
 		case ckksir.OpModSwitch:
 			ct := cts[in.Args[0]].CopyNew()
-			ev.DropLevel(ct, in.AttrInt("down", 0))
+			err = ev.DropLevel(ct, in.AttrInt("down", 0))
 			cts[in.Result] = ct
 		case ckksir.OpMulConst:
 			cts[in.Result] = ev.MulByConst(cts[in.Args[0]], in.AttrFloat("c", 1), in.AttrFloat("const_scale", 1))
