@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test verify race bench serve-smoke chaos
+.PHONY: build test verify race bench serve-smoke chaos durability
 
 build:
 	$(GO) build ./...
@@ -31,10 +31,20 @@ chaos:
 	$(GO) test -count=1 -race -run 'Chaos' ./internal/serve/ -v
 	$(GO) test -count=1 -race ./internal/fault/
 
+# Durability suite: the crash-restart e2e kills a real aced daemon with
+# SIGKILL mid-inference and proves the restarted one finishes the job
+# bit-identically from its checkpoint; the fuzz smokes feed corrupt
+# journal and snapshot bytes to the replay/restore paths. All raced.
+durability:
+	$(GO) test -count=1 -race -run 'TestCrashRestart|TestRestart|TestRecovery' ./internal/serve/ -v -timeout 600s
+	$(GO) test -count=1 -race -run '^$$' -fuzz FuzzStoreReplay -fuzztime 10s ./internal/store/
+	$(GO) test -count=1 -race -run '^$$' -fuzz FuzzSnapshotRestore -fuzztime 10s ./internal/vm/
+
 verify:
 	$(GO) vet ./...
 	$(MAKE) race
 	$(MAKE) chaos
+	$(MAKE) durability
 	$(GO) test ./...
 
 # Microbenchmarks for the limb-parallel engine and buffer pooling

@@ -12,7 +12,9 @@ package ace
 
 import (
 	"io"
+	"path/filepath"
 	"testing"
+	"time"
 
 	"antace/internal/bootstrap"
 	"antace/internal/ckks"
@@ -26,8 +28,10 @@ import (
 	"antace/internal/poly"
 	"antace/internal/ring"
 	"antace/internal/sihe"
+	"antace/internal/store"
 	"antace/internal/tensor"
 	"antace/internal/vecir"
+	"antace/internal/vm"
 )
 
 // --- Figure 5: compile times -------------------------------------------
@@ -163,6 +167,59 @@ func BenchmarkEncryptedInference(b *testing.B) {
 		if _, err := rt.Infer(image); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// --- Durability: checkpoint overhead (BENCH_durability.json) ------------
+
+// BenchmarkCheckpointOverheadResNet20 measures what VM checkpointing
+// costs on the ResNet-20 serving path (reduced scale): the same
+// encrypted inference with checkpoints off, on a 2s wall-clock policy
+// (the serve default), and on an aggressive every-10-instructions
+// policy. Snapshots go through the real store.WriteFile fsync path.
+// The acceptance budget is <5% for the wall-clock policy.
+func BenchmarkCheckpointOverheadResNet20(b *testing.B) {
+	m, err := onnx.BuildResNet(onnx.ResNetConfig{Depth: 20, InputSize: 8, BaseChannels: 4, Classes: 10})
+	if err != nil {
+		b.Fatal(err)
+	}
+	prog, err := Compile(m, TestProfile())
+	if err != nil {
+		b.Fatal(err)
+	}
+	image := tensor.New(1, 3, 8, 8)
+	for i := range image.Data {
+		image.Data[i] = float64(i%16)/16 - 0.5
+	}
+	ckptPath := filepath.Join(b.TempDir(), "bench.ckpt")
+	policies := []struct {
+		name string
+		mk   func() *vm.CheckpointPolicy
+	}{
+		{"off", func() *vm.CheckpointPolicy { return nil }},
+		{"every2s", func() *vm.CheckpointPolicy {
+			return &vm.CheckpointPolicy{Every: 2 * time.Second,
+				Sink: func(snap []byte) error { return store.WriteFile(ckptPath, snap) }}
+		}},
+		{"every10instr", func() *vm.CheckpointPolicy {
+			return &vm.CheckpointPolicy{EveryN: 10,
+				Sink: func(snap []byte) error { return store.WriteFile(ckptPath, snap) }}
+		}},
+	}
+	for _, pol := range policies {
+		b.Run(pol.name, func(b *testing.B) {
+			rt, err := NewRuntime(prog)
+			if err != nil {
+				b.Fatal(err)
+			}
+			rt.machine.Ckpt = pol.mk()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := rt.Infer(image); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
 	}
 }
 

@@ -3,7 +3,11 @@
 // fetch GET /v1/program, upload their evaluation keys once via
 // POST /v1/sessions, then stream ciphertexts through POST /v1/infer;
 // GET /v1/healthz and /v1/statz expose liveness and counters. SIGTERM
-// drains accepted requests before exit.
+// drains accepted requests before exit. With -data-dir the daemon is
+// durable: registered sessions spill to disk, idempotent jobs are
+// journaled and checkpointed, and a restarted daemon (even after
+// kill -9) reloads sessions lazily and finishes in-flight jobs from
+// their last checkpoint.
 //
 // Quick start (demo model, reduced-scale parameters):
 //
@@ -20,6 +24,7 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"net"
 	"net/http"
 	"os"
 	"os/signal"
@@ -43,6 +48,12 @@ func main() {
 		deadline     = flag.Duration("deadline", time.Minute, "default per-request deadline")
 		maxDeadline  = flag.Duration("max-deadline", 10*time.Minute, "clamp on client-requested deadlines")
 		drainTimeout = flag.Duration("drain-timeout", 30*time.Second, "how long to wait for in-flight requests on shutdown")
+		dataDir      = flag.String("data-dir", "", "durability directory: sessions, job journal and checkpoints survive restarts (empty = RAM-only)")
+		ckptEvery    = flag.Int("checkpoint-every", 0, "checkpoint journaled jobs every N instructions (0 = use -checkpoint-interval)")
+		ckptInterval = flag.Duration("checkpoint-interval", 0, "checkpoint journaled jobs on this wall-clock period (0 with -checkpoint-every 0 = 2s default)")
+		diskBudgetMB = flag.Int64("disk-budget-mb", 1024, "on-disk session spill budget in MiB")
+		addrFile     = flag.String("addr-file", "", "write the bound listen address to this file once serving (for scripts and tests)")
+		instrDelay   = flag.Duration("instr-delay", 0, "artificial per-instruction delay (chaos/e2e only)")
 	)
 	flag.Parse()
 
@@ -84,24 +95,50 @@ func main() {
 		CKKS:   prog.CKKS,
 		VecLen: prog.VectorLen(),
 	}, serve.Config{
-		Workers:         *workers,
-		QueueDepth:      *queue,
-		SessionBudget:   *budgetMB << 20,
-		DefaultDeadline: *deadline,
-		MaxDeadline:     *maxDeadline,
+		Workers:          *workers,
+		QueueDepth:       *queue,
+		SessionBudget:    *budgetMB << 20,
+		DefaultDeadline:  *deadline,
+		MaxDeadline:      *maxDeadline,
+		DataDir:          *dataDir,
+		DiskBudget:       *diskBudgetMB << 20,
+		CheckpointEveryN: *ckptEvery,
+		CheckpointEvery:  *ckptInterval,
+		InstrDelay:       *instrDelay,
 	})
 	if err != nil {
 		log.Fatalf("aced: %v", err)
 	}
+	if *dataDir != "" {
+		st := srv.StatzSnapshot()
+		log.Printf("aced: durability on under %s (restart #%d, %d bytes on disk)", *dataDir, st.Restarts, st.StoreBytes)
+	}
 
-	httpSrv := &http.Server{Addr: *addr, Handler: srv}
+	// Bind the listener before announcing the address: by the time
+	// -addr-file appears, connections are being accepted and recovery
+	// has already claimed every journaled job.
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		log.Fatalf("aced: listen: %v", err)
+	}
+	if *addrFile != "" {
+		tmp := *addrFile + ".tmp"
+		if err := os.WriteFile(tmp, []byte(ln.Addr().String()), 0o644); err != nil {
+			log.Fatalf("aced: addr-file: %v", err)
+		}
+		if err := os.Rename(tmp, *addrFile); err != nil {
+			log.Fatalf("aced: addr-file: %v", err)
+		}
+	}
+
+	httpSrv := &http.Server{Handler: srv}
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
 	errc := make(chan error, 1)
 	go func() {
-		log.Printf("aced: serving %s on %s", name, *addr)
-		errc <- httpSrv.ListenAndServe()
+		log.Printf("aced: serving %s on %s", name, ln.Addr())
+		errc <- httpSrv.Serve(ln)
 	}()
 
 	select {
@@ -126,8 +163,10 @@ func main() {
 	// Flush the final counters and close any armed fault injectors so a
 	// chaos run's log ends with a reconcilable account of what happened.
 	st := srv.StatzSnapshot()
-	log.Printf("aced: final counters: served=%d rejected=%d timed_out=%d failed=%d panics=%d idem_replays=%d faults_fired=%d",
-		st.Served, st.Rejected, st.TimedOut, st.Failed, st.Panics, st.IdemReplays, st.FaultsFired)
+	log.Printf("aced: final counters: served=%d rejected=%d timed_out=%d failed=%d panics=%d idem_replays=%d faults_fired=%d"+
+		" restarts=%d sessions_recovered=%d jobs_resumed=%d checkpoint_bytes=%d",
+		st.Served, st.Rejected, st.TimedOut, st.Failed, st.Panics, st.IdemReplays, st.FaultsFired,
+		st.Restarts, st.SessionsRecovered, st.JobsResumed, st.CheckpointBytes)
 	for _, p := range fault.Snapshot() {
 		log.Printf("aced: fault %s fired %d/%d (calls %d)", p.Point, p.Fired, p.Count, p.Calls)
 	}

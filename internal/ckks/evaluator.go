@@ -34,6 +34,10 @@ func NewEvaluator(params *Parameters, keys *EvaluationKeySet) *Evaluator {
 // Params returns the evaluator's parameters.
 func (ev *Evaluator) Params() *Parameters { return ev.params }
 
+// Keys returns the evaluation-key set the evaluator was built with
+// (nil for plaintext-only evaluators).
+func (ev *Evaluator) Keys() *EvaluationKeySet { return ev.keys }
+
 // scaleClose reports whether two scales agree to within 1 part in 2^20.
 func scaleClose(a, b float64) bool {
 	if a == b {

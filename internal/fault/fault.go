@@ -48,12 +48,19 @@ const (
 	// side, simulating a connection reset after the server already did
 	// the work — the case idempotency keys exist for.
 	ClientConnReset = "client.conn.reset"
+	// StoreWriteTorn makes a store.Log append write only a prefix of
+	// its frame and fail — the on-disk state a crash mid-append leaves
+	// behind — exercising torn-write truncation and replay healing.
+	StoreWriteTorn = "store.write.torn"
+	// ServeRecoverErr fails one journaled job's recovery during daemon
+	// startup, exercising the forget-and-re-execute fallback path.
+	ServeRecoverErr = "serve.recover.err"
 )
 
 // Points lists the injection points compiled into the runtime, for the
 // registry section of /v1/statz-style introspection and docs.
 func Points() []string {
-	return []string{ServeWorkerPanic, VMInstrPanic, VMInstrErr, CKKSRescaleErr, ClientConnReset}
+	return []string{ServeWorkerPanic, VMInstrPanic, VMInstrErr, CKKSRescaleErr, ClientConnReset, StoreWriteTorn, ServeRecoverErr}
 }
 
 // InjectedError is the error produced by a firing injection point.

@@ -18,6 +18,7 @@ import (
 	"net/http"
 	"strconv"
 	"sync"
+	"syscall"
 	"time"
 
 	"antace/internal/ckks"
@@ -82,11 +83,24 @@ type RetryPolicy struct {
 	// Budget caps the total time spent sleeping between attempts per
 	// call (default 15s); the context deadline bounds everything anyway.
 	Budget time.Duration
+	// ReconnectWindow tolerates a daemon restart: while a connection is
+	// refused outright (nothing listening — the window between a crash
+	// and the recovered daemon binding its port), the client keeps
+	// reconnecting with ReconnectDelay-capped backoff for up to this
+	// long, and those attempts do not count against MaxAttempts. Zero
+	// disables the treatment and refused connections consume ordinary
+	// attempts (default 10s under Dial's policy).
+	ReconnectWindow time.Duration
+	// ReconnectDelay caps the sleep between reconnect probes during the
+	// window (default 250ms) — restarts are bounded by recovery time,
+	// not by load, so probing faster than ordinary backoff is safe.
+	ReconnectDelay time.Duration
 }
 
 // DefaultRetryPolicy is the policy Dial installs.
 func DefaultRetryPolicy() RetryPolicy {
-	return RetryPolicy{MaxAttempts: 4, BaseDelay: 50 * time.Millisecond, MaxDelay: 2 * time.Second, Budget: 15 * time.Second}
+	return RetryPolicy{MaxAttempts: 4, BaseDelay: 50 * time.Millisecond, MaxDelay: 2 * time.Second,
+		Budget: 15 * time.Second, ReconnectWindow: 10 * time.Second, ReconnectDelay: 250 * time.Millisecond}
 }
 
 func (p RetryPolicy) withDefaults() RetryPolicy {
@@ -101,6 +115,9 @@ func (p RetryPolicy) withDefaults() RetryPolicy {
 	}
 	if p.Budget <= 0 {
 		p.Budget = 15 * time.Second
+	}
+	if p.ReconnectWindow > 0 && p.ReconnectDelay <= 0 {
+		p.ReconnectDelay = 250 * time.Millisecond
 	}
 	return p
 }
@@ -293,10 +310,33 @@ func (c *Client) InferCipher(ctx context.Context, ct *ckks.Ciphertext) (*ckks.Ci
 	idemKey := fmt.Sprintf("%016x%016x", rand.Uint64(), rand.Uint64())
 	pol := c.retry.withDefaults()
 	var slept time.Duration
+	var refusedSince time.Time
 	for attempt := 1; ; attempt++ {
 		out, err := c.inferOnce(ctx, id, idemKey, body)
 		if err == nil {
 			return out, nil
+		}
+		// A refused connection means nothing is listening — the window
+		// between a daemon crash and its recovered successor binding the
+		// port. Within ReconnectWindow these probes ride for free: they
+		// do not consume attempts or backoff budget, and they re-probe on
+		// the short ReconnectDelay cadence rather than ordinary backoff.
+		if pol.ReconnectWindow > 0 && isConnRefused(err) {
+			if refusedSince.IsZero() {
+				refusedSince = time.Now()
+			}
+			if time.Since(refusedSince) < pol.ReconnectWindow {
+				select {
+				case <-ctx.Done():
+					return nil, ctx.Err()
+				case <-time.After(pol.ReconnectDelay):
+				}
+				attempt--
+				continue
+			}
+			// Window exhausted: fall through to ordinary accounting.
+		} else {
+			refusedSince = time.Time{}
 		}
 		retryAfter, retryable := classify(err)
 		if !retryable || attempt >= pol.MaxAttempts || ctx.Err() != nil {
@@ -317,6 +357,12 @@ func (c *Client) InferCipher(ctx context.Context, ct *ckks.Ciphertext) (*ckks.Ci
 			slept += d
 		}
 	}
+}
+
+// isConnRefused reports a connection refused outright (no listener on
+// the port), as opposed to a reset or timeout on an established one.
+func isConnRefused(err error) bool {
+	return errors.Is(err, syscall.ECONNREFUSED)
 }
 
 // classify decides whether err is worth another attempt and extracts any

@@ -1,0 +1,167 @@
+package fheclient
+
+import (
+	"context"
+	"io"
+	"net"
+	"net/http"
+	"testing"
+	"time"
+
+	"antace/internal/ckks"
+	"antace/internal/ring"
+	"antace/internal/serve/api"
+)
+
+// echoHandler answers /v1/infer by returning the posted ciphertext
+// bytes unchanged — enough for InferCipher's response decode without a
+// real evaluator behind it.
+func echoHandler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST "+api.PathInfer, func(w http.ResponseWriter, r *http.Request) {
+		body, _ := io.ReadAll(r.Body)
+		w.Header().Set("Content-Type", api.ContentTypeBinary)
+		w.WriteHeader(http.StatusOK)
+		_, _ = w.Write(body)
+	})
+	return mux
+}
+
+// smallCiphertext builds a real (tiny) ciphertext so the client's
+// marshal/unmarshal path runs for real.
+func smallCiphertext(t *testing.T) *ckks.Ciphertext {
+	t.Helper()
+	params, err := ckks.NewParameters(ckks.ParametersLiteral{
+		LogN: 8, LogQ: []int{50, 40}, LogP: []int{50}, LogScale: 40,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	kg := ckks.NewKeyGenerator(params, ring.SeedFromInt(71))
+	sk := kg.GenSecretKey()
+	pk := kg.GenPublicKey(sk)
+	enc := ckks.NewEncoder(params)
+	vals := make([]float64, 1<<7)
+	for i := range vals {
+		vals[i] = float64(i) / 300
+	}
+	pt, err := enc.EncodeReal(vals, 1, float64(uint64(1)<<40))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ckks.NewEncryptor(params, pk).Encrypt(pt)
+}
+
+// serveEcho serves the echo handler on addr until the returned stop
+// function runs.
+func serveEcho(t *testing.T, addr string) (string, func()) {
+	t.Helper()
+	var l net.Listener
+	var err error
+	for i := 0; i < 50; i++ {
+		if l, err = net.Listen("tcp", addr); err == nil {
+			break
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if err != nil {
+		t.Fatalf("listen %s: %v", addr, err)
+	}
+	srv := &http.Server{Handler: echoHandler()}
+	go func() { _ = srv.Serve(l) }()
+	return l.Addr().String(), func() { _ = srv.Close() }
+}
+
+// TestReconnectWindowSurvivesRestart: the daemon vanishes mid-session
+// (listener closed, connections refused) and comes back on the same
+// port; a client with a ReconnectWindow rides out the outage without
+// burning its ordinary retry attempts.
+func TestReconnectWindowSurvivesRestart(t *testing.T) {
+	addr, stop := serveEcho(t, "127.0.0.1:0")
+	ct := smallCiphertext(t)
+
+	c := &Client{base: "http://" + addr, hc: http.DefaultClient, sessionID: "s"}
+	c.SetRetryPolicy(RetryPolicy{
+		MaxAttempts:     2,
+		BaseDelay:       10 * time.Millisecond,
+		ReconnectWindow: 10 * time.Second,
+		ReconnectDelay:  25 * time.Millisecond,
+	})
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+
+	if _, err := c.InferCipher(ctx, ct); err != nil {
+		t.Fatalf("inference against the live server: %v", err)
+	}
+
+	// Take the daemon down and bring it back after a restart-sized gap.
+	stop()
+	const downtime = 400 * time.Millisecond
+	restarted := make(chan func(), 1)
+	go func() {
+		time.Sleep(downtime)
+		_, stop2 := serveEcho(t, addr)
+		restarted <- stop2
+	}()
+
+	start := time.Now()
+	_, err := c.InferCipher(ctx, ct)
+	elapsed := time.Since(start)
+	defer (<-restarted)()
+	if err != nil {
+		t.Fatalf("inference across the restart: %v", err)
+	}
+	// With MaxAttempts=2 and ~10ms backoff, failure would have come well
+	// inside the downtime if refused probes consumed ordinary attempts.
+	if elapsed < downtime/2 {
+		t.Fatalf("reconnect succeeded implausibly fast (%v) — was the listener ever down?", elapsed)
+	}
+}
+
+// TestReconnectWindowExpires: when the daemon never comes back, the
+// window closes and the call fails with the underlying connection error
+// instead of probing forever.
+func TestReconnectWindowExpires(t *testing.T) {
+	addr, stop := serveEcho(t, "127.0.0.1:0")
+	ct := smallCiphertext(t)
+	stop()
+
+	c := &Client{base: "http://" + addr, hc: http.DefaultClient, sessionID: "s"}
+	c.SetRetryPolicy(RetryPolicy{
+		MaxAttempts:     2,
+		BaseDelay:       5 * time.Millisecond,
+		ReconnectWindow: 150 * time.Millisecond,
+		ReconnectDelay:  20 * time.Millisecond,
+	})
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+
+	start := time.Now()
+	_, err := c.InferCipher(ctx, ct)
+	if err == nil {
+		t.Fatal("inference against a dead server succeeded")
+	}
+	if !isConnRefused(err) {
+		t.Fatalf("expected a connection-refused error, got %v", err)
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("window expiry took %v — probing did not stop", elapsed)
+	}
+}
+
+// TestReconnectDisabledCountsAttempts: with ReconnectWindow zero a
+// refused connection is an ordinary transient failure bounded by
+// MaxAttempts.
+func TestReconnectDisabledCountsAttempts(t *testing.T) {
+	addr, stop := serveEcho(t, "127.0.0.1:0")
+	ct := smallCiphertext(t)
+	stop()
+
+	c := &Client{base: "http://" + addr, hc: http.DefaultClient, sessionID: "s"}
+	c.SetRetryPolicy(RetryPolicy{MaxAttempts: 2, BaseDelay: 5 * time.Millisecond})
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if _, err := c.InferCipher(ctx, ct); err == nil {
+		t.Fatal("inference against a dead server succeeded")
+	}
+}

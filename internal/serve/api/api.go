@@ -105,4 +105,19 @@ type Statz struct {
 	LatencyMsP50 float64 `json:"latency_ms_p50"`
 	LatencyMsP90 float64 `json:"latency_ms_p90"`
 	LatencyMsP99 float64 `json:"latency_ms_p99"`
+
+	// Durability counters; all zero when the daemon runs without a data
+	// dir. Restarts counts prior starts of this data dir (0 on the first
+	// boot); SessionsRecovered counts key bundles reloaded from the disk
+	// tier; JobsResumed counts journaled jobs that resumed from a
+	// checkpoint rather than re-executing from instruction 0.
+	Restarts          uint64 `json:"restarts"`
+	SessionsRecovered uint64 `json:"sessions_recovered"`
+	JobsResumed       uint64 `json:"jobs_resumed"`
+	// CheckpointBytes is the cumulative checkpoint volume written;
+	// StoreBytes the durable layer's current on-disk footprint;
+	// StoreErrs the persistence failures serving survived (fail-open).
+	CheckpointBytes uint64 `json:"checkpoint_bytes"`
+	StoreBytes      int64  `json:"store_bytes"`
+	StoreErrs       uint64 `json:"store_errs"`
 }

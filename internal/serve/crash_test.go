@@ -1,0 +1,220 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+
+	"antace/internal/fheclient"
+	"antace/internal/ring"
+	"antace/internal/serve/api"
+)
+
+// buildAced compiles the real daemon binary once per test run.
+func buildAced(t *testing.T) string {
+	t.Helper()
+	bin := filepath.Join(t.TempDir(), "aced")
+	cmd := exec.Command("go", "build", "-o", bin, "antace/cmd/aced")
+	cmd.Dir = "../.."
+	if out, err := cmd.CombinedOutput(); err != nil {
+		t.Fatalf("building aced: %v\n%s", err, out)
+	}
+	return bin
+}
+
+// startAced launches the daemon and waits for its -addr-file, which the
+// binary writes only after the listener is bound and recovery has
+// claimed all journaled jobs.
+func startAced(t *testing.T, bin string, args ...string) (*exec.Cmd, string) {
+	t.Helper()
+	addrFile := filepath.Join(t.TempDir(), "addr")
+	cmd := exec.Command(bin, append([]string{"-addr", "127.0.0.1:0", "-addr-file", addrFile}, args...)...)
+	var logs bytes.Buffer
+	cmd.Stdout = &logs
+	cmd.Stderr = &logs
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		if cmd.ProcessState == nil {
+			_ = cmd.Process.Kill()
+			_, _ = cmd.Process.Wait()
+		}
+	})
+	deadline := time.Now().Add(90 * time.Second)
+	for {
+		if raw, err := os.ReadFile(addrFile); err == nil && len(raw) > 0 {
+			return cmd, "http://" + strings.TrimSpace(string(raw))
+		}
+		if cmd.ProcessState != nil || time.Now().After(deadline) {
+			t.Fatalf("aced never became ready; logs:\n%s", logs.String())
+		}
+		time.Sleep(25 * time.Millisecond)
+	}
+}
+
+// waitForCheckpoint polls the data dir until a job checkpoint file
+// lands on disk, proving the in-flight execution has durable progress.
+func waitForCheckpoint(t *testing.T, jobDir string) {
+	t.Helper()
+	deadline := time.Now().Add(60 * time.Second)
+	for time.Now().Before(deadline) {
+		entries, err := os.ReadDir(jobDir)
+		if err == nil {
+			for _, e := range entries {
+				if strings.HasSuffix(e.Name(), ".ckpt") {
+					return
+				}
+			}
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Fatal("no checkpoint ever appeared")
+}
+
+// TestCrashRestartResumesInflightJob is the tentpole's end-to-end
+// proof, against the real binary: register a session, start a long
+// inference, SIGKILL the daemon mid-flight (no drain, no warning),
+// restart it over the same data dir, and retry the request. The retry
+// must return a result bit-identical to an uninterrupted run, with the
+// daemon reporting a recovered session and a checkpoint-resumed job.
+func TestCrashRestartResumesInflightJob(t *testing.T) {
+	if testing.Short() {
+		t.Skip("subprocess e2e")
+	}
+	bin := buildAced(t)
+	dataDir := t.TempDir()
+
+	// Generation A: checkpoint after every instruction and stretch each
+	// instruction so "mid-flight" is a wide, deterministic target.
+	cmdA, urlA := startAced(t, bin,
+		"-data-dir", dataDir, "-checkpoint-every", "1", "-instr-delay", "25ms", "-workers", "1")
+
+	ctx := context.Background()
+	c, err := fheclient.Dial(ctx, urlA, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sessID, err := c.Register(ctx, ring.SeedFromInt(41))
+	if err != nil {
+		t.Fatal(err)
+	}
+	input := make([]float64, c.Spec().VecLen)
+	for i := range input {
+		input[i] = float64(i%9)/9 - 0.4
+	}
+	ct, err := c.Encrypt(input)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctBytes, err := ct.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Uninterrupted reference run of the same ciphertext: evaluation is
+	// deterministic given keys and input, so this is the byte-exact
+	// answer the crashed job must eventually produce.
+	req, _ := http.NewRequest(http.MethodPost, urlA+api.PathInfer, bytes.NewReader(ctBytes))
+	req.Header.Set(api.HeaderSession, sessID)
+	req.Header.Set(api.HeaderIdemKey, "warm")
+	req.Header.Set(api.HeaderDeadlineMs, "120000")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := readAll(t, resp)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("reference run: status %d body %s", resp.StatusCode, want)
+	}
+
+	// The doomed request: fire and forget — the daemon dies under it.
+	go func() {
+		req, _ := http.NewRequest(http.MethodPost, urlA+api.PathInfer, bytes.NewReader(ctBytes))
+		req.Header.Set(api.HeaderSession, sessID)
+		req.Header.Set(api.HeaderIdemKey, "crashy")
+		req.Header.Set(api.HeaderDeadlineMs, "120000")
+		if resp, err := http.DefaultClient.Do(req); err == nil {
+			resp.Body.Close()
+		}
+	}()
+	waitForCheckpoint(t, filepath.Join(dataDir, "jobs"))
+
+	// kill -9: no drain, no journal finalization, no goodbye.
+	if err := cmdA.Process.Signal(syscall.SIGKILL); err != nil {
+		t.Fatal(err)
+	}
+	_, _ = cmdA.Process.Wait()
+
+	// Generation B over the same data dir; no instruction delay, so the
+	// recovered job finishes quickly from its checkpoint.
+	_, urlB := startAced(t, bin, "-data-dir", dataDir, "-checkpoint-every", "1", "-workers", "1")
+
+	// The client rides its reconnect window conceptually; here the retry
+	// targets the restarted daemon's address directly.
+	req, _ = http.NewRequest(http.MethodPost, urlB+api.PathInfer, bytes.NewReader(ctBytes))
+	req.Header.Set(api.HeaderSession, sessID)
+	req.Header.Set(api.HeaderIdemKey, "crashy")
+	req.Header.Set(api.HeaderDeadlineMs, "120000")
+	resp, err = http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := readAll(t, resp)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("retry after crash: status %d body %s", resp.StatusCode, got)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatal("post-crash result differs from the uninterrupted run")
+	}
+
+	st := fetchStatz(t, urlB)
+	if st.Restarts != 1 {
+		t.Errorf("restarts = %d, want 1", st.Restarts)
+	}
+	if st.SessionsRecovered == 0 {
+		t.Error("sessions_recovered = 0, want > 0")
+	}
+	if st.JobsResumed == 0 {
+		t.Error("jobs_resumed = 0, want > 0")
+	}
+	if st.CheckpointBytes == 0 {
+		t.Error("checkpoint_bytes = 0, want > 0")
+	}
+	if st.StoreBytes <= 0 {
+		t.Errorf("store_bytes = %d, want > 0", st.StoreBytes)
+	}
+
+	// The pre-crash success replays bit-identically from the journal.
+	req, _ = http.NewRequest(http.MethodPost, urlB+api.PathInfer, bytes.NewReader(ctBytes))
+	req.Header.Set(api.HeaderSession, sessID)
+	req.Header.Set(api.HeaderIdemKey, "warm")
+	resp, err = http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	replayed := readAll(t, resp)
+	if resp.Header.Get(api.HeaderIdemReplayed) != "1" {
+		t.Error("pre-crash success was not served from the idempotency cache")
+	}
+	if !bytes.Equal(replayed, want) {
+		t.Error("pre-crash success replayed with different bytes")
+	}
+}
+
+func readAll(t *testing.T, resp *http.Response) []byte {
+	t.Helper()
+	defer resp.Body.Close()
+	var buf bytes.Buffer
+	if _, err := buf.ReadFrom(resp.Body); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}

@@ -1,0 +1,480 @@
+package serve
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"antace/internal/store"
+)
+
+// durable is the daemon's disk tier: registered evaluation-key bundles
+// spilled as checksummed snapshot files, a crash-safe journal of
+// idempotent inference jobs, and per-job execution checkpoints. RAM
+// stays the hot tier — nothing here sits on the request fast path
+// except one fsynced journal append per keyed request — and disk turns
+// a daemon restart from "every session and in-flight inference is
+// lost" into "sessions reload lazily and journaled jobs resume from
+// their last checkpoint".
+//
+// Layout under the data dir:
+//
+//	restarts          start counter (atomic snapshot file)
+//	sessions/<id>.key registered key bundles, CRC-framed
+//	jobs.log          journal: accept / complete / forget records
+//	jobs/<hash>.ckpt  latest execution checkpoint per in-flight job
+type durable struct {
+	root    string
+	sessDir string
+	jobDir  string
+
+	// mu serializes journal appends, compaction and disk-budget
+	// accounting. Key-bundle and checkpoint file writes happen outside
+	// it; they are atomic at the store layer.
+	mu        sync.Mutex
+	journal   *store.Log
+	idemCap   int   // completed results retained across restarts
+	budget    int64 // session spill budget in bytes
+	sessBytes int64 // current bytes under sessDir
+
+	ckptBytes   atomic.Int64  // live checkpoint file bytes
+	ckptWritten atomic.Uint64 // cumulative checkpoint bytes (statz)
+	storeErrs   atomic.Uint64 // persistence failures (serving continued)
+}
+
+// journalCap bounds jobs.log between compactions; crossing it triggers
+// a rewrite keeping only live accepts and the retained result LRU.
+const journalCap = 64 << 20
+
+// Journal record kinds. A record is its kind byte followed by
+// length-prefixed strings and a trailing opaque payload.
+const (
+	recAccept   = 1 // key, session id, input ciphertext
+	recComplete = 2 // key, result ciphertext
+	recForget   = 3 // key
+)
+
+// journalState is the fold of a journal replay: jobs accepted but not
+// yet settled, and settled results in completion order.
+type journalState struct {
+	pending   map[string]acceptRec
+	order     []string // accept order of pending keys
+	completed map[string][]byte
+	done      []string // completion order of completed keys
+}
+
+type acceptRec struct {
+	sessID string
+	input  []byte
+}
+
+func openDurable(dir string, diskBudget int64, idemCap int) (*durable, *journalState, error) {
+	d := &durable{
+		root:    dir,
+		sessDir: filepath.Join(dir, "sessions"),
+		jobDir:  filepath.Join(dir, "jobs"),
+		budget:  diskBudget,
+		idemCap: idemCap,
+	}
+	for _, p := range []string{dir, d.sessDir, d.jobDir} {
+		if err := os.MkdirAll(p, 0o700); err != nil {
+			return nil, nil, err
+		}
+	}
+	journal, records, err := store.OpenLog(filepath.Join(dir, "jobs.log"))
+	if err != nil {
+		return nil, nil, fmt.Errorf("serve: job journal: %w", err)
+	}
+	d.journal = journal
+	st, err := foldJournal(records)
+	if err != nil {
+		journal.Close()
+		return nil, nil, err
+	}
+	d.sessBytes = dirBytes(d.sessDir)
+	d.ckptBytes.Store(dirBytes(d.jobDir))
+	return d, st, nil
+}
+
+func dirBytes(dir string) int64 {
+	var total int64
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return 0
+	}
+	for _, e := range entries {
+		if info, err := e.Info(); err == nil && info.Mode().IsRegular() {
+			total += info.Size()
+		}
+	}
+	return total
+}
+
+// bumpRestarts increments the start counter and returns how many
+// restarts (starts beyond the first) this data dir has seen.
+func (d *durable) bumpRestarts() uint64 {
+	var starts uint64
+	if raw, err := store.ReadFile(filepath.Join(d.root, "restarts")); err == nil && len(raw) == 8 {
+		starts = binary.LittleEndian.Uint64(raw)
+	}
+	var buf [8]byte
+	binary.LittleEndian.PutUint64(buf[:], starts+1)
+	if err := store.WriteFile(filepath.Join(d.root, "restarts"), buf[:]); err != nil {
+		d.storeErrs.Add(1)
+	}
+	return starts // 0 on the very first start
+}
+
+// --- journal record encoding --------------------------------------------
+
+func appendString(buf []byte, s string) []byte {
+	buf = binary.LittleEndian.AppendUint16(buf, uint16(len(s)))
+	return append(buf, s...)
+}
+
+func readString(data []byte) (string, []byte, error) {
+	if len(data) < 2 {
+		return "", nil, fmt.Errorf("serve: truncated journal string")
+	}
+	n := int(binary.LittleEndian.Uint16(data))
+	data = data[2:]
+	if len(data) < n {
+		return "", nil, fmt.Errorf("serve: journal string %d > %d bytes", n, len(data))
+	}
+	return string(data[:n]), data[n:], nil
+}
+
+func encodeAccept(key, sessID string, input []byte) []byte {
+	buf := []byte{recAccept}
+	buf = appendString(buf, key)
+	buf = appendString(buf, sessID)
+	return append(buf, input...)
+}
+
+func encodeComplete(key string, result []byte) []byte {
+	buf := []byte{recComplete}
+	buf = appendString(buf, key)
+	return append(buf, result...)
+}
+
+func encodeForget(key string) []byte {
+	return appendString([]byte{recForget}, key)
+}
+
+// foldJournal reduces replayed records to the live state. Keys with
+// limits overlapping (accept → forget → complete, from a handler that
+// gave up while the worker finished) resolve in append order, so the
+// final record wins.
+func foldJournal(records [][]byte) (*journalState, error) {
+	st := &journalState{pending: map[string]acceptRec{}, completed: map[string][]byte{}}
+	for i, rec := range records {
+		if len(rec) < 1 {
+			return nil, fmt.Errorf("serve: empty journal record %d", i)
+		}
+		kind, rest := rec[0], rec[1:]
+		key, rest, err := readString(rest)
+		if err != nil {
+			return nil, fmt.Errorf("serve: journal record %d: %w", i, err)
+		}
+		switch kind {
+		case recAccept:
+			sessID, rest, err := readString(rest)
+			if err != nil {
+				return nil, fmt.Errorf("serve: journal record %d: %w", i, err)
+			}
+			if _, dup := st.pending[key]; !dup {
+				st.order = append(st.order, key)
+			}
+			st.pending[key] = acceptRec{sessID: sessID, input: append([]byte(nil), rest...)}
+		case recComplete:
+			st.dropPending(key)
+			if _, dup := st.completed[key]; !dup {
+				st.done = append(st.done, key)
+			}
+			st.completed[key] = append([]byte(nil), rest...)
+		case recForget:
+			st.dropPending(key)
+		default:
+			return nil, fmt.Errorf("serve: unknown journal record kind %d", kind)
+		}
+	}
+	return st, nil
+}
+
+func (st *journalState) dropPending(key string) {
+	if _, ok := st.pending[key]; !ok {
+		return
+	}
+	delete(st.pending, key)
+	for i, k := range st.order {
+		if k == key {
+			st.order = append(st.order[:i], st.order[i+1:]...)
+			break
+		}
+	}
+}
+
+// --- job journal --------------------------------------------------------
+
+// accept journals an admitted idempotent job: key, owning session and
+// the input ciphertext, fsynced before the job enters the queue so a
+// crash at any later point can re-execute it.
+func (d *durable) accept(key, sessID string, input []byte) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if err := d.journal.Append(encodeAccept(key, sessID, input)); err != nil {
+		d.storeErrs.Add(1)
+		return err
+	}
+	d.compactIfOversized()
+	return nil
+}
+
+// complete journals a finished job's result bytes — the persisted half
+// of the idempotency success LRU — and removes its checkpoint.
+func (d *durable) complete(key string, result []byte) {
+	d.mu.Lock()
+	if err := d.journal.Append(encodeComplete(key, result)); err != nil {
+		d.storeErrs.Add(1)
+	}
+	d.compactIfOversized()
+	d.mu.Unlock()
+	d.removeCheckpoint(key)
+}
+
+// forget journals that a job's attempt died (failure, timeout, drain):
+// a post-restart retry must re-execute rather than resume or replay.
+func (d *durable) forget(key string) {
+	d.mu.Lock()
+	if err := d.journal.Append(encodeForget(key)); err != nil {
+		d.storeErrs.Add(1)
+	}
+	d.compactIfOversized()
+	d.mu.Unlock()
+	d.removeCheckpoint(key)
+}
+
+// compactIfOversized rewrites the journal down to live state once it
+// crosses journalCap. Called with mu held.
+func (d *durable) compactIfOversized() {
+	if d.journal.Size() <= journalCap {
+		return
+	}
+	data, err := os.ReadFile(d.journal.Path())
+	if err != nil {
+		d.storeErrs.Add(1)
+		return
+	}
+	records, _, rerr := store.Replay(data)
+	if rerr != nil {
+		d.storeErrs.Add(1)
+		return
+	}
+	st, err := foldJournal(records)
+	if err != nil {
+		d.storeErrs.Add(1)
+		return
+	}
+	if err := d.rewrite(st); err != nil {
+		d.storeErrs.Add(1)
+	}
+}
+
+// rewrite compacts the journal to the given state: every pending
+// accept plus the most recent idemCap completed results. Called with
+// mu held.
+func (d *durable) rewrite(st *journalState) error {
+	var recs [][]byte
+	for _, key := range st.order {
+		a := st.pending[key]
+		recs = append(recs, encodeAccept(key, a.sessID, a.input))
+	}
+	done := st.done
+	if len(done) > d.idemCap {
+		done = done[len(done)-d.idemCap:]
+	}
+	for _, key := range done {
+		recs = append(recs, encodeComplete(key, st.completed[key]))
+	}
+	return d.journal.Rewrite(recs)
+}
+
+// --- checkpoints --------------------------------------------------------
+
+// ckptPath names a job's checkpoint file. Idempotency keys are
+// client-chosen strings, so they are hashed into fixed-width
+// filesystem-safe names.
+func (d *durable) ckptPath(key string) string {
+	sum := sha256.Sum256([]byte(key))
+	return filepath.Join(d.jobDir, hex.EncodeToString(sum[:16])+".ckpt")
+}
+
+// writeCheckpoint atomically replaces the job's checkpoint file.
+func (d *durable) writeCheckpoint(key string, snap []byte) error {
+	path := d.ckptPath(key)
+	var prev int64
+	if info, err := os.Stat(path); err == nil {
+		prev = info.Size()
+	}
+	if err := store.WriteFile(path, snap); err != nil {
+		d.storeErrs.Add(1)
+		return err
+	}
+	if info, err := os.Stat(path); err == nil {
+		d.ckptBytes.Add(info.Size() - prev)
+	}
+	d.ckptWritten.Add(uint64(len(snap)))
+	return nil
+}
+
+// readCheckpoint returns the job's latest checkpoint, or nil when none
+// (or an unreadable one — resume falls back to instruction 0).
+func (d *durable) readCheckpoint(key string) []byte {
+	snap, err := store.ReadFile(d.ckptPath(key))
+	if err != nil {
+		return nil
+	}
+	return snap
+}
+
+func (d *durable) removeCheckpoint(key string) {
+	path := d.ckptPath(key)
+	if info, err := os.Stat(path); err == nil {
+		if os.Remove(path) == nil {
+			d.ckptBytes.Add(-info.Size())
+		}
+	}
+}
+
+// pruneCheckpoints removes checkpoint files with no pending journal
+// entry (orphans from handlers that gave up while a worker kept
+// checkpointing). Called once during recovery.
+func (d *durable) pruneCheckpoints(st *journalState) {
+	keep := make(map[string]bool, len(st.pending))
+	for key := range st.pending {
+		keep[filepath.Base(d.ckptPath(key))] = true
+	}
+	entries, err := os.ReadDir(d.jobDir)
+	if err != nil {
+		return
+	}
+	for _, e := range entries {
+		if !keep[e.Name()] {
+			_ = os.Remove(filepath.Join(d.jobDir, e.Name()))
+		}
+	}
+	d.ckptBytes.Store(dirBytes(d.jobDir))
+}
+
+// --- session spill ------------------------------------------------------
+
+func (d *durable) sessPath(id string) string {
+	return filepath.Join(d.sessDir, id+".key")
+}
+
+// saveSession spills a registered key bundle to the disk tier,
+// evicting the stalest spilled sessions when over budget. A bundle
+// larger than the whole budget is simply not spilled — the session
+// still serves from RAM, it just will not survive a restart.
+func (d *durable) saveSession(id string, raw []byte) error {
+	if int64(len(raw)) > d.budget {
+		d.storeErrs.Add(1)
+		return fmt.Errorf("serve: bundle of %d bytes exceeds the disk budget of %d", len(raw), d.budget)
+	}
+	if err := store.WriteFile(d.sessPath(id), raw); err != nil {
+		d.storeErrs.Add(1)
+		return err
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.sessBytes = dirBytes(d.sessDir)
+	d.evictSessionsLocked(id)
+	return nil
+}
+
+// evictSessionsLocked removes oldest-used session files (mtime order,
+// refreshed on load) until the disk tier fits its budget, never
+// touching the id just written.
+func (d *durable) evictSessionsLocked(keep string) {
+	if d.sessBytes <= d.budget {
+		return
+	}
+	entries, err := os.ReadDir(d.sessDir)
+	if err != nil {
+		return
+	}
+	type fileAge struct {
+		name string
+		size int64
+		mod  int64
+	}
+	var files []fileAge
+	for _, e := range entries {
+		info, err := e.Info()
+		if err != nil || !info.Mode().IsRegular() {
+			continue
+		}
+		files = append(files, fileAge{e.Name(), info.Size(), info.ModTime().UnixNano()})
+	}
+	sort.Slice(files, func(i, j int) bool { return files[i].mod < files[j].mod })
+	for _, f := range files {
+		if d.sessBytes <= d.budget {
+			return
+		}
+		if f.name == keep+".key" {
+			continue
+		}
+		if os.Remove(filepath.Join(d.sessDir, f.name)) == nil {
+			d.sessBytes -= f.size
+		}
+	}
+}
+
+// loadSession reads a spilled key bundle back, bumping its mtime so
+// disk eviction approximates LRU.
+func (d *durable) loadSession(id string) ([]byte, error) {
+	raw, err := store.ReadFile(d.sessPath(id))
+	if err != nil {
+		return nil, err
+	}
+	now := time.Now()
+	_ = os.Chtimes(d.sessPath(id), now, now)
+	return raw, nil
+}
+
+func (d *durable) dropSession(id string) bool {
+	path := d.sessPath(id)
+	info, err := os.Stat(path)
+	if err != nil {
+		return false
+	}
+	if os.Remove(path) != nil {
+		return false
+	}
+	d.mu.Lock()
+	d.sessBytes -= info.Size()
+	d.mu.Unlock()
+	return true
+}
+
+// diskBytes reports the durable layer's total footprint for statz.
+func (d *durable) diskBytes() int64 {
+	d.mu.Lock()
+	sess := d.sessBytes
+	journal := d.journal.Size()
+	d.mu.Unlock()
+	return sess + journal + d.ckptBytes.Load()
+}
+
+func (d *durable) close() {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	_ = d.journal.Close()
+}

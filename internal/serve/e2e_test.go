@@ -96,7 +96,10 @@ func checkAgainstReference(t *testing.T, vres *vecir.Result, input, got []float6
 // all cross a real HTTP boundary through the full wire format, and the
 // decrypted result must match the plaintext reference.
 func TestLoopbackInference(t *testing.T) {
-	s, ts, vres := startServer(t, Config{Workers: 2})
+	// DataDir makes the smoke test cover the durable serving path too:
+	// registration spills keys, the keyed request journals, and statz
+	// reports store bytes.
+	s, ts, vres := startServer(t, Config{Workers: 2, DataDir: t.TempDir()})
 	ctx := context.Background()
 
 	c, err := fheclient.Dial(ctx, ts.URL, nil)
@@ -131,6 +134,9 @@ func TestLoopbackInference(t *testing.T) {
 	}
 	if st.LatencyMsP50 <= 0 {
 		t.Fatalf("latency quantiles not recorded: %+v", st)
+	}
+	if st.StoreBytes <= 0 {
+		t.Fatalf("durable smoke: store_bytes = %d, want > 0", st.StoreBytes)
 	}
 
 	// Dropping the session invalidates it.

@@ -75,6 +75,27 @@ func (c *idemCache) complete(e *idemEntry, ok bool, body []byte) {
 	close(e.done)
 }
 
+// restore seeds a retained success from the durable journal during
+// crash recovery: the entry is born completed (done already closed), so
+// a post-restart retry under the same key replays the stored bytes
+// exactly as if the daemon had never died. Keys already present — e.g.
+// claimed by an in-flight recovered job — are left alone.
+func (c *idemCache) restore(key string, body []byte) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, ok := c.byKey[key]; ok {
+		return
+	}
+	e := &idemEntry{key: key, done: make(chan struct{}), ok: true, body: body}
+	close(e.done)
+	e.elem = c.order.PushFront(e)
+	c.byKey[key] = e
+	for c.order.Len() > c.capacity {
+		victim := c.order.Remove(c.order.Back()).(*idemEntry)
+		delete(c.byKey, victim.key)
+	}
+}
+
 // len reports live entries (in-flight plus retained), for tests.
 func (c *idemCache) len() int {
 	c.mu.Lock()

@@ -17,6 +17,13 @@ type job struct {
 	ct       *ckks.Ciphertext
 	done     chan jobResult
 	enqueued time.Time
+
+	// Durability: idemKey is the journal/checkpoint identity of a keyed
+	// request (empty for unkeyed ones, which are never journaled), and
+	// resume carries the checkpoint a recovered job restarts from (nil
+	// to execute from instruction 0).
+	idemKey string
+	resume  []byte
 }
 
 type jobResult struct {

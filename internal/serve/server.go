@@ -61,6 +61,25 @@ type Config struct {
 	// IdemEntries bounds the idempotency result cache (default 256
 	// retained successes; in-flight executions are uncounted).
 	IdemEntries int
+
+	// DataDir, when set, enables the durability layer: registered key
+	// bundles spill to disk, idempotent jobs are journaled, and
+	// executions checkpoint so a restarted daemon resumes them. Empty
+	// means RAM-only serving (the pre-durability behavior).
+	DataDir string
+	// DiskBudget caps spilled session bytes on disk (default 1 GiB);
+	// oldest-used bundles are evicted past it.
+	DiskBudget int64
+	// CheckpointEveryN checkpoints a journaled execution every N
+	// instructions; CheckpointEvery does so on a wall-clock period.
+	// Either (or both) may be set; when neither is, journaled jobs
+	// checkpoint every 2s — cheap enough to stay under the overhead
+	// budget on deep programs, frequent enough to bound re-execution.
+	CheckpointEveryN int
+	CheckpointEvery  time.Duration
+	// InstrDelay stretches every VM instruction (chaos/e2e knob for
+	// making "mid-flight" a wide target; zero in production).
+	InstrDelay time.Duration
 }
 
 func (c Config) withDefaults() Config {
@@ -90,6 +109,12 @@ func (c Config) withDefaults() Config {
 	}
 	if c.IdemEntries <= 0 {
 		c.IdemEntries = 256
+	}
+	if c.DiskBudget <= 0 {
+		c.DiskBudget = 1 << 30
+	}
+	if c.DataDir != "" && c.CheckpointEveryN <= 0 && c.CheckpointEvery <= 0 {
+		c.CheckpointEvery = 2 * time.Second
 	}
 	return c
 }
@@ -122,6 +147,11 @@ type Server struct {
 	stats    counters
 	lat      *latencyWindow
 	mux      *http.ServeMux
+
+	// dur is the disk tier; nil without a DataDir. restarts is the data
+	// dir's prior start count, fixed at boot.
+	dur      *durable
+	restarts uint64
 
 	mu       sync.RWMutex // guards draining vs. queue sends and close
 	draining bool
@@ -194,6 +224,13 @@ func New(prog Program, cfg Config) (*Server, error) {
 	}
 	s.sched = newScheduler(cfg.QueueDepth, cfg.Workers, s.execute)
 
+	if cfg.DataDir != "" {
+		if err := s.openDurability(); err != nil {
+			s.sched.stop()
+			return nil, err
+		}
+	}
+
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET "+api.PathProgram, s.handleProgram)
 	mux.HandleFunc("POST "+api.PathSessions, s.handleRegister)
@@ -203,6 +240,134 @@ func New(prog Program, cfg Config) (*Server, error) {
 	mux.HandleFunc("GET "+api.PathStatz, s.handleStatz)
 	s.mux = mux
 	return s, nil
+}
+
+// openDurability attaches the disk tier and runs crash recovery: replay
+// the job journal, seed the idempotency cache with journaled successes,
+// claim and re-enqueue every pending job (resuming from its checkpoint
+// when one survives), then compact the journal and prune orphan
+// checkpoint files. Called from New before the listener exists, so a
+// post-restart retry can never race recovery for job ownership.
+func (s *Server) openDurability() error {
+	dur, st, err := openDurable(s.cfg.DataDir, s.cfg.DiskBudget, s.cfg.IdemEntries)
+	if err != nil {
+		return err
+	}
+	s.dur = dur
+	s.restarts = dur.bumpRestarts()
+
+	// Journaled successes become pre-completed idempotency entries:
+	// post-restart retries replay them bit for bit. Oldest first, so the
+	// LRU retains the most recent IdemEntries of them.
+	done := st.done
+	if len(done) > s.cfg.IdemEntries {
+		done = done[len(done)-s.cfg.IdemEntries:]
+	}
+	for _, key := range done {
+		s.idem.restore(key, st.completed[key])
+	}
+
+	// Claim every pending job's idempotency entry synchronously; the
+	// actual re-execution runs in the background once workers exist.
+	for _, key := range st.order {
+		entry, owner := s.idem.begin(key)
+		if !owner {
+			continue
+		}
+		go s.recoverJob(key, st.pending[key], entry)
+	}
+
+	// Compact to live state and drop checkpoints with no pending accept,
+	// so a crash loop cannot accrete journal or checkpoint garbage.
+	dur.mu.Lock()
+	if err := dur.rewrite(st); err != nil {
+		dur.storeErrs.Add(1)
+	}
+	dur.mu.Unlock()
+	dur.pruneCheckpoints(st)
+	return nil
+}
+
+// recoverJob finishes one journaled in-flight job after a restart. Any
+// failure settles the idempotency entry as failed — followers get 503
+// and the client's retry loop re-executes from scratch.
+func (s *Server) recoverJob(key string, a acceptRec, entry *idemEntry) {
+	if err := fault.Inject(fault.ServeRecoverErr); err != nil {
+		s.completeIdem(entry, false, nil)
+		return
+	}
+	sess, ok := s.lookupSession(a.sessID)
+	if !ok {
+		// The keys did not survive (disk eviction or RAM-only
+		// registration); the client re-registers and re-executes.
+		s.completeIdem(entry, false, nil)
+		return
+	}
+	ct := &ckks.Ciphertext{}
+	if err := ct.UnmarshalBinary(a.input); err != nil {
+		s.completeIdem(entry, false, nil)
+		return
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), s.cfg.MaxDeadline)
+	defer cancel()
+	j := &job{ctx: ctx, sess: sess, ct: ct, done: make(chan jobResult, 1),
+		enqueued: time.Now(), idemKey: key, resume: s.dur.readCheckpoint(key)}
+	if !s.enqueueBlocking(j) {
+		s.completeIdem(entry, false, nil)
+		return
+	}
+	res := <-j.done
+	if res.err != nil {
+		s.completeIdem(entry, false, nil)
+		return
+	}
+	out, err := res.ct.MarshalBinary()
+	if err != nil {
+		s.completeIdem(entry, false, nil)
+		return
+	}
+	s.completeIdem(entry, true, out)
+	s.stats.served.Add(1)
+}
+
+// enqueueBlocking submits a recovered job, waiting for queue space
+// rather than bouncing 429 (nobody is holding an HTTP connection open
+// for it). Returns false if the server is draining.
+func (s *Server) enqueueBlocking(j *job) bool {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if s.draining {
+		return false
+	}
+	s.sched.queue <- j
+	return true
+}
+
+// lookupSession resolves a session id through both tiers: the RAM LRU
+// first, then the disk spill, promoting a hit back into RAM so repeat
+// requests pay the decode once.
+func (s *Server) lookupSession(id string) (*session, bool) {
+	if sess, ok := s.sessions.get(id); ok {
+		return sess, true
+	}
+	if s.dur == nil {
+		return nil, false
+	}
+	raw, err := s.dur.loadSession(id)
+	if err != nil {
+		return nil, false
+	}
+	keys := &ckks.EvaluationKeySet{}
+	if err := keys.UnmarshalBinary(raw); err != nil {
+		s.dur.storeErrs.Add(1)
+		return nil, false
+	}
+	sess, err := s.sessions.putWithID(id, keys, int64(len(raw)))
+	if err != nil {
+		return nil, false
+	}
+	s.stats.sessionsRecovered.Add(1)
+	return sess, true
 }
 
 // ServeHTTP dispatches to the v1 API.
@@ -226,6 +391,9 @@ func (s *Server) Drain(ctx context.Context) error {
 	done := make(chan struct{})
 	go func() {
 		s.sched.stop()
+		if s.dur != nil {
+			s.dur.close()
+		}
 		close(done)
 	}()
 	select {
@@ -279,7 +447,25 @@ func (s *Server) execute(j *job) (res jobResult) {
 	}
 	fault.InjectPanic(fault.ServeWorkerPanic)
 	m := vm.NewMachine(s.params, j.sess.keys, s.boot, s.enc)
-	out, err := m.RunCtx(j.ctx, s.module, j.ct)
+	m.StepDelay = s.cfg.InstrDelay
+	if s.dur != nil && j.idemKey != "" {
+		key := j.idemKey
+		m.Ckpt = &vm.CheckpointPolicy{
+			EveryN: s.cfg.CheckpointEveryN,
+			Every:  s.cfg.CheckpointEvery,
+			Sink:   func(snap []byte) error { return s.dur.writeCheckpoint(key, snap) },
+		}
+	}
+	in := j.ct
+	if j.resume != nil {
+		// A bad checkpoint is not fatal: fall back to re-executing the
+		// journaled input from instruction 0.
+		if err := m.Restore(s.module, j.resume); err == nil {
+			in = nil
+			s.stats.jobsResumed.Add(1)
+		}
+	}
+	out, err := m.RunCtx(j.ctx, s.module, in)
 	return jobResult{ct: out, err: err}
 }
 
@@ -354,6 +540,12 @@ func (s *Server) handleRegister(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusRequestEntityTooLarge, "%v", err)
 		return
 	}
+	if s.dur != nil {
+		// Spill the bundle so the session survives both RAM eviction and
+		// restarts. Fail open: a disk error leaves the session RAM-only
+		// and is counted in storeErrs rather than failing registration.
+		_ = s.dur.saveSession(sess.id, body)
+	}
 	writeJSON(w, http.StatusCreated, api.SessionReply{
 		SessionID: sess.id,
 		KeyBytes:  sess.bytes,
@@ -362,7 +554,10 @@ func (s *Server) handleRegister(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleDrop(w http.ResponseWriter, r *http.Request) {
-	if !s.sessions.drop(r.PathValue("id")) {
+	id := r.PathValue("id")
+	ram := s.sessions.drop(id)
+	disk := s.dur != nil && s.dur.dropSession(id)
+	if !ram && !disk {
 		writeErr(w, http.StatusNotFound, "unknown session")
 		return
 	}
@@ -411,7 +606,7 @@ func (s *Server) handleInfer(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusBadRequest, "decoding ciphertext: %v", err)
 		return
 	}
-	sess, ok := s.sessions.get(id)
+	sess, ok := s.lookupSession(id)
 	if !ok {
 		writeErr(w, http.StatusNotFound, "unknown session %s (register keys first)", id)
 		return
@@ -422,17 +617,27 @@ func (s *Server) handleInfer(w http.ResponseWriter, r *http.Request) {
 
 	// Idempotency: a keyed request either owns the execution, replays a
 	// stored success bit for bit, or attaches to the in-flight attempt.
+	// Owned keyed executions are additionally journaled (with the input
+	// ciphertext) before entering the queue, so a crash at any later
+	// point leaves enough on disk to finish the job after restart.
 	var entry *idemEntry
+	var idemFull string
 	if idemKey := r.Header.Get(api.HeaderIdemKey); idemKey != "" {
+		idemFull = sess.id + "/" + idemKey
 		var owner bool
-		entry, owner = s.idem.begin(sess.id + "/" + idemKey)
+		entry, owner = s.idem.begin(idemFull)
 		if !owner {
 			s.followIdem(w, ctx, entry, d)
 			return
 		}
+		if s.dur != nil {
+			// Fail open on a journal error: the job still runs, it just
+			// will not survive a crash (counted in storeErrs).
+			_ = s.dur.accept(idemFull, sess.id, body)
+		}
 	}
 
-	j := &job{ctx: ctx, sess: sess, ct: ct, done: make(chan jobResult, 1), enqueued: time.Now()}
+	j := &job{ctx: ctx, sess: sess, ct: ct, done: make(chan jobResult, 1), enqueued: time.Now(), idemKey: idemFull}
 	ok, draining := s.tryEnqueue(j)
 	if draining {
 		s.completeIdem(entry, false, nil)
@@ -484,11 +689,22 @@ func (s *Server) followIdem(w http.ResponseWriter, ctx context.Context, entry *i
 }
 
 // completeIdem finalizes an owned idempotency entry; nil entries (no key
-// on the request) are ignored.
+// on the request) are ignored. With a disk tier attached the outcome is
+// journaled first — success persists the reply bytes for post-restart
+// replay, failure (or an abandoned attempt) forgets the job so a retry
+// re-executes rather than resuming a doomed checkpoint.
 func (s *Server) completeIdem(entry *idemEntry, ok bool, body []byte) {
-	if entry != nil {
-		s.idem.complete(entry, ok, body)
+	if entry == nil {
+		return
 	}
+	if s.dur != nil {
+		if ok {
+			s.dur.complete(entry.key, body)
+		} else {
+			s.dur.forget(entry.key)
+		}
+	}
+	s.idem.complete(entry, ok, body)
 }
 
 // finish writes a completed job's response. Evaluation failures carry a
@@ -561,7 +777,7 @@ func (s *Server) StatzSnapshot() api.Statz {
 	s.mu.RLock()
 	draining := s.draining
 	s.mu.RUnlock()
-	return api.Statz{
+	st := api.Statz{
 		Served:           s.stats.served.Load(),
 		Rejected:         s.stats.rejected.Load(),
 		TimedOut:         s.stats.timedOut.Load(),
@@ -583,4 +799,13 @@ func (s *Server) StatzSnapshot() api.Statz {
 		LatencyMsP90:     p90,
 		LatencyMsP99:     p99,
 	}
+	st.Restarts = s.restarts
+	st.SessionsRecovered = s.stats.sessionsRecovered.Load()
+	st.JobsResumed = s.stats.jobsResumed.Load()
+	if s.dur != nil {
+		st.CheckpointBytes = s.dur.ckptWritten.Load()
+		st.StoreBytes = s.dur.diskBytes()
+		st.StoreErrs = s.dur.storeErrs.Load()
+	}
+	return st
 }

@@ -46,19 +46,32 @@ func newSessionID() (string, error) {
 	return hex.EncodeToString(b[:]), nil
 }
 
-// put registers a key bundle, evicting least-recently-used sessions until
-// it fits. A bundle larger than the whole budget is refused.
+// put registers a key bundle under a fresh id, evicting
+// least-recently-used sessions until it fits. A bundle larger than the
+// whole budget is refused.
 func (c *sessionCache) put(keys *ckks.EvaluationKeySet, size int64) (*session, error) {
-	if size > c.budget {
-		return nil, fmt.Errorf("serve: key bundle of %d bytes exceeds the session budget of %d", size, c.budget)
-	}
 	id, err := newSessionID()
 	if err != nil {
 		return nil, err
 	}
+	return c.putWithID(id, keys, size)
+}
+
+// putWithID inserts a bundle under a caller-chosen id — the reload path
+// for sessions spilled to disk, which must keep the id clients already
+// hold. If two loads race, the winner's entry is returned and the
+// loser's copy dropped.
+func (c *sessionCache) putWithID(id string, keys *ckks.EvaluationKeySet, size int64) (*session, error) {
+	if size > c.budget {
+		return nil, fmt.Errorf("serve: key bundle of %d bytes exceeds the session budget of %d", size, c.budget)
+	}
 	s := &session{id: id, keys: keys, bytes: size}
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	if el, ok := c.byID[id]; ok {
+		c.order.MoveToFront(el)
+		return el.Value.(*session), nil
+	}
 	for c.used+size > c.budget {
 		oldest := c.order.Back()
 		if oldest == nil {

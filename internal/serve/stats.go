@@ -15,6 +15,9 @@ type counters struct {
 	failed      atomic.Uint64 // 5xx: evaluation error
 	panics      atomic.Uint64 // evaluations that died in a recovered panic
 	idemReplays atomic.Uint64 // 200s served from the idempotency cache
+
+	sessionsRecovered atomic.Uint64 // key bundles reloaded from disk
+	jobsResumed       atomic.Uint64 // journaled jobs resumed from a checkpoint
 }
 
 // latencyWindow keeps the most recent request latencies in a fixed ring

@@ -1,0 +1,325 @@
+// Package store is the serving layer's crash-safe persistence
+// primitive set: an append-only log of length+CRC-framed records with
+// torn-write detection on replay, and atomic whole-file snapshots
+// (temp file + fsync + rename). It has no dependencies beyond the
+// standard library and makes exactly two durability promises:
+//
+//  1. A record returned by Replay was written completely and matches
+//     its checksum — a crash mid-append leaves a torn tail that replay
+//     detects and reports (the caller usually truncates it away), never
+//     a silently short or bit-flipped record.
+//  2. A snapshot file read back by ReadFile is either the complete
+//     previous version or the complete new version — rename is the
+//     commit point, so a crash mid-write leaves only an ignored temp
+//     file.
+//
+// Callers own record semantics; store moves opaque byte slices.
+package store
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+
+	"antace/internal/fault"
+)
+
+// ErrTorn marks a record cut short by a crash mid-write: the frame
+// header or body extends past the end of the file. Everything before
+// the torn record is intact; the standard recovery is to truncate the
+// tail (OpenLog does this automatically).
+var ErrTorn = errors.New("store: torn record")
+
+// ErrCorrupt marks a record whose checksum or framing is wrong: the
+// bytes are all there but do not hash to what was written. Unlike a
+// torn tail this is not an expected crash artifact, so it is never
+// healed silently.
+var ErrCorrupt = errors.New("store: corrupt record")
+
+// logMagic opens every log file; a file that does not start with it is
+// rejected as corrupt rather than misparsed as frames.
+var logMagic = []byte("ACELOG1\n")
+
+// maxRecordLen bounds a single record frame. Evaluation-key bundles are
+// the largest records the serving layer writes (hundreds of MB at
+// deployment scale), so the cap is generous; its real job is to make a
+// corrupted length field fail fast instead of driving a giant
+// allocation.
+const maxRecordLen = 1 << 31
+
+// crcTable is Castagnoli, hardware-accelerated on the platforms the
+// daemon targets.
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
+
+// frame layout: u32 little-endian payload length, u32 CRC32-C of the
+// payload, payload bytes.
+const frameHeader = 8
+
+// Replay parses a log image into its records. It returns every intact
+// record plus the byte offset where parsing stopped; err is nil on a
+// clean end, ErrTorn (wrapped) when the file ends inside a frame, and
+// ErrCorrupt (wrapped) on a checksum or framing violation. Records
+// alias data.
+func Replay(data []byte) (records [][]byte, good int64, err error) {
+	if len(data) == 0 {
+		return nil, 0, nil
+	}
+	if len(data) < len(logMagic) {
+		return nil, 0, fmt.Errorf("%w: short magic", ErrTorn)
+	}
+	if string(data[:len(logMagic)]) != string(logMagic) {
+		return nil, 0, fmt.Errorf("%w: bad log magic", ErrCorrupt)
+	}
+	off := int64(len(logMagic))
+	rest := data[len(logMagic):]
+	for len(rest) > 0 {
+		if len(rest) < frameHeader {
+			return records, off, fmt.Errorf("%w: %d header bytes at offset %d", ErrTorn, len(rest), off)
+		}
+		n := int64(binary.LittleEndian.Uint32(rest))
+		sum := binary.LittleEndian.Uint32(rest[4:])
+		if n > maxRecordLen {
+			return records, off, fmt.Errorf("%w: implausible record length %d at offset %d", ErrCorrupt, n, off)
+		}
+		if int64(len(rest))-frameHeader < n {
+			return records, off, fmt.Errorf("%w: record of %d bytes cut at offset %d", ErrTorn, n, off)
+		}
+		payload := rest[frameHeader : frameHeader+n]
+		if crc32.Checksum(payload, crcTable) != sum {
+			return records, off, fmt.Errorf("%w: checksum mismatch at offset %d", ErrCorrupt, off)
+		}
+		records = append(records, payload)
+		off += frameHeader + n
+		rest = rest[frameHeader+n:]
+	}
+	return records, off, nil
+}
+
+// Log is an append-only record log backed by one file. Append frames,
+// checksums and fsyncs each record; methods are safe for one writer
+// (the serving layer serializes appends itself).
+type Log struct {
+	f    *os.File
+	path string
+	size int64
+}
+
+// OpenLog opens (creating if absent) the log at path and replays it.
+// A torn tail — the signature of a crash mid-append — is truncated
+// away and the intact prefix returned; a checksum violation anywhere
+// is returned as ErrCorrupt with the intact prefix, leaving the file
+// untouched for forensics. The returned records are copies and remain
+// valid after further appends.
+func OpenLog(path string) (*Log, [][]byte, error) {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_RDWR, 0o600)
+	if err != nil {
+		return nil, nil, err
+	}
+	data, err := io.ReadAll(f)
+	if err != nil {
+		f.Close()
+		return nil, nil, err
+	}
+	records, good, rerr := Replay(data)
+	out := make([][]byte, len(records))
+	for i, r := range records {
+		out[i] = append([]byte(nil), r...)
+	}
+	l := &Log{f: f, path: path, size: good}
+	switch {
+	case rerr == nil:
+	case errors.Is(rerr, ErrTorn):
+		// Crash artifact: drop the tail and keep going.
+		if err := f.Truncate(good); err != nil {
+			f.Close()
+			return nil, nil, err
+		}
+		if err := f.Sync(); err != nil {
+			f.Close()
+			return nil, nil, err
+		}
+	default:
+		f.Close()
+		return nil, out, rerr
+	}
+	if len(data) == 0 {
+		if err := l.writeMagic(); err != nil {
+			f.Close()
+			return nil, nil, err
+		}
+	}
+	if _, err := f.Seek(l.size, io.SeekStart); err != nil {
+		f.Close()
+		return nil, nil, err
+	}
+	return l, out, nil
+}
+
+func (l *Log) writeMagic() error {
+	if _, err := l.f.Write(logMagic); err != nil {
+		return err
+	}
+	if err := l.f.Sync(); err != nil {
+		return err
+	}
+	l.size = int64(len(logMagic))
+	return nil
+}
+
+// Append frames rec, writes it and fsyncs. When the append fails
+// partway (disk full, injected torn write) the file is truncated back
+// to the last good record so the in-memory view and the disk image
+// stay consistent.
+func (l *Log) Append(rec []byte) error {
+	frame := make([]byte, frameHeader+len(rec))
+	binary.LittleEndian.PutUint32(frame, uint32(len(rec)))
+	binary.LittleEndian.PutUint32(frame[4:], crc32.Checksum(rec, crcTable))
+	copy(frame[frameHeader:], rec)
+	// Chaos hook: an armed store.write.torn writes only a prefix of the
+	// frame — exactly what a crash mid-append leaves behind — and then
+	// fails, exercising both the truncate-back path here and torn-tail
+	// replay after a restart.
+	if ferr := fault.Inject(fault.StoreWriteTorn); ferr != nil {
+		_, _ = l.f.Write(frame[:frameHeader+len(rec)/2])
+		_ = l.f.Sync()
+		_ = l.f.Truncate(l.size)
+		_, _ = l.f.Seek(l.size, io.SeekStart)
+		return fmt.Errorf("store: append: %w", ferr)
+	}
+	if _, err := l.f.Write(frame); err != nil {
+		_ = l.f.Truncate(l.size)
+		_, _ = l.f.Seek(l.size, io.SeekStart)
+		return fmt.Errorf("store: append: %w", err)
+	}
+	if err := l.f.Sync(); err != nil {
+		return fmt.Errorf("store: append sync: %w", err)
+	}
+	l.size += int64(frameHeader + len(rec))
+	return nil
+}
+
+// Size returns the current log size in bytes.
+func (l *Log) Size() int64 { return l.size }
+
+// Path returns the backing file path.
+func (l *Log) Path() string { return l.path }
+
+// Close closes the backing file.
+func (l *Log) Close() error { return l.f.Close() }
+
+// Rewrite atomically replaces the log's contents with the given
+// records (compaction): the new image is built in a temp file, fsynced
+// and renamed over the old one, so a crash leaves either the full old
+// log or the full new one.
+func (l *Log) Rewrite(records [][]byte) error {
+	buf := append([]byte(nil), logMagic...)
+	for _, rec := range records {
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(len(rec)))
+		buf = binary.LittleEndian.AppendUint32(buf, crc32.Checksum(rec, crcTable))
+		buf = append(buf, rec...)
+	}
+	if err := writeRaw(l.path, buf); err != nil {
+		return fmt.Errorf("store: rewrite: %w", err)
+	}
+	f, err := os.OpenFile(l.path, os.O_RDWR, 0o600)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Seek(int64(len(buf)), io.SeekStart); err != nil {
+		f.Close()
+		return err
+	}
+	old := l.f
+	l.f, l.size = f, int64(len(buf))
+	return old.Close()
+}
+
+// snapMagic opens every snapshot file written by WriteFile.
+var snapMagic = []byte("ACESNP1\n")
+
+// WriteFile atomically writes a checksummed snapshot file: the payload
+// is framed (magic, length, CRC32-C), written to a temp file in the
+// same directory, fsynced, renamed over path, and the directory
+// fsynced so the rename itself is durable. Readers never observe a
+// partial file.
+func WriteFile(path string, payload []byte) error {
+	buf := make([]byte, 0, len(snapMagic)+frameHeader+len(payload))
+	buf = append(buf, snapMagic...)
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(payload)))
+	buf = binary.LittleEndian.AppendUint32(buf, crc32.Checksum(payload, crcTable))
+	buf = append(buf, payload...)
+	return writeRaw(path, buf)
+}
+
+// writeRaw is the shared atomic-replace implementation: temp file in
+// the target directory, write, fsync, rename, fsync the directory.
+func writeRaw(path string, data []byte) error {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, ".store-*")
+	if err != nil {
+		return err
+	}
+	defer os.Remove(tmp.Name()) // no-op after a successful rename
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		return err
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		return err
+	}
+	if d, err := os.Open(dir); err == nil {
+		_ = d.Sync()
+		_ = d.Close()
+	}
+	return nil
+}
+
+// ReadFile reads a snapshot written by WriteFile, verifying the frame.
+// Truncation is reported as ErrTorn, checksum or framing violations as
+// ErrCorrupt.
+func ReadFile(path string) ([]byte, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	return Unframe(data)
+}
+
+// Unframe verifies a snapshot image (as written by WriteFile) and
+// returns its payload.
+func Unframe(data []byte) ([]byte, error) {
+	if len(data) < len(snapMagic)+frameHeader {
+		return nil, fmt.Errorf("%w: snapshot of %d bytes", ErrTorn, len(data))
+	}
+	if string(data[:len(snapMagic)]) != string(snapMagic) {
+		return nil, fmt.Errorf("%w: bad snapshot magic", ErrCorrupt)
+	}
+	rest := data[len(snapMagic):]
+	n := int64(binary.LittleEndian.Uint32(rest))
+	sum := binary.LittleEndian.Uint32(rest[4:])
+	if n > maxRecordLen {
+		return nil, fmt.Errorf("%w: implausible snapshot length %d", ErrCorrupt, n)
+	}
+	payload := rest[frameHeader:]
+	if int64(len(payload)) < n {
+		return nil, fmt.Errorf("%w: snapshot body %d < %d", ErrTorn, len(payload), n)
+	}
+	if int64(len(payload)) > n {
+		return nil, fmt.Errorf("%w: %d trailing snapshot bytes", ErrCorrupt, int64(len(payload))-n)
+	}
+	if crc32.Checksum(payload, crcTable) != sum {
+		return nil, fmt.Errorf("%w: snapshot checksum mismatch", ErrCorrupt)
+	}
+	return payload, nil
+}

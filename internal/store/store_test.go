@@ -1,0 +1,203 @@
+package store
+
+import (
+	"bytes"
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"antace/internal/fault"
+)
+
+func openT(t *testing.T, path string) (*Log, [][]byte) {
+	t.Helper()
+	l, recs, err := OpenLog(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { l.Close() })
+	return l, recs
+}
+
+func TestLogRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "j.log")
+	l, recs := openT(t, path)
+	if len(recs) != 0 {
+		t.Fatalf("fresh log replayed %d records", len(recs))
+	}
+	want := [][]byte{[]byte("alpha"), {}, bytes.Repeat([]byte{0xAB}, 4096)}
+	for _, r := range want {
+		if err := l.Append(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	l.Close()
+
+	_, got := openT(t, path)
+	if len(got) != len(want) {
+		t.Fatalf("replayed %d records, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if !bytes.Equal(got[i], want[i]) {
+			t.Fatalf("record %d mismatch", i)
+		}
+	}
+}
+
+// TestLogTornTailHealed simulates a crash mid-append by truncating the
+// file inside the last frame: replay must surface every earlier record
+// and OpenLog must truncate the tail so subsequent appends are clean.
+func TestLogTornTailHealed(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "j.log")
+	l, _ := openT(t, path)
+	if err := l.Append([]byte("keep-me")); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Append([]byte("torn-away")); err != nil {
+		t.Fatal(err)
+	}
+	l.Close()
+
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, data[:len(data)-4], 0o600); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, rerr := Replay(data[:len(data)-4]); !errors.Is(rerr, ErrTorn) {
+		t.Fatalf("torn tail replayed as %v, want ErrTorn", rerr)
+	}
+
+	l2, recs := openT(t, path)
+	if len(recs) != 1 || string(recs[0]) != "keep-me" {
+		t.Fatalf("healed replay got %q", recs)
+	}
+	if err := l2.Append([]byte("after-heal")); err != nil {
+		t.Fatal(err)
+	}
+	l2.Close()
+	_, recs = openT(t, path)
+	if len(recs) != 2 || string(recs[1]) != "after-heal" {
+		t.Fatalf("post-heal replay got %q", recs)
+	}
+}
+
+// TestLogCorruptRecordRejected flips a payload bit: replay must stop at
+// the corrupt record with a typed error, and OpenLog must refuse to
+// heal it silently.
+func TestLogCorruptRecordRejected(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "j.log")
+	l, _ := openT(t, path)
+	if err := l.Append([]byte("first")); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Append([]byte("second")); err != nil {
+		t.Fatal(err)
+	}
+	l.Close()
+
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)-1] ^= 0x01
+	if err := os.WriteFile(path, data, 0o600); err != nil {
+		t.Fatal(err)
+	}
+
+	recs, _, rerr := Replay(data)
+	if !errors.Is(rerr, ErrCorrupt) {
+		t.Fatalf("corrupt record replayed as %v, want ErrCorrupt", rerr)
+	}
+	if len(recs) != 1 || string(recs[0]) != "first" {
+		t.Fatalf("intact prefix %q", recs)
+	}
+	if _, _, err := OpenLog(path); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("OpenLog healed a corrupt record: %v", err)
+	}
+}
+
+// TestLogInjectedTornWrite arms store.write.torn: the append must fail
+// with the injected error, the file must roll back to the last good
+// record, and the next append must succeed cleanly.
+func TestLogInjectedTornWrite(t *testing.T) {
+	if err := fault.Arm(fault.StoreWriteTorn + ":1:0"); err != nil {
+		t.Fatal(err)
+	}
+	defer fault.Disarm()
+
+	path := filepath.Join(t.TempDir(), "j.log")
+	l, _ := openT(t, path)
+	if err := l.Append(bytes.Repeat([]byte("x"), 64)); err == nil {
+		t.Fatal("armed torn write did not fail the append")
+	}
+	if err := l.Append([]byte("recovered")); err != nil {
+		t.Fatal(err)
+	}
+	l.Close()
+	_, recs := openT(t, path)
+	if len(recs) != 1 || string(recs[0]) != "recovered" {
+		t.Fatalf("replay after torn write got %q", recs)
+	}
+}
+
+func TestLogRewrite(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "j.log")
+	l, _ := openT(t, path)
+	for _, r := range []string{"a", "b", "c", "d"} {
+		if err := l.Append([]byte(r)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := l.Rewrite([][]byte{[]byte("b"), []byte("d")}); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Append([]byte("e")); err != nil {
+		t.Fatal(err)
+	}
+	l.Close()
+	_, recs := openT(t, path)
+	if len(recs) != 3 || string(recs[0]) != "b" || string(recs[2]) != "e" {
+		t.Fatalf("compacted replay got %q", recs)
+	}
+}
+
+func TestSnapshotRoundTripAndCorruption(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "s.snap")
+	payload := bytes.Repeat([]byte{1, 2, 3}, 100)
+	if err := WriteFile(path, payload); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, payload) {
+		t.Fatal("snapshot payload mismatch")
+	}
+
+	data, _ := os.ReadFile(path)
+	data[len(data)-1] ^= 0x80
+	if err := os.WriteFile(path, data, 0o600); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadFile(path); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("corrupt snapshot read as %v, want ErrCorrupt", err)
+	}
+	if err := os.WriteFile(path, data[:len(data)/2], 0o600); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadFile(path); !errors.Is(err, ErrTorn) {
+		t.Fatalf("truncated snapshot read as %v, want ErrTorn", err)
+	}
+
+	// Overwrite replaces atomically: the new payload wins in full.
+	if err := WriteFile(path, []byte("v2")); err != nil {
+		t.Fatal(err)
+	}
+	if got, err = ReadFile(path); err != nil || string(got) != "v2" {
+		t.Fatalf("overwrite read %q, %v", got, err)
+	}
+}

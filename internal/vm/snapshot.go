@@ -1,0 +1,245 @@
+package vm
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/fnv"
+	"time"
+
+	"antace/internal/ckks"
+	"antace/internal/ckksir"
+	"antace/internal/ir"
+)
+
+// Execution snapshots make a long-running encrypted inference
+// resumable across a process crash: a snapshot is the program counter
+// plus every live ciphertext register, serialized with the existing
+// ckks wire format. Plaintext registers are deliberately NOT included
+// — they are all produced by ckks.encode of compile-time constants
+// (model weights), so a resume re-encodes the ones still needed, which
+// keeps snapshots proportional to the handful of live ciphertexts
+// instead of the whole model.
+//
+// A snapshot embeds a fingerprint of the instruction stream it was
+// taken against; Restore refuses a snapshot from a different program,
+// so a daemon recompiled against a new model cannot resume state whose
+// register numbering no longer matches.
+
+// CheckpointPolicy makes RunCtx emit snapshots while it executes:
+// after every EveryN instructions, or whenever Every has elapsed since
+// the last snapshot, whichever fires first (either may be zero to
+// disable that trigger). Sink receives the serialized snapshot; a Sink
+// error does not abort the evaluation — checkpointing is best effort,
+// and the sink owns counting its own failures.
+type CheckpointPolicy struct {
+	EveryN int
+	Every  time.Duration
+	Sink   func(snap []byte) error
+}
+
+func (p *CheckpointPolicy) active() bool {
+	return p != nil && p.Sink != nil && (p.EveryN > 0 || p.Every > 0)
+}
+
+// execState is a paused execution: the index of the next instruction
+// and the register files. It lives on the Machine only between Restore
+// and the RunCtx call that consumes it.
+type execState struct {
+	pc  int
+	cts map[*ir.Value]*ckks.Ciphertext
+	pts map[*ir.Value]*ckks.Plaintext
+}
+
+const snapMagic = "ACEVMS1\n"
+
+// Fingerprint hashes a function's instruction stream — ops, value
+// numbering, parameter list — so snapshots are bound to the exact
+// program they were taken against. Attribute payloads (weights) are
+// excluded: the compiler derives value numbering and ops from them
+// deterministically, and hashing every weight on each checkpoint would
+// dominate the checkpoint cost.
+func Fingerprint(f *ir.Func) uint64 {
+	h := fnv.New64a()
+	var b [8]byte
+	word := func(v uint64) {
+		binary.LittleEndian.PutUint64(b[:], v)
+		h.Write(b[:])
+	}
+	word(uint64(len(f.Params)))
+	for _, p := range f.Params {
+		word(uint64(p.ID))
+	}
+	for _, in := range f.Body {
+		h.Write([]byte(in.Op))
+		word(uint64(in.Result.ID))
+		word(uint64(len(in.Args)))
+		for _, a := range in.Args {
+			word(uint64(a.ID))
+		}
+	}
+	if f.Ret != nil {
+		word(uint64(f.Ret.ID))
+	}
+	return h.Sum64()
+}
+
+// lastUses maps every value to the last instruction index that reads
+// it; the return value is pinned to len(Body) so it is live forever.
+func lastUses(f *ir.Func) map[*ir.Value]int {
+	last := make(map[*ir.Value]int, len(f.Body))
+	for idx, in := range f.Body {
+		for _, a := range in.Args {
+			last[a] = idx
+		}
+	}
+	if f.Ret != nil {
+		last[f.Ret] = len(f.Body)
+	}
+	return last
+}
+
+// marshalState serializes a paused execution: magic, program
+// fingerprint, pc, then each live ciphertext register as (value ID,
+// length-prefixed ckks wire bytes).
+func marshalState(f *ir.Func, st *execState, last map[*ir.Value]int) ([]byte, error) {
+	type reg struct {
+		id int
+		ct *ckks.Ciphertext
+	}
+	var live []reg
+	for v, ct := range st.cts {
+		if last[v] >= st.pc {
+			live = append(live, reg{v.ID, ct})
+		}
+	}
+	buf := []byte(snapMagic)
+	buf = binary.LittleEndian.AppendUint64(buf, Fingerprint(f))
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(st.pc))
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(live)))
+	for _, r := range live {
+		ctb, err := r.ct.MarshalBinary()
+		if err != nil {
+			return nil, fmt.Errorf("vm: snapshot register %%v%d: %w", r.id, err)
+		}
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(r.id))
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(len(ctb)))
+		buf = append(buf, ctb...)
+	}
+	return buf, nil
+}
+
+// Snapshot serializes the machine's paused execution state (present
+// between a Restore and the RunCtx that consumes it). Checkpoints
+// during a run are produced internally by the CheckpointPolicy; this
+// accessor exists for tests and tooling.
+func (m *Machine) Snapshot(mod *ir.Module) ([]byte, error) {
+	if m.st == nil {
+		return nil, fmt.Errorf("vm: no paused execution to snapshot")
+	}
+	f := mod.Main()
+	if f == nil {
+		return nil, fmt.Errorf("vm: empty module")
+	}
+	return marshalState(f, m.st, lastUses(f))
+}
+
+// Restore primes the machine with a serialized snapshot; the next
+// RunCtx call continues from the recorded program counter instead of
+// instruction 0. It validates framing, the program fingerprint and
+// every register's identity, returning an error — never panicking —
+// on torn or corrupted input.
+func (m *Machine) Restore(mod *ir.Module, data []byte) error {
+	f := mod.Main()
+	if f == nil {
+		return fmt.Errorf("vm: empty module")
+	}
+	if len(data) < len(snapMagic)+16 {
+		return fmt.Errorf("vm: truncated snapshot (%d bytes)", len(data))
+	}
+	if string(data[:len(snapMagic)]) != snapMagic {
+		return fmt.Errorf("vm: bad snapshot magic")
+	}
+	rest := data[len(snapMagic):]
+	fp := binary.LittleEndian.Uint64(rest)
+	if want := Fingerprint(f); fp != want {
+		return fmt.Errorf("vm: snapshot fingerprint %016x does not match program %016x", fp, want)
+	}
+	pc := int(binary.LittleEndian.Uint32(rest[8:]))
+	count := int(binary.LittleEndian.Uint32(rest[12:]))
+	rest = rest[16:]
+	if pc < 0 || pc > len(f.Body) {
+		return fmt.Errorf("vm: snapshot pc %d outside program of %d instructions", pc, len(f.Body))
+	}
+	// One frame per register needs at least its 8-byte header; a forged
+	// count cannot force a large allocation.
+	if count < 0 || count > len(rest)/8+1 {
+		return fmt.Errorf("vm: implausible snapshot register count %d for %d bytes", count, len(rest))
+	}
+
+	byID := make(map[int]*ir.Value, len(f.Body)+len(f.Params))
+	for _, p := range f.Params {
+		byID[p.ID] = p
+	}
+	for _, in := range f.Body {
+		byID[in.Result.ID] = in.Result
+	}
+
+	st := &execState{
+		pc:  pc,
+		cts: make(map[*ir.Value]*ckks.Ciphertext, count),
+		pts: map[*ir.Value]*ckks.Plaintext{},
+	}
+	for i := 0; i < count; i++ {
+		if len(rest) < 8 {
+			return fmt.Errorf("vm: truncated snapshot register %d", i)
+		}
+		id := int(binary.LittleEndian.Uint32(rest))
+		n := int(binary.LittleEndian.Uint32(rest[4:]))
+		rest = rest[8:]
+		if n < 0 || n > len(rest) {
+			return fmt.Errorf("vm: snapshot register %d claims %d bytes, %d remain", i, n, len(rest))
+		}
+		v, ok := byID[id]
+		if !ok {
+			return fmt.Errorf("vm: snapshot register %%v%d not defined by the program", id)
+		}
+		if _, dup := st.cts[v]; dup {
+			return fmt.Errorf("vm: duplicate snapshot register %%v%d", id)
+		}
+		ct := &ckks.Ciphertext{}
+		if err := ct.UnmarshalBinary(rest[:n]); err != nil {
+			return fmt.Errorf("vm: snapshot register %%v%d: %w", id, err)
+		}
+		st.cts[v] = ct
+		rest = rest[n:]
+	}
+	if len(rest) != 0 {
+		return fmt.Errorf("vm: %d trailing snapshot bytes", len(rest))
+	}
+	m.st = st
+	return nil
+}
+
+// replayEncodes re-materializes the plaintext registers a resumed
+// execution still needs: every encode instruction before pc whose
+// result is read at or after pc is re-run. Encoding a compile-time
+// constant is deterministic, so the resumed run is bit-identical to
+// one that never paused.
+func (m *Machine) replayEncodes(f *ir.Func, st *execState, last map[*ir.Value]int) error {
+	for idx := 0; idx < st.pc; idx++ {
+		in := f.Body[idx]
+		if in.Op != ckksir.OpEncode || last[in.Result] < st.pc {
+			continue
+		}
+		vec, ok := in.Args[0].Const.([]float64)
+		if !ok {
+			return fmt.Errorf("vm: resume instr %d: encode argument is not a vector constant", idx)
+		}
+		pt, err := m.enc.EncodeReal(vec, in.AttrInt("level", 0), in.AttrFloat("scale", 0))
+		if err != nil {
+			return fmt.Errorf("vm: resume instr %d: %w", idx, err)
+		}
+		st.pts[in.Result] = pt
+	}
+	return nil
+}

@@ -10,6 +10,7 @@ import (
 	"context"
 	"fmt"
 	"math"
+	"time"
 
 	"antace/internal/bootstrap"
 	"antace/internal/ckks"
@@ -29,6 +30,18 @@ type Machine struct {
 	// KeyCount reports the number of Galois keys generated (the paper's
 	// Figure 7 memory analysis).
 	KeyCount int
+	// Ckpt, when set, makes RunCtx emit resumable snapshots of the
+	// execution on the policy's cadence (see CheckpointPolicy).
+	Ckpt *CheckpointPolicy
+	// StepDelay, when positive, sleeps between instructions. It exists
+	// for chaos and durability testing — stretching a fast test program
+	// into one long enough to crash mid-flight deterministically — and
+	// must stay zero in production.
+	StepDelay time.Duration
+
+	// st holds execution state restored by Restore until the next
+	// RunCtx consumes it.
+	st *execState
 }
 
 // Client is the paper's ANT-ACE-generated encryptor/decryptor pair: it
@@ -144,6 +157,12 @@ func (m *Machine) Run(mod *ir.Module, input *ckks.Ciphertext) (*ckks.Ciphertext,
 // through pooled scratch in an unknown state, the recovery also discards
 // the parameter set's scratch pools before returning, so no suspect
 // buffer is ever recycled into a later evaluation.
+// A restored snapshot (see Restore) makes RunCtx continue from the
+// recorded program counter instead of instruction 0; the resumed run
+// produces bit-identical output to one that never paused, because
+// every CKKS operation is deterministic given the same keys and
+// registers. When m.Ckpt is set, RunCtx emits resumable snapshots on
+// the policy's cadence between instructions.
 func (m *Machine) RunCtx(ctx context.Context, mod *ir.Module, input *ckks.Ciphertext) (out *ckks.Ciphertext, err error) {
 	defer func() {
 		if rec := recover(); rec != nil {
@@ -159,15 +178,41 @@ func (m *Machine) RunCtx(ctx context.Context, mod *ir.Module, input *ckks.Cipher
 		return nil, fmt.Errorf("vm: expected one parameter, have %d", len(f.Params))
 	}
 	ev := m.Eval
-	cts := map[*ir.Value]*ckks.Ciphertext{f.Params[0]: input}
-	pts := map[*ir.Value]*ckks.Plaintext{}
-	if err := m.check(f.Params[0], input); err != nil {
-		return nil, fmt.Errorf("vm: input: %w", err)
-	}
 
-	for idx, in := range f.Body {
+	// Adopt restored state, or start fresh. The state is popped off the
+	// machine either way: after a failure it must not leak into a later
+	// run.
+	st := m.st
+	m.st = nil
+	var last map[*ir.Value]int
+	if m.Ckpt.active() || st != nil {
+		last = lastUses(f)
+	}
+	if st == nil {
+		if input == nil {
+			return nil, fmt.Errorf("vm: nil input and no restored snapshot")
+		}
+		st = &execState{
+			cts: map[*ir.Value]*ckks.Ciphertext{f.Params[0]: input},
+			pts: map[*ir.Value]*ckks.Plaintext{},
+		}
+		if err := m.check(f.Params[0], input); err != nil {
+			return nil, fmt.Errorf("vm: input: %w", err)
+		}
+	} else if err := m.replayEncodes(f, st, last); err != nil {
+		return nil, err
+	}
+	cts, pts := st.cts, st.pts
+
+	sinceCkpt := 0
+	lastCkpt := time.Now()
+	for idx := st.pc; idx < len(f.Body); idx++ {
+		in := f.Body[idx]
 		if err := ctx.Err(); err != nil {
 			return nil, fmt.Errorf("vm: aborted before instr %d (%s): %w", idx, in.Op, err)
+		}
+		if m.StepDelay > 0 {
+			time.Sleep(m.StepDelay)
 		}
 		// Deterministic chaos hooks: an armed vm.instr.err fails this
 		// instruction with a returned error; vm.instr.panic crashes it,
@@ -234,6 +279,22 @@ func (m *Machine) RunCtx(ctx context.Context, mod *ir.Module, input *ckks.Cipher
 		if ct := cts[in.Result]; ct != nil {
 			if err := m.check(in.Result, ct); err != nil {
 				return nil, fmt.Errorf("vm: instr %d (%s): %w", idx, in.Op, err)
+			}
+		}
+		st.pc = idx + 1
+		if m.Ckpt.active() {
+			sinceCkpt++
+			if (m.Ckpt.EveryN > 0 && sinceCkpt >= m.Ckpt.EveryN) ||
+				(m.Ckpt.Every > 0 && time.Since(lastCkpt) >= m.Ckpt.Every) {
+				snap, serr := marshalState(f, st, last)
+				if serr == nil {
+					// Sink errors are deliberately swallowed: losing a
+					// checkpoint only costs resume granularity, never
+					// the evaluation; the sink counts its own failures.
+					_ = m.Ckpt.Sink(snap)
+				}
+				sinceCkpt = 0
+				lastCkpt = time.Now()
 			}
 		}
 	}

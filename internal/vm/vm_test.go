@@ -17,7 +17,7 @@ import (
 	"antace/internal/vecir"
 )
 
-func compileLinear(t *testing.T) (*ckksir.Result, *vecir.Result) {
+func compileLinear(t testing.TB) (*ckksir.Result, *vecir.Result) {
 	t.Helper()
 	m, err := onnx.BuildLinear(16, 4, 3)
 	if err != nil {
