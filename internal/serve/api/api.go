@@ -77,10 +77,10 @@ type Healthz struct {
 
 // Statz is returned by GET /v1/statz.
 type Statz struct {
-	Served     uint64 `json:"served"`
-	Rejected   uint64 `json:"rejected"`
-	TimedOut   uint64 `json:"timed_out"`
-	Failed     uint64 `json:"failed"`
+	Served   uint64 `json:"served"`
+	Rejected uint64 `json:"rejected"`
+	TimedOut uint64 `json:"timed_out"`
+	Failed   uint64 `json:"failed"`
 	// Panics counts evaluations that died in a recovered panic — the
 	// worker survived, the request answered 500 EVAL_PANIC.
 	Panics uint64 `json:"panics"`
@@ -91,9 +91,9 @@ type Statz struct {
 	// chaos runs).
 	FaultsFired uint64 `json:"faults_fired"`
 	QueueDepth  int    `json:"queue_depth"`
-	QueueCap   int    `json:"queue_cap"`
-	Workers    int    `json:"workers"`
-	Draining   bool   `json:"draining"`
+	QueueCap    int    `json:"queue_cap"`
+	Workers     int    `json:"workers"`
+	Draining    bool   `json:"draining"`
 
 	Sessions         int    `json:"sessions"`
 	SessionBytes     int64  `json:"session_bytes"`

@@ -4,9 +4,13 @@ import (
 	"bytes"
 	"context"
 	"io"
+	"math"
 	"net"
 	"net/http"
 	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
 	"testing"
 	"time"
 
@@ -15,6 +19,7 @@ import (
 	"antace/internal/fheclient"
 	"antace/internal/ring"
 	"antace/internal/serve/api"
+	"antace/internal/store"
 	"antace/internal/vm"
 )
 
@@ -69,6 +74,147 @@ func drain(t *testing.T, s *Server) {
 	defer cancel()
 	if err := s.Drain(ctx); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// TestDurableRejectsHostileSessionIDs: session ids become file names
+// under the data dir, so anything but the 32-hex form newSessionID
+// produces must be refused before any disk operation — a traversal id
+// must not read, touch or delete files outside sessions/.
+func TestDurableRejectsHostileSessionIDs(t *testing.T) {
+	dir := t.TempDir()
+	dur, _, err := openDurable(dir, 1<<30, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer dur.close()
+
+	// A store-framed file one level above sessDir — the reachable target
+	// of an id like "../victim".
+	victim := filepath.Join(dir, "victim.key")
+	if err := store.WriteFile(victim, []byte("key material")); err != nil {
+		t.Fatal(err)
+	}
+
+	hostile := []string{
+		"", "..", "../victim", "../../etc/target", "a/b",
+		strings.Repeat("z", 32),                          // right length, not hex
+		strings.Repeat("A", 32),                          // uppercase is never generated
+		strings.Repeat("0", 31), strings.Repeat("0", 33), // wrong length
+	}
+	for _, id := range hostile {
+		if _, err := dur.loadSession(id); err == nil {
+			t.Errorf("loadSession(%q) succeeded", id)
+		}
+		if dur.dropSession(id) {
+			t.Errorf("dropSession(%q) deleted a file", id)
+		}
+		if err := dur.saveSession(id, []byte("x")); err == nil {
+			t.Errorf("saveSession(%q) wrote a file", id)
+		}
+	}
+	if _, err := os.Stat(victim); err != nil {
+		t.Fatalf("victim file outside sessions/ was touched: %v", err)
+	}
+
+	good := strings.Repeat("0123456789abcdef", 2)
+	if !validSessionID(good) {
+		t.Fatalf("generated-form id %q rejected", good)
+	}
+	if err := dur.saveSession(good, []byte("bundle")); err != nil {
+		t.Fatalf("saveSession(valid id): %v", err)
+	}
+	if raw, err := dur.loadSession(good); err != nil || string(raw) != "bundle" {
+		t.Fatalf("loadSession(valid id): %q, %v", raw, err)
+	}
+}
+
+// TestDropSessionTraversalOverHTTP: a DELETE with an encoded traversal
+// id must answer an error, never remove files outside sessions/.
+func TestDropSessionTraversalOverHTTP(t *testing.T) {
+	dir := t.TempDir()
+	prog, _ := compileLinear(t)
+	s, err := New(prog, Config{Workers: 1, DataDir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := serveOn(t, "127.0.0.1:0", s)
+	defer func() { ts.Close(); drain(t, s) }()
+
+	victim := filepath.Join(dir, "victim.key")
+	if err := store.WriteFile(victim, []byte("key material")); err != nil {
+		t.Fatal(err)
+	}
+	req, err := http.NewRequest(http.MethodDelete, ts.URL+api.PathSessions+"/..%2Fvictim", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode == http.StatusNoContent {
+		t.Fatalf("traversal DELETE answered %d", resp.StatusCode)
+	}
+	if _, err := os.Stat(victim); err != nil {
+		t.Fatalf("traversal DELETE removed a file outside sessions/: %v", err)
+	}
+}
+
+// TestOversizedIdemKeyRejected: an idempotency key past the cap is a
+// 400 at the door. Before the cap, a >64 KiB key silently truncated the
+// journal record's uint16 length framing, and the misframed record
+// bricked every subsequent startup.
+func TestOversizedIdemKeyRejected(t *testing.T) {
+	dir := t.TempDir()
+	prog, _ := compileLinear(t)
+	s, err := New(prog, Config{Workers: 1, DataDir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := serveOn(t, "127.0.0.1:0", s)
+	defer func() { ts.Close(); drain(t, s) }()
+
+	status, _, _ := rawInfer(t, ts.URL, strings.Repeat("0", 32),
+		strings.Repeat("k", maxIdemKeyBytes+1), []byte("ciphertext"))
+	if status != http.StatusBadRequest {
+		t.Fatalf("oversized idempotency key: status %d, want 400", status)
+	}
+}
+
+// TestJournalEncodingRejectsOversizedStrings: even if an oversized key
+// reaches the journal layer, encoding must fail loudly instead of
+// truncating the uint16 length field, and the journal must stay
+// replayable.
+func TestJournalEncodingRejectsOversizedStrings(t *testing.T) {
+	big := strings.Repeat("k", math.MaxUint16+1)
+	if _, err := encodeForget(big); err == nil {
+		t.Fatal("encodeForget silently truncated an oversized string")
+	}
+	if _, err := encodeAccept("key", big, nil); err == nil {
+		t.Fatal("encodeAccept silently truncated an oversized session id")
+	}
+
+	dir := t.TempDir()
+	dur, _, err := openDurable(dir, 1<<30, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := dur.accept(big, "sess", []byte("input")); err == nil {
+		t.Fatal("accept journaled an unframeable key")
+	}
+	dur.complete(big, []byte("result")) // must not write a misframed record
+	dur.close()
+
+	dur2, st, err := openDurable(dir, 1<<30, 16)
+	if err != nil {
+		t.Fatalf("journal bricked by oversized key: %v", err)
+	}
+	defer dur2.close()
+	if len(st.pending) != 0 || len(st.completed) != 0 {
+		t.Fatalf("oversized-key records leaked into the journal: %d pending, %d completed",
+			len(st.pending), len(st.completed))
 	}
 }
 

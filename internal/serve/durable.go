@@ -5,6 +5,7 @@ import (
 	"encoding/binary"
 	"encoding/hex"
 	"fmt"
+	"math"
 	"os"
 	"path/filepath"
 	"sort"
@@ -134,9 +135,14 @@ func (d *durable) bumpRestarts() uint64 {
 
 // --- journal record encoding --------------------------------------------
 
-func appendString(buf []byte, s string) []byte {
+func appendString(buf []byte, s string) ([]byte, error) {
+	if len(s) > math.MaxUint16 {
+		// Silent truncation of the length field would frame a record that
+		// misparses on replay and bricks the next startup.
+		return nil, fmt.Errorf("serve: journal string of %d bytes exceeds %d", len(s), math.MaxUint16)
+	}
 	buf = binary.LittleEndian.AppendUint16(buf, uint16(len(s)))
-	return append(buf, s...)
+	return append(buf, s...), nil
 }
 
 func readString(data []byte) (string, []byte, error) {
@@ -151,20 +157,26 @@ func readString(data []byte) (string, []byte, error) {
 	return string(data[:n]), data[n:], nil
 }
 
-func encodeAccept(key, sessID string, input []byte) []byte {
-	buf := []byte{recAccept}
-	buf = appendString(buf, key)
-	buf = appendString(buf, sessID)
-	return append(buf, input...)
+func encodeAccept(key, sessID string, input []byte) ([]byte, error) {
+	buf, err := appendString([]byte{recAccept}, key)
+	if err != nil {
+		return nil, err
+	}
+	if buf, err = appendString(buf, sessID); err != nil {
+		return nil, err
+	}
+	return append(buf, input...), nil
 }
 
-func encodeComplete(key string, result []byte) []byte {
-	buf := []byte{recComplete}
-	buf = appendString(buf, key)
-	return append(buf, result...)
+func encodeComplete(key string, result []byte) ([]byte, error) {
+	buf, err := appendString([]byte{recComplete}, key)
+	if err != nil {
+		return nil, err
+	}
+	return append(buf, result...), nil
 }
 
-func encodeForget(key string) []byte {
+func encodeForget(key string) ([]byte, error) {
 	return appendString([]byte{recForget}, key)
 }
 
@@ -227,9 +239,14 @@ func (st *journalState) dropPending(key string) {
 // the input ciphertext, fsynced before the job enters the queue so a
 // crash at any later point can re-execute it.
 func (d *durable) accept(key, sessID string, input []byte) error {
+	rec, err := encodeAccept(key, sessID, input)
+	if err != nil {
+		d.storeErrs.Add(1)
+		return err
+	}
 	d.mu.Lock()
 	defer d.mu.Unlock()
-	if err := d.journal.Append(encodeAccept(key, sessID, input)); err != nil {
+	if err := d.journal.Append(rec); err != nil {
 		d.storeErrs.Add(1)
 		return err
 	}
@@ -240,24 +257,34 @@ func (d *durable) accept(key, sessID string, input []byte) error {
 // complete journals a finished job's result bytes — the persisted half
 // of the idempotency success LRU — and removes its checkpoint.
 func (d *durable) complete(key string, result []byte) {
-	d.mu.Lock()
-	if err := d.journal.Append(encodeComplete(key, result)); err != nil {
+	rec, err := encodeComplete(key, result)
+	if err != nil {
 		d.storeErrs.Add(1)
+	} else {
+		d.mu.Lock()
+		if err := d.journal.Append(rec); err != nil {
+			d.storeErrs.Add(1)
+		}
+		d.compactIfOversized()
+		d.mu.Unlock()
 	}
-	d.compactIfOversized()
-	d.mu.Unlock()
 	d.removeCheckpoint(key)
 }
 
 // forget journals that a job's attempt died (failure, timeout, drain):
 // a post-restart retry must re-execute rather than resume or replay.
 func (d *durable) forget(key string) {
-	d.mu.Lock()
-	if err := d.journal.Append(encodeForget(key)); err != nil {
+	rec, err := encodeForget(key)
+	if err != nil {
 		d.storeErrs.Add(1)
+	} else {
+		d.mu.Lock()
+		if err := d.journal.Append(rec); err != nil {
+			d.storeErrs.Add(1)
+		}
+		d.compactIfOversized()
+		d.mu.Unlock()
 	}
-	d.compactIfOversized()
-	d.mu.Unlock()
 	d.removeCheckpoint(key)
 }
 
@@ -294,14 +321,22 @@ func (d *durable) rewrite(st *journalState) error {
 	var recs [][]byte
 	for _, key := range st.order {
 		a := st.pending[key]
-		recs = append(recs, encodeAccept(key, a.sessID, a.input))
+		rec, err := encodeAccept(key, a.sessID, a.input)
+		if err != nil {
+			return err
+		}
+		recs = append(recs, rec)
 	}
 	done := st.done
 	if len(done) > d.idemCap {
 		done = done[len(done)-d.idemCap:]
 	}
 	for _, key := range done {
-		recs = append(recs, encodeComplete(key, st.completed[key]))
+		rec, err := encodeComplete(key, st.completed[key])
+		if err != nil {
+			return err
+		}
+		recs = append(recs, rec)
 	}
 	return d.journal.Rewrite(recs)
 }
@@ -375,6 +410,25 @@ func (d *durable) pruneCheckpoints(st *journalState) {
 
 // --- session spill ------------------------------------------------------
 
+// validSessionID reports whether id has exactly the 32-lowercase-hex
+// form newSessionID produces. Session ids arrive from clients (header,
+// query param, URL path) and from replayed journal records, and they
+// become file names under sessDir — anything else ("../…", encoded
+// separators, the empty string) must be rejected before any disk
+// operation or a hostile id escapes the data dir.
+func validSessionID(id string) bool {
+	if len(id) != 32 {
+		return false
+	}
+	for i := 0; i < len(id); i++ {
+		c := id[i]
+		if (c < '0' || c > '9') && (c < 'a' || c > 'f') {
+			return false
+		}
+	}
+	return true
+}
+
 func (d *durable) sessPath(id string) string {
 	return filepath.Join(d.sessDir, id+".key")
 }
@@ -384,6 +438,10 @@ func (d *durable) sessPath(id string) string {
 // larger than the whole budget is simply not spilled — the session
 // still serves from RAM, it just will not survive a restart.
 func (d *durable) saveSession(id string, raw []byte) error {
+	if !validSessionID(id) {
+		d.storeErrs.Add(1)
+		return fmt.Errorf("serve: invalid session id %q", id)
+	}
 	if int64(len(raw)) > d.budget {
 		d.storeErrs.Add(1)
 		return fmt.Errorf("serve: bundle of %d bytes exceeds the disk budget of %d", len(raw), d.budget)
@@ -440,6 +498,9 @@ func (d *durable) evictSessionsLocked(keep string) {
 // loadSession reads a spilled key bundle back, bumping its mtime so
 // disk eviction approximates LRU.
 func (d *durable) loadSession(id string) ([]byte, error) {
+	if !validSessionID(id) {
+		return nil, fmt.Errorf("serve: invalid session id %q: %w", id, os.ErrNotExist)
+	}
 	raw, err := store.ReadFile(d.sessPath(id))
 	if err != nil {
 		return nil, err
@@ -450,6 +511,9 @@ func (d *durable) loadSession(id string) ([]byte, error) {
 }
 
 func (d *durable) dropSession(id string) bool {
+	if !validSessionID(id) {
+		return false
+	}
 	path := d.sessPath(id)
 	info, err := os.Stat(path)
 	if err != nil {

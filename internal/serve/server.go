@@ -267,6 +267,18 @@ func (s *Server) openDurability() error {
 		s.idem.restore(key, st.completed[key])
 	}
 
+	// Compact to live state and drop checkpoints with no pending accept,
+	// so a crash loop cannot accrete journal or checkpoint garbage. This
+	// must happen before any recovery job runs: rewrite rebuilds the log
+	// purely from the replayed fold, so a completion appended by a fast
+	// recovered job would be silently discarded by a later rewrite.
+	dur.mu.Lock()
+	if err := dur.rewrite(st); err != nil {
+		dur.storeErrs.Add(1)
+	}
+	dur.mu.Unlock()
+	dur.pruneCheckpoints(st)
+
 	// Claim every pending job's idempotency entry synchronously; the
 	// actual re-execution runs in the background once workers exist.
 	for _, key := range st.order {
@@ -276,15 +288,6 @@ func (s *Server) openDurability() error {
 		}
 		go s.recoverJob(key, st.pending[key], entry)
 	}
-
-	// Compact to live state and drop checkpoints with no pending accept,
-	// so a crash loop cannot accrete journal or checkpoint garbage.
-	dur.mu.Lock()
-	if err := dur.rewrite(st); err != nil {
-		dur.storeErrs.Add(1)
-	}
-	dur.mu.Unlock()
-	dur.pruneCheckpoints(st)
 	return nil
 }
 
@@ -582,6 +585,11 @@ func (s *Server) deadline(r *http.Request) (time.Duration, error) {
 	return d, nil
 }
 
+// maxIdemKeyBytes caps the client-chosen idempotency key. Keys are
+// journaled behind uint16 length framing and live in in-memory maps for
+// the LRU's lifetime, so an unbounded header is rejected with 400.
+const maxIdemKeyBytes = 256
+
 func (s *Server) handleInfer(w http.ResponseWriter, r *http.Request) {
 	id := r.Header.Get(api.HeaderSession)
 	if id == "" {
@@ -589,6 +597,14 @@ func (s *Server) handleInfer(w http.ResponseWriter, r *http.Request) {
 	}
 	if id == "" {
 		writeErr(w, http.StatusBadRequest, "missing %s header", api.HeaderSession)
+		return
+	}
+	idemKey := r.Header.Get(api.HeaderIdemKey)
+	if len(idemKey) > maxIdemKeyBytes {
+		// The key becomes a journal record field behind a uint16 length —
+		// an unbounded client string is a framing hazard, not a retry token.
+		writeErr(w, http.StatusBadRequest, "%s of %d bytes exceeds the %d-byte limit",
+			api.HeaderIdemKey, len(idemKey), maxIdemKeyBytes)
 		return
 	}
 	d, err := s.deadline(r)
@@ -622,7 +638,7 @@ func (s *Server) handleInfer(w http.ResponseWriter, r *http.Request) {
 	// point leaves enough on disk to finish the job after restart.
 	var entry *idemEntry
 	var idemFull string
-	if idemKey := r.Header.Get(api.HeaderIdemKey); idemKey != "" {
+	if idemKey != "" {
 		idemFull = sess.id + "/" + idemKey
 		var owner bool
 		entry, owner = s.idem.begin(idemFull)

@@ -106,6 +106,12 @@ type Log struct {
 	f    *os.File
 	path string
 	size int64
+	// broken is a sticky error set when the open handle no longer
+	// matches the on-disk image (compaction renamed a new image in but
+	// reopening it failed). Every later operation refuses with it —
+	// appending to the unlinked old inode would be silently lost across
+	// a restart.
+	broken error
 }
 
 // OpenLog opens (creating if absent) the log at path and replays it.
@@ -175,6 +181,9 @@ func (l *Log) writeMagic() error {
 // to the last good record so the in-memory view and the disk image
 // stay consistent.
 func (l *Log) Append(rec []byte) error {
+	if l.broken != nil {
+		return l.broken
+	}
 	frame := make([]byte, frameHeader+len(rec))
 	binary.LittleEndian.PutUint32(frame, uint32(len(rec)))
 	binary.LittleEndian.PutUint32(frame[4:], crc32.Checksum(rec, crcTable))
@@ -196,6 +205,12 @@ func (l *Log) Append(rec []byte) error {
 		return fmt.Errorf("store: append: %w", err)
 	}
 	if err := l.f.Sync(); err != nil {
+		// Same discipline as a failed write: the frame's bytes are in the
+		// file but not durable, so drop them and restore the offset rather
+		// than leave the disk image ahead of l.size (a later truncate to
+		// l.size would otherwise chop an acknowledged record's tail).
+		_ = l.f.Truncate(l.size)
+		_, _ = l.f.Seek(l.size, io.SeekStart)
 		return fmt.Errorf("store: append sync: %w", err)
 	}
 	l.size += int64(frameHeader + len(rec))
@@ -208,14 +223,23 @@ func (l *Log) Size() int64 { return l.size }
 // Path returns the backing file path.
 func (l *Log) Path() string { return l.path }
 
-// Close closes the backing file.
-func (l *Log) Close() error { return l.f.Close() }
+// Close closes the backing file. A broken log's handle was already
+// closed when it broke.
+func (l *Log) Close() error {
+	if l.broken != nil {
+		return l.broken
+	}
+	return l.f.Close()
+}
 
 // Rewrite atomically replaces the log's contents with the given
 // records (compaction): the new image is built in a temp file, fsynced
 // and renamed over the old one, so a crash leaves either the full old
 // log or the full new one.
 func (l *Log) Rewrite(records [][]byte) error {
+	if l.broken != nil {
+		return l.broken
+	}
 	buf := append([]byte(nil), logMagic...)
 	for _, rec := range records {
 		buf = binary.LittleEndian.AppendUint32(buf, uint32(len(rec)))
@@ -225,17 +249,28 @@ func (l *Log) Rewrite(records [][]byte) error {
 	if err := writeRaw(l.path, buf); err != nil {
 		return fmt.Errorf("store: rewrite: %w", err)
 	}
+	// The rename has committed the new image; from here on l.f refers to
+	// an unlinked inode, so a failure to reopen must brick the log rather
+	// than let appends land in a file no replay will ever see.
 	f, err := os.OpenFile(l.path, os.O_RDWR, 0o600)
 	if err != nil {
-		return err
+		return l.breakLog(fmt.Errorf("store: rewrite reopen: %w", err))
 	}
 	if _, err := f.Seek(int64(len(buf)), io.SeekStart); err != nil {
 		f.Close()
-		return err
+		return l.breakLog(fmt.Errorf("store: rewrite seek: %w", err))
 	}
 	old := l.f
 	l.f, l.size = f, int64(len(buf))
 	return old.Close()
+}
+
+// breakLog marks the log permanently unusable, closes the stale handle
+// and returns the sticky error.
+func (l *Log) breakLog(err error) error {
+	l.broken = err
+	_ = l.f.Close()
+	return err
 }
 
 // snapMagic opens every snapshot file written by WriteFile.
