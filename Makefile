@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test verify race bench serve-smoke chaos durability
+.PHONY: build test verify vet race bench serve-smoke obs-smoke chaos durability
 
 build:
 	$(GO) build ./...
@@ -8,19 +8,35 @@ build:
 test:
 	$(GO) test ./...
 
+# Static analysis plus a race-instrumented build of every package: vet
+# catches the misuse classes Go's compiler lets through, and the -race
+# build surfaces code that cannot even compile under instrumentation
+# before a racy test run would.
+vet:
+	$(GO) vet ./...
+	$(GO) build -race ./...
+
 # Race-test the concurrency-bearing packages: the ring engine, the CKKS
 # evaluator and the bootstrapper fan limb work out across the internal/par
 # worker pool, and the serving layer runs a worker pool of evaluators over
 # a shared session cache. ACE_WORKERS=8 forces parallel scheduling even on
 # single-core CI machines.
 race:
-	ACE_WORKERS=8 $(GO) test -race ./internal/ring/... ./internal/ckks/... ./internal/bootstrap/... ./internal/par/... ./internal/serve/... ./internal/fheclient/... ./internal/vm/...
+	ACE_WORKERS=8 $(GO) test -race ./internal/ring/... ./internal/ckks/... ./internal/bootstrap/... ./internal/par/... ./internal/serve/... ./internal/fheclient/... ./internal/vm/... ./internal/obs/...
 
 # Loopback smoke test of the serving layer: start an in-process daemon,
 # register a session through the real client, infer, decrypt, compare to
 # the cleartext reference.
 serve-smoke:
 	$(GO) test -count=1 -run 'TestLoopbackInference' ./internal/serve/ -v
+
+# Observability smoke test against the real binary: boot aced, run one
+# traced inference through the client library, strict-parse /metrics
+# against the exposition grammar, check /v1/profilez accounts for the
+# evaluation time, and verify one trace id strings the daemon's log
+# events together across the request's whole life.
+obs-smoke:
+	$(GO) test -count=1 -run 'TestObsSmokeAced|TestMetricsExposition|TestProfilezTracksEval' ./internal/serve/ -v
 
 # Chaos suite: deterministic fault injection (internal/fault) drives the
 # daemon through worker panics, dropped responses and queue-full storms
@@ -41,10 +57,11 @@ durability:
 	$(GO) test -count=1 -race -run '^$$' -fuzz FuzzSnapshotRestore -fuzztime 10s ./internal/vm/
 
 verify:
-	$(GO) vet ./...
+	$(MAKE) vet
 	$(MAKE) race
 	$(MAKE) chaos
 	$(MAKE) durability
+	$(MAKE) obs-smoke
 	$(GO) test ./...
 
 # Microbenchmarks for the limb-parallel engine and buffer pooling

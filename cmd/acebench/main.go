@@ -8,6 +8,7 @@
 //	acebench -fig 6 -scale paper
 //	acebench -tab 11 -images 1000
 //	acebench -tab 8                   # repository LoC breakdown
+//	acebench -profile-ops             # measured per-opcode profile
 package main
 
 import (
@@ -29,7 +30,16 @@ func main() {
 	images := flag.Int("images", 200, "Table 11: images for the trained-CNN accuracy run")
 	resnetImages := flag.Int("resnet-images", 50, "Table 11: images for the ResNet agreement runs")
 	calibrate := flag.Bool("calibrate", true, "microbenchmark the runtime for the cost model")
+	profileOps := flag.Bool("profile-ops", false, "compile the demo model, run one encrypted inference and print the measured per-opcode profile (Figure 6's measured analogue)")
 	flag.Parse()
+
+	if *profileOps {
+		if err := runOpProfile(os.Stdout); err != nil {
+			fmt.Fprintf(os.Stderr, "profile-ops failed: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	scale := experiments.ScaleReduced
 	if *scaleFlag == "paper" {

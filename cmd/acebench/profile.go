@@ -1,0 +1,75 @@
+package main
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"antace"
+	"antace/internal/obs"
+	"antace/internal/onnx"
+	"antace/internal/ring"
+	"antace/internal/vm"
+)
+
+// runOpProfile compiles the built-in demo model at test scale, runs one
+// encrypted inference with the VM profiler attached, and prints the
+// measured per-opcode cost table plus the level/scale trajectory — the
+// measured counterpart of Figure 6's modeled per-operation breakdown,
+// and the same data a live daemon aggregates behind /v1/profilez.
+func runOpProfile(w io.Writer) error {
+	model, err := onnx.BuildLinear(64, 10, 42)
+	if err != nil {
+		return err
+	}
+	prog, err := ace.Compile(model, ace.TestProfile())
+	if err != nil {
+		return err
+	}
+	machine, client, err := vm.New(prog.CKKS, prog.VectorLen(), ring.SeedFromInt(42))
+	if err != nil {
+		return err
+	}
+	input := make([]float64, prog.VectorLen())
+	for i := range input {
+		input[i] = float64(i%7)/7 - 0.5
+	}
+	ct, err := client.Encrypt(input)
+	if err != nil {
+		return err
+	}
+
+	machine.Prof = obs.NewRunProfile()
+	start := time.Now()
+	out, err := machine.Run(prog.CKKS.Module, ct)
+	if err != nil {
+		return err
+	}
+	wall := time.Since(start)
+	_ = client.Decrypt(out)
+
+	fmt.Fprintf(w, "per-opcode profile (linear-demo-64x10, test profile, 1 inference)\n\n")
+	fmt.Fprintf(w, "%-18s %7s %10s %10s %10s %7s\n", "op", "count", "total_ms", "mean_ms", "max_ms", "share")
+	opSum := machine.Prof.Total()
+	for _, st := range machine.Prof.Ops() {
+		share := 0.0
+		if opSum > 0 {
+			share = st.TotalMs / (float64(opSum) / float64(time.Millisecond)) * 100
+		}
+		fmt.Fprintf(w, "%-18s %7d %10.3f %10.4f %10.4f %6.1f%%\n",
+			st.Op, st.Count, st.TotalMs, st.MeanMs, st.MaxMs, share)
+	}
+	fmt.Fprintf(w, "\ninstructions: %d   op-time sum: %.3fms   wall: %.3fms (gap is loop overhead)\n",
+		machine.Prof.Steps(), float64(opSum)/float64(time.Millisecond), float64(wall)/float64(time.Millisecond))
+
+	fmt.Fprintf(w, "\nlevel/scale trajectory (first %d steps):\n", min(len(machine.Prof.Trajectory), 24))
+	fmt.Fprintf(w, "%5s %-18s %6s %12s\n", "pc", "op", "level", "scale")
+	for i, pt := range machine.Prof.Trajectory {
+		if i >= 24 {
+			fmt.Fprintf(w, "... %d more steps\n", len(machine.Prof.Trajectory)-24)
+			break
+		}
+		fmt.Fprintf(w, "%5d %-18s %6d %12.3e\n", pt.PC, pt.Op, pt.Level, pt.Scale)
+	}
+	return nil
+}

@@ -2,12 +2,18 @@
 // startup and serves the v1 HTTP API (see internal/serve). Clients
 // fetch GET /v1/program, upload their evaluation keys once via
 // POST /v1/sessions, then stream ciphertexts through POST /v1/infer;
-// GET /v1/healthz and /v1/statz expose liveness and counters. SIGTERM
-// drains accepted requests before exit. With -data-dir the daemon is
-// durable: registered sessions spill to disk, idempotent jobs are
-// journaled and checkpointed, and a restarted daemon (even after
-// kill -9) reloads sessions lazily and finishes in-flight jobs from
-// their last checkpoint.
+// GET /v1/healthz and /v1/statz expose liveness and counters,
+// GET /metrics the same in Prometheus text format, and GET /v1/profilez
+// the aggregated per-opcode FHE profile. SIGTERM drains accepted
+// requests before exit. With -data-dir the daemon is durable:
+// registered sessions spill to disk, idempotent jobs are journaled and
+// checkpointed, and a restarted daemon (even after kill -9) reloads
+// sessions lazily and finishes in-flight jobs from their last
+// checkpoint.
+//
+// Logs are structured (JSON by default, one event per line); every
+// event belonging to a request carries its trace id under "trace", the
+// same id echoed to the client in the X-ACE-Trace response header.
 //
 // Quick start (demo model, reduced-scale parameters):
 //
@@ -23,7 +29,7 @@ import (
 	"errors"
 	"flag"
 	"fmt"
-	"log"
+	"log/slog"
 	"net"
 	"net/http"
 	"os"
@@ -37,7 +43,9 @@ import (
 	"antace/internal/serve"
 )
 
-func main() {
+func main() { os.Exit(run()) }
+
+func run() int {
 	var (
 		addr         = flag.String("addr", ":8080", "listen address")
 		modelPath    = flag.String("model", "", "ONNX model to serve (default: built-in 64-feature linear demo)")
@@ -54,22 +62,35 @@ func main() {
 		diskBudgetMB = flag.Int64("disk-budget-mb", 1024, "on-disk session spill budget in MiB")
 		addrFile     = flag.String("addr-file", "", "write the bound listen address to this file once serving (for scripts and tests)")
 		instrDelay   = flag.Duration("instr-delay", 0, "artificial per-instruction delay (chaos/e2e only)")
+		logFormat    = flag.String("log-format", "json", "log output format: json or text")
+		logLevel     = flag.String("log-level", "info", "minimum log level: debug, info, warn or error")
+		pprofOn      = flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/ (exposes heap contents; off by default)")
 	)
 	flag.Parse()
+
+	logger, err := buildLogger(*logFormat, *logLevel)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "aced: %v\n", err)
+		return 1
+	}
+	slog.SetDefault(logger)
 
 	// Chaos runs arm deterministic fault injection via ACE_FAULTS (see
 	// internal/fault); outside of them this is a no-op.
 	if armed, err := fault.ArmFromEnv(); err != nil {
-		log.Fatalf("aced: ACE_FAULTS: %v", err)
+		logger.Error("bad ACE_FAULTS", slog.String("err", err.Error()))
+		return 1
 	} else if armed {
 		for _, p := range fault.Snapshot() {
-			log.Printf("aced: fault armed: %s (seed %d, count %d)", p.Point, p.Seed, p.Count)
+			logger.Info("fault armed", slog.String("point", p.Point),
+				slog.Uint64("seed", p.Seed), slog.Uint64("count", p.Count))
 		}
 	}
 
 	model, name, err := loadModel(*modelPath)
 	if err != nil {
-		log.Fatalf("aced: %v", err)
+		logger.Error("loading model", slog.String("err", err.Error()))
+		return 1
 	}
 	var prof ace.Profile
 	switch *profile {
@@ -78,17 +99,21 @@ func main() {
 	case "paper":
 		prof = ace.PaperProfile()
 	default:
-		log.Fatalf("aced: unknown profile %q (want test or paper)", *profile)
+		logger.Error("unknown profile (want test or paper)", slog.String("profile", *profile))
+		return 1
 	}
 
-	log.Printf("aced: compiling %s (profile %s)", name, *profile)
+	logger.Info("compiling", slog.String("model", name), slog.String("profile", *profile))
 	start := time.Now()
 	prog, err := ace.Compile(model, prof)
 	if err != nil {
-		log.Fatalf("aced: compile: %v", err)
+		logger.Error("compile failed", slog.String("err", err.Error()))
+		return 1
 	}
-	log.Printf("aced: compiled in %s", time.Since(start).Round(time.Millisecond))
-	ace.Describe(prog, os.Stderr)
+	logger.Info("compiled", slog.Duration("elapsed", time.Since(start).Round(time.Millisecond)))
+	if *logFormat == "text" {
+		ace.Describe(prog, os.Stderr)
+	}
 
 	srv, err := serve.New(serve.Program{
 		Name:   name,
@@ -105,78 +130,129 @@ func main() {
 		CheckpointEveryN: *ckptEvery,
 		CheckpointEvery:  *ckptInterval,
 		InstrDelay:       *instrDelay,
+		Logger:           logger,
+		Pprof:            *pprofOn,
 	})
 	if err != nil {
-		log.Fatalf("aced: %v", err)
+		logger.Error("server init failed", slog.String("err", err.Error()))
+		return 1
 	}
 	if *dataDir != "" {
 		st := srv.StatzSnapshot()
-		log.Printf("aced: durability on under %s (restart #%d, %d bytes on disk)", *dataDir, st.Restarts, st.StoreBytes)
+		logger.Info("durability on", slog.String("dir", *dataDir),
+			slog.Uint64("restart", st.Restarts), slog.Int64("store_bytes", st.StoreBytes))
+	}
+
+	// From here the server exists: workers run and recovery may already be
+	// re-executing journaled jobs, so every failure path below must drain
+	// rather than exit abruptly — log.Fatalf here would abandon resumed
+	// work mid-checkpoint and waste the recovery the next boot repeats.
+	exitCode := 0
+	fail := func(msg string, err error) {
+		logger.Error(msg, slog.String("err", err.Error()))
+		exitCode = 1
 	}
 
 	// Bind the listener before announcing the address: by the time
 	// -addr-file appears, connections are being accepted and recovery
 	// has already claimed every journaled job.
+	var httpSrv *http.Server
+	errc := make(chan error, 1)
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
-		log.Fatalf("aced: listen: %v", err)
-	}
-	if *addrFile != "" {
-		tmp := *addrFile + ".tmp"
-		if err := os.WriteFile(tmp, []byte(ln.Addr().String()), 0o644); err != nil {
-			log.Fatalf("aced: addr-file: %v", err)
-		}
-		if err := os.Rename(tmp, *addrFile); err != nil {
-			log.Fatalf("aced: addr-file: %v", err)
-		}
+		fail("listen failed", err)
+	} else if err := writeAddrFile(*addrFile, ln.Addr().String()); err != nil {
+		fail("addr-file write failed", err)
+		_ = ln.Close()
+	} else {
+		httpSrv = &http.Server{Handler: srv}
+		go func() {
+			logger.Info("serving", slog.String("model", name), slog.String("addr", ln.Addr().String()))
+			errc <- httpSrv.Serve(ln)
+		}()
 	}
 
-	httpSrv := &http.Server{Handler: srv}
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
-
-	errc := make(chan error, 1)
-	go func() {
-		log.Printf("aced: serving %s on %s", name, ln.Addr())
-		errc <- httpSrv.Serve(ln)
-	}()
-
-	select {
-	case err := <-errc:
-		log.Fatalf("aced: listen: %v", err)
-	case <-ctx.Done():
+	if exitCode == 0 {
+		select {
+		case err := <-errc:
+			if !errors.Is(err, http.ErrServerClosed) {
+				fail("serve failed", err)
+			}
+		case <-ctx.Done():
+		}
 	}
 
-	// SIGTERM: stop the listener and drain accepted work in parallel —
-	// handlers blocked on queued jobs return once the workers finish
-	// them, which is what Shutdown waits for.
-	log.Printf("aced: draining (up to %s)...", *drainTimeout)
+	// Shutdown (signal or post-bind failure): stop the listener and drain
+	// accepted work in parallel — handlers blocked on queued jobs return
+	// once the workers finish them, which is what Shutdown waits for.
+	logger.Info("draining", slog.Duration("timeout", *drainTimeout))
 	shCtx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
 	defer cancel()
 	drained := make(chan error, 1)
 	go func() { drained <- srv.Drain(shCtx) }()
-	if err := httpSrv.Shutdown(shCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
-		log.Printf("aced: http shutdown: %v", err)
+	if httpSrv != nil {
+		if err := httpSrv.Shutdown(shCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+			logger.Warn("http shutdown", slog.String("err", err.Error()))
+		}
 	}
 	drainErr := <-drained
 
 	// Flush the final counters and close any armed fault injectors so a
 	// chaos run's log ends with a reconcilable account of what happened.
 	st := srv.StatzSnapshot()
-	log.Printf("aced: final counters: served=%d rejected=%d timed_out=%d failed=%d panics=%d idem_replays=%d faults_fired=%d"+
-		" restarts=%d sessions_recovered=%d jobs_resumed=%d checkpoint_bytes=%d",
-		st.Served, st.Rejected, st.TimedOut, st.Failed, st.Panics, st.IdemReplays, st.FaultsFired,
-		st.Restarts, st.SessionsRecovered, st.JobsResumed, st.CheckpointBytes)
+	logger.Info("final counters",
+		slog.Uint64("served", st.Served), slog.Uint64("rejected", st.Rejected),
+		slog.Uint64("timed_out", st.TimedOut), slog.Uint64("failed", st.Failed),
+		slog.Uint64("panics", st.Panics), slog.Uint64("idem_replays", st.IdemReplays),
+		slog.Uint64("faults_fired", st.FaultsFired), slog.Uint64("restarts", st.Restarts),
+		slog.Uint64("sessions_recovered", st.SessionsRecovered),
+		slog.Uint64("jobs_resumed", st.JobsResumed),
+		slog.Uint64("checkpoint_bytes", st.CheckpointBytes))
 	for _, p := range fault.Snapshot() {
-		log.Printf("aced: fault %s fired %d/%d (calls %d)", p.Point, p.Fired, p.Count, p.Calls)
+		logger.Info("fault summary", slog.String("point", p.Point),
+			slog.Uint64("fired", p.Fired), slog.Uint64("count", p.Count), slog.Uint64("calls", p.Calls))
 	}
 	fault.Disarm()
 
 	if drainErr != nil {
-		log.Printf("aced: drain incomplete: %v", drainErr)
-		os.Exit(1)
+		logger.Error("drain incomplete", slog.String("err", drainErr.Error()))
+		return 1
 	}
-	log.Printf("aced: drained cleanly")
+	logger.Info("drained cleanly")
+	return exitCode
+}
+
+// buildLogger assembles the daemon's structured logger from the
+// -log-format and -log-level flags.
+func buildLogger(format, level string) (*slog.Logger, error) {
+	var lvl slog.Level
+	if err := lvl.UnmarshalText([]byte(level)); err != nil {
+		return nil, fmt.Errorf("bad -log-level %q: %w", level, err)
+	}
+	opts := &slog.HandlerOptions{Level: lvl}
+	switch format {
+	case "json":
+		return slog.New(slog.NewJSONHandler(os.Stderr, opts)), nil
+	case "text":
+		return slog.New(slog.NewTextHandler(os.Stderr, opts)), nil
+	default:
+		return nil, fmt.Errorf("bad -log-format %q (want json or text)", format)
+	}
+}
+
+// writeAddrFile atomically publishes the bound address; a no-op when no
+// path was requested.
+func writeAddrFile(path, addr string) error {
+	if path == "" {
+		return nil
+	}
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, []byte(addr), 0o644); err != nil {
+		return err
+	}
+	return os.Rename(tmp, path)
 }
 
 // loadModel reads the ONNX file, or builds the demo linear classifier

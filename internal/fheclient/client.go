@@ -23,6 +23,7 @@ import (
 
 	"antace/internal/ckks"
 	"antace/internal/fault"
+	"antace/internal/obs"
 	"antace/internal/serve/api"
 )
 
@@ -295,6 +296,11 @@ func (e *transientError) Unwrap() error { return e.err }
 // randomly drawn idempotency key, so a retry whose predecessor actually
 // executed replays the stored result instead of running the program
 // twice.
+//
+// Every attempt also carries one trace id in the X-ACE-Trace header —
+// taken from ctx (obs.WithTrace) when the caller supplied one, minted
+// otherwise — so one logical inference is a single greppable id across
+// the client's retries and the server's structured logs.
 func (c *Client) InferCipher(ctx context.Context, ct *ckks.Ciphertext) (*ckks.Ciphertext, error) {
 	c.mu.Lock()
 	id := c.sessionID
@@ -307,12 +313,17 @@ func (c *Client) InferCipher(ctx context.Context, ct *ckks.Ciphertext) (*ckks.Ci
 		return nil, fmt.Errorf("fheclient: encoding ciphertext: %w", err)
 	}
 
+	trace := obs.TraceID(ctx)
+	if !obs.ValidTraceID(trace) {
+		trace = obs.NewTraceID()
+		ctx = obs.WithTrace(ctx, trace)
+	}
 	idemKey := fmt.Sprintf("%016x%016x", rand.Uint64(), rand.Uint64())
 	pol := c.retry.withDefaults()
 	var slept time.Duration
 	var refusedSince time.Time
 	for attempt := 1; ; attempt++ {
-		out, err := c.inferOnce(ctx, id, idemKey, body)
+		out, err := c.inferOnce(ctx, id, idemKey, trace, body)
 		if err == nil {
 			return out, nil
 		}
@@ -377,7 +388,7 @@ func classify(err error) (retryAfter time.Duration, retryable bool) {
 }
 
 // inferOnce performs one HTTP round trip of InferCipher.
-func (c *Client) inferOnce(ctx context.Context, id, idemKey string, body []byte) (*ckks.Ciphertext, error) {
+func (c *Client) inferOnce(ctx context.Context, id, idemKey, trace string, body []byte) (*ckks.Ciphertext, error) {
 	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.base+api.PathInfer, bytes.NewReader(body))
 	if err != nil {
 		return nil, err
@@ -385,6 +396,7 @@ func (c *Client) inferOnce(ctx context.Context, id, idemKey string, body []byte)
 	req.Header.Set("Content-Type", api.ContentTypeBinary)
 	req.Header.Set(api.HeaderSession, id)
 	req.Header.Set(api.HeaderIdemKey, idemKey)
+	req.Header.Set(api.HeaderTrace, trace)
 	if dl, ok := ctx.Deadline(); ok {
 		// Give the server slightly less than our own budget, so its 504
 		// reaches us before ctx aborts the connection and we lose the

@@ -1,0 +1,171 @@
+package obs
+
+import (
+	"bytes"
+	"context"
+	"log/slog"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestTraceIDMintAndValidate(t *testing.T) {
+	a, b := NewTraceID(), NewTraceID()
+	if a == b {
+		t.Fatalf("two minted trace ids collided: %s", a)
+	}
+	if !ValidTraceID(a) || !ValidTraceID(b) {
+		t.Fatalf("minted ids fail validation: %s %s", a, b)
+	}
+	for _, bad := range []string{
+		"", "short", strings.Repeat("a", 65), // length bounds
+		"ABCDEF1234", "ghijklmn", "1234-5678", // alphabet
+		"deadbeef\n12345678", `deadbeef"1234567`, // log injection
+	} {
+		if ValidTraceID(bad) {
+			t.Errorf("ValidTraceID(%q) = true", bad)
+		}
+	}
+	if !ValidTraceID("deadbeef") || !ValidTraceID(strings.Repeat("0", 64)) {
+		t.Error("boundary-length hex ids rejected")
+	}
+}
+
+func TestTraceContextRoundTrip(t *testing.T) {
+	ctx := context.Background()
+	if TraceID(ctx) != "" {
+		t.Fatal("empty context carries a trace id")
+	}
+	id := NewTraceID()
+	ctx = WithTrace(ctx, id)
+	if got := TraceID(ctx); got != id {
+		t.Fatalf("TraceID = %q, want %q", got, id)
+	}
+}
+
+func TestLoggerAttachesTrace(t *testing.T) {
+	var buf bytes.Buffer
+	base := slog.New(slog.NewJSONHandler(&buf, nil))
+	id := NewTraceID()
+	Logger(WithTrace(context.Background(), id), base).Info("event")
+	if !strings.Contains(buf.String(), `"trace":"`+id+`"`) {
+		t.Fatalf("log line missing trace attr: %s", buf.String())
+	}
+	buf.Reset()
+	Logger(context.Background(), base).Info("event")
+	if strings.Contains(buf.String(), `"trace"`) {
+		t.Fatalf("traceless context produced a trace attr: %s", buf.String())
+	}
+}
+
+func TestRunProfileRecordsOps(t *testing.T) {
+	p := NewRunProfile()
+	p.Record("ckks.mul", 3*time.Millisecond)
+	p.Record("ckks.mul", 5*time.Millisecond)
+	p.Record("ckks.rescale", time.Millisecond)
+	p.Step(0, "ckks.mul", 3, 1e10)
+	p.Step(1, "ckks.rescale", 2, 1e9)
+
+	if got := p.Steps(); got != 3 {
+		t.Fatalf("Steps = %d, want 3", got)
+	}
+	if got, want := p.Total(), 9*time.Millisecond; got != want {
+		t.Fatalf("Total = %v, want %v", got, want)
+	}
+	ops := p.Ops()
+	if len(ops) != 2 || ops[0].Op != "ckks.mul" {
+		t.Fatalf("Ops not sorted costliest first: %+v", ops)
+	}
+	if ops[0].Count != 2 || ops[0].MaxMs != 5 || ops[0].TotalMs != 8 {
+		t.Fatalf("mul stats wrong: %+v", ops[0])
+	}
+	if len(p.Trajectory) != 2 || p.Trajectory[1].Level != 2 {
+		t.Fatalf("trajectory wrong: %+v", p.Trajectory)
+	}
+}
+
+func TestRunProfileTrajectoryBounded(t *testing.T) {
+	p := NewRunProfile()
+	for i := 0; i < maxTrajPoints+10; i++ {
+		p.Step(i, "ckks.add", 1, 1)
+	}
+	if len(p.Trajectory) != maxTrajPoints || p.TrajDropped != 10 {
+		t.Fatalf("trajectory len %d dropped %d", len(p.Trajectory), p.TrajDropped)
+	}
+}
+
+func TestAggregateMergeConcurrent(t *testing.T) {
+	a := NewAggregate()
+	const workers, runsPer = 8, 25
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < runsPer; i++ {
+				p := NewRunProfile()
+				p.Record("ckks.mul", 2*time.Millisecond)
+				p.Record("ckks.add", time.Millisecond)
+				p.Step(0, "ckks.mul", 3, 1e10)
+				a.Merge(p, 4*time.Millisecond)
+			}
+		}()
+	}
+	wg.Wait()
+
+	snap := a.Snapshot()
+	if snap.Runs != workers*runsPer {
+		t.Fatalf("runs = %d, want %d", snap.Runs, workers*runsPer)
+	}
+	if snap.EvalMsTotal != float64(workers*runsPer*4) {
+		t.Fatalf("eval total = %g", snap.EvalMsTotal)
+	}
+	if snap.OpMsTotal != float64(workers*runsPer*3) {
+		t.Fatalf("op total = %g", snap.OpMsTotal)
+	}
+	if len(snap.Ops) != 2 || snap.Ops[0].Op != "ckks.mul" || snap.Ops[0].Count != workers*runsPer {
+		t.Fatalf("ops = %+v", snap.Ops)
+	}
+	if len(snap.LastTrajectory) != 1 {
+		t.Fatalf("last trajectory = %+v", snap.LastTrajectory)
+	}
+	// Bucket counts must sum to the op count.
+	var inBuckets uint64
+	for _, c := range snap.Ops[0].Buckets {
+		inBuckets += c
+	}
+	if inBuckets != snap.Ops[0].Count {
+		t.Fatalf("bucket sum %d != count %d", inBuckets, snap.Ops[0].Count)
+	}
+}
+
+func TestHistogramObserve(t *testing.T) {
+	h := NewHistogram(nil)
+	durations := []time.Duration{50 * time.Microsecond, 2 * time.Millisecond, 30 * time.Second, 5 * time.Minute}
+	for _, d := range durations {
+		h.Observe(d)
+	}
+	s := h.Snapshot()
+	if s.Count != uint64(len(durations)) {
+		t.Fatalf("count = %d", s.Count)
+	}
+	var total uint64
+	for _, c := range s.Counts {
+		total += c
+	}
+	if total != s.Count {
+		t.Fatalf("bucket sum %d != count %d", total, s.Count)
+	}
+	// 5 minutes exceeds the last bound, so the overflow bucket holds it.
+	if s.Counts[len(s.Counts)-1] != 1 {
+		t.Fatalf("overflow bucket = %d, want 1", s.Counts[len(s.Counts)-1])
+	}
+	wantSum := 0.0
+	for _, d := range durations {
+		wantSum += d.Seconds()
+	}
+	if diff := s.SumSeconds - wantSum; diff > 1e-9 || diff < -1e-9 {
+		t.Fatalf("sum = %g, want %g", s.SumSeconds, wantSum)
+	}
+}

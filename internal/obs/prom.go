@@ -1,0 +1,224 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strconv"
+	"strings"
+)
+
+// Prometheus text-format exposition (version 0.0.4), implemented
+// against the exposition-format grammar with no dependency. The daemon
+// builds an Exposition per scrape from its live counters; families are
+// emitted in insertion order with `# HELP`/`# TYPE` headers, label
+// values escaped, and metric names validated against the
+// [a-zA-Z_:][a-zA-Z0-9_:]* rule so a strict scraper accepts the page.
+
+// MetricType is the exposition family type.
+type MetricType string
+
+const (
+	Counter    MetricType = "counter"
+	Gauge      MetricType = "gauge"
+	HistogramT MetricType = "histogram"
+)
+
+// Label is one name="value" pair. Order is preserved as given.
+type Label struct{ Name, Value string }
+
+// sample is one exposition line: the family name plus an optional
+// suffix (_bucket, _sum, _count for histograms), its labels and value.
+type sample struct {
+	suffix string
+	labels []Label
+	value  float64
+}
+
+// Family is one metric family: a name, help text, a type and its
+// samples.
+type Family struct {
+	name    string
+	help    string
+	typ     MetricType
+	samples []sample
+}
+
+// Add appends a plain sample (counter or gauge).
+func (f *Family) Add(value float64, labels ...Label) {
+	f.samples = append(f.samples, sample{labels: labels, value: value})
+}
+
+// AddHistogram appends a full histogram series under the given labels:
+// cumulative _bucket samples for each bound plus +Inf, then _sum and
+// _count. counts are per-bucket (non-cumulative) tallies aligned with
+// bounds; the final entry is the overflow bucket.
+func (f *Family) AddHistogram(labels []Label, bounds []float64, counts []uint64, sumSeconds float64) {
+	var cum uint64
+	for i, c := range counts {
+		cum += c
+		le := "+Inf"
+		if i < len(bounds) {
+			le = formatFloat(bounds[i])
+		}
+		f.samples = append(f.samples, sample{
+			suffix: "_bucket",
+			labels: append(append([]Label(nil), labels...), Label{"le", le}),
+			value:  float64(cum),
+		})
+	}
+	f.samples = append(f.samples,
+		sample{suffix: "_sum", labels: labels, value: sumSeconds},
+		sample{suffix: "_count", labels: labels, value: float64(cum)})
+}
+
+// Exposition is one scrape's worth of metric families, written in the
+// order they were declared.
+type Exposition struct {
+	families []*Family
+	byName   map[string]*Family
+}
+
+// NewExposition returns an empty exposition page.
+func NewExposition() *Exposition {
+	return &Exposition{byName: map[string]*Family{}}
+}
+
+// Family declares (or retrieves) a metric family. Declaring the same
+// name twice returns the first family; mismatched redeclarations are a
+// programming error surfaced at Write time via the name check.
+func (e *Exposition) Family(name, help string, typ MetricType) *Family {
+	if f, ok := e.byName[name]; ok {
+		return f
+	}
+	f := &Family{name: name, help: help, typ: typ}
+	e.byName[name] = f
+	e.families = append(e.families, f)
+	return f
+}
+
+// validMetricName enforces the exposition grammar's metric-name rule.
+func validMetricName(name string) bool {
+	if name == "" {
+		return false
+	}
+	for i := 0; i < len(name); i++ {
+		c := name[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c == '_', c == ':':
+		case c >= '0' && c <= '9':
+			if i == 0 {
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// validLabelName enforces the label-name rule ([a-zA-Z_][a-zA-Z0-9_]*).
+func validLabelName(name string) bool {
+	if name == "" {
+		return false
+	}
+	for i := 0; i < len(name); i++ {
+		c := name[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c == '_':
+		case c >= '0' && c <= '9':
+			if i == 0 {
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// escapeLabelValue escapes backslash, double quote and newline per the
+// exposition format.
+func escapeLabelValue(v string) string {
+	var b strings.Builder
+	for _, r := range v {
+		switch r {
+		case '\\':
+			b.WriteString(`\\`)
+		case '"':
+			b.WriteString(`\"`)
+		case '\n':
+			b.WriteString(`\n`)
+		default:
+			b.WriteRune(r)
+		}
+	}
+	return b.String()
+}
+
+// escapeHelp escapes backslash and newline in HELP text.
+func escapeHelp(v string) string {
+	v = strings.ReplaceAll(v, `\`, `\\`)
+	return strings.ReplaceAll(v, "\n", `\n`)
+}
+
+func formatFloat(v float64) string {
+	switch {
+	case math.IsInf(v, 1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	case math.IsNaN(v):
+		return "NaN"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// Write renders the exposition page. Every family and label name is
+// validated; the first violation aborts with an error so a malformed
+// metric can never reach a scraper half-written (callers render to a
+// buffer first).
+func (e *Exposition) Write(w io.Writer) error {
+	for _, f := range e.families {
+		if !validMetricName(f.name) {
+			return fmt.Errorf("obs: invalid metric name %q", f.name)
+		}
+		if _, err := fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n",
+			f.name, escapeHelp(f.help), f.name, f.typ); err != nil {
+			return err
+		}
+		for _, s := range f.samples {
+			if err := writeSample(w, f.name, s); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func writeSample(w io.Writer, name string, s sample) error {
+	var b strings.Builder
+	b.WriteString(name)
+	b.WriteString(s.suffix)
+	if len(s.labels) > 0 {
+		b.WriteByte('{')
+		for i, l := range s.labels {
+			if !validLabelName(l.Name) {
+				return fmt.Errorf("obs: invalid label name %q on %s", l.Name, name)
+			}
+			if i > 0 {
+				b.WriteByte(',')
+			}
+			b.WriteString(l.Name)
+			b.WriteString(`="`)
+			b.WriteString(escapeLabelValue(l.Value))
+			b.WriteByte('"')
+		}
+		b.WriteByte('}')
+	}
+	b.WriteByte(' ')
+	b.WriteString(formatFloat(s.value))
+	b.WriteByte('\n')
+	_, err := io.WriteString(w, b.String())
+	return err
+}

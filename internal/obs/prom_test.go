@@ -1,0 +1,141 @@
+package obs
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestExpositionRoundTrip(t *testing.T) {
+	e := NewExposition()
+	e.Family("ace_requests_total", "Requests served.", Counter).Add(42)
+	g := e.Family("ace_queue_depth", "Jobs waiting.", Gauge)
+	g.Add(3, Label{"pool", "default"})
+	g.Add(0, Label{"pool", "bulk"})
+	e.Family("ace_weird_values", "Edge-case floats.", Gauge).Add(math.Inf(1))
+	e.Family("ace_escapes", "Label escaping.", Gauge).
+		Add(1, Label{"path", "a\\b\"c\nd"})
+
+	h := NewHistogram([]float64{0.001, 0.01, 0.1})
+	h.Observe(5 * time.Millisecond)
+	h.Observe(2 * time.Second)
+	hs := h.Snapshot()
+	e.Family("ace_eval_seconds", "Eval wall time.", HistogramT).
+		AddHistogram(nil, hs.Bounds, hs.Counts, hs.SumSeconds)
+
+	var buf bytes.Buffer
+	if err := e.Write(&buf); err != nil {
+		t.Fatalf("Write: %v", err)
+	}
+	page := buf.String()
+
+	fams, err := ParseExposition(strings.NewReader(page))
+	if err != nil {
+		t.Fatalf("strict parser rejected our own page: %v\n%s", err, page)
+	}
+	if fams["ace_requests_total"].Samples[0].Value != 42 {
+		t.Fatalf("counter value lost: %+v", fams["ace_requests_total"])
+	}
+	if got := len(fams["ace_queue_depth"].Samples); got != 2 {
+		t.Fatalf("gauge label series = %d, want 2", got)
+	}
+	if v := fams["ace_escapes"].Samples[0].Labels["path"]; v != "a\\b\"c\nd" {
+		t.Fatalf("escape round-trip: %q", v)
+	}
+	hist := fams["ace_eval_seconds"]
+	if hist == nil || hist.Type != "histogram" {
+		t.Fatalf("histogram family missing: %+v", hist)
+	}
+	// 3 bounds + +Inf bucket + _sum + _count = 6 samples.
+	if len(hist.Samples) != 6 {
+		t.Fatalf("histogram samples = %d, want 6", len(hist.Samples))
+	}
+}
+
+func TestExpositionFamilyDedup(t *testing.T) {
+	e := NewExposition()
+	a := e.Family("ace_x", "help", Counter)
+	b := e.Family("ace_x", "other", Gauge)
+	if a != b {
+		t.Fatal("re-declared family not deduplicated")
+	}
+	a.Add(1)
+	var buf bytes.Buffer
+	if err := e.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Count(buf.String(), "# TYPE ace_x") != 1 {
+		t.Fatalf("TYPE emitted more than once:\n%s", buf.String())
+	}
+}
+
+func TestExpositionRejectsBadNames(t *testing.T) {
+	e := NewExposition()
+	e.Family("0bad", "starts with digit", Counter).Add(1)
+	if err := e.Write(&bytes.Buffer{}); err == nil {
+		t.Fatal("bad metric name accepted")
+	}
+
+	e = NewExposition()
+	e.Family("ace_ok", "h", Counter).Add(1, Label{"bad-label", "v"})
+	if err := e.Write(&bytes.Buffer{}); err == nil {
+		t.Fatal("bad label name accepted")
+	}
+}
+
+func TestParserRejectsMalformedPages(t *testing.T) {
+	cases := []struct {
+		name string
+		page string
+	}{
+		{"sample without TYPE", "ace_x 1\n"},
+		{"HELP only", "# HELP ace_x halp\nace_x 1\n"},
+		{"bad metric name", "# TYPE 0x counter\n0x 1\n"},
+		{"bad value", "# TYPE ace_x counter\nace_x notanumber\n"},
+		{"duplicate TYPE", "# TYPE ace_x counter\n# TYPE ace_x counter\nace_x 1\n"},
+		{"TYPE after sample", "# TYPE ace_x counter\nace_y 1\n# TYPE ace_y counter\n"},
+		{"unknown type", "# TYPE ace_x widget\nace_x 1\n"},
+		{"unterminated labels", "# TYPE ace_x counter\nace_x{a=\"b\" 1\n"},
+		{"unquoted label value", "# TYPE ace_x counter\nace_x{a=b} 1\n"},
+		{"duplicate label", "# TYPE ace_x counter\nace_x{a=\"1\",a=\"2\"} 1\n"},
+		{"bad label name", "# TYPE ace_x counter\nace_x{0a=\"b\"} 1\n"},
+		{"missing value", "# TYPE ace_x counter\nace_x\n"},
+		{"non-monotone histogram", "# TYPE ace_h histogram\n" +
+			"ace_h_bucket{le=\"0.1\"} 5\nace_h_bucket{le=\"+Inf\"} 3\nace_h_count 3\nace_h_sum 1\n"},
+		{"histogram without +Inf", "# TYPE ace_h histogram\n" +
+			"ace_h_bucket{le=\"0.1\"} 5\nace_h_count 5\nace_h_sum 1\n"},
+		{"count mismatch", "# TYPE ace_h histogram\n" +
+			"ace_h_bucket{le=\"+Inf\"} 5\nace_h_count 4\nace_h_sum 1\n"},
+		{"bucket without le", "# TYPE ace_h histogram\nace_h_bucket 5\n"},
+	}
+	for _, tc := range cases {
+		if _, err := ParseExposition(strings.NewReader(tc.page)); err == nil {
+			t.Errorf("%s: parser accepted malformed page:\n%s", tc.name, tc.page)
+		}
+	}
+}
+
+func TestParserAcceptsValidEdgeCases(t *testing.T) {
+	page := "# HELP ace_x with help\n# TYPE ace_x gauge\n" +
+		"ace_x{v=\"brace } inside\"} +Inf\n" +
+		"ace_x{v=\"esc \\\" \\\\ \\n\"} -Inf\n" +
+		"ace_x NaN\n" +
+		"ace_x 1.5e-3 1700000000000\n" + // with timestamp
+		"\n# just a comment\n"
+	fams, err := ParseExposition(strings.NewReader(page))
+	if err != nil {
+		t.Fatalf("valid page rejected: %v", err)
+	}
+	samples := fams["ace_x"].Samples
+	if len(samples) != 4 {
+		t.Fatalf("samples = %d, want 4", len(samples))
+	}
+	if samples[0].Labels["v"] != "brace } inside" {
+		t.Fatalf("brace-in-value label mangled: %q", samples[0].Labels["v"])
+	}
+	if !math.IsInf(samples[0].Value, 1) || !math.IsInf(samples[1].Value, -1) || !math.IsNaN(samples[2].Value) {
+		t.Fatalf("special floats mishandled: %+v", samples)
+	}
+}

@@ -1,0 +1,355 @@
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"strconv"
+	"strings"
+)
+
+// A strict Prometheus text-format parser. It exists so the repo's own
+// /metrics page is tested against the exposition grammar rather than
+// "looks about right": every sample must belong to a family declared
+// with # TYPE before its first sample, metric and label names must
+// match the grammar, values must parse as floats, and histogram series
+// must carry cumulative, le-labelled buckets with consistent _sum and
+// _count. make obs-smoke and the serve tests run every scrape through
+// it.
+
+// ParsedSample is one accepted sample line.
+type ParsedSample struct {
+	Name   string // full name as written, including _bucket/_sum/_count
+	Labels map[string]string
+	Value  float64
+}
+
+// ParsedFamily is one accepted metric family.
+type ParsedFamily struct {
+	Name    string
+	Type    string
+	Help    string
+	Samples []ParsedSample
+}
+
+// ParseExposition reads a complete text-format page, enforcing the
+// grammar strictly. It returns families keyed by name.
+func ParseExposition(r io.Reader) (map[string]*ParsedFamily, error) {
+	families := map[string]*ParsedFamily{}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<16), 1<<22)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := sc.Text()
+		if strings.TrimSpace(line) == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			if err := parseComment(line, families); err != nil {
+				return nil, fmt.Errorf("line %d: %w", lineNo, err)
+			}
+			continue
+		}
+		s, err := parseSample(line)
+		if err != nil {
+			return nil, fmt.Errorf("line %d: %w", lineNo, err)
+		}
+		fam := familyFor(families, s.Name)
+		if fam == nil {
+			return nil, fmt.Errorf("line %d: sample %q has no preceding # TYPE declaration", lineNo, s.Name)
+		}
+		fam.Samples = append(fam.Samples, s)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	for _, f := range families {
+		if f.Type == "" {
+			return nil, fmt.Errorf("family %q has # HELP but no # TYPE", f.Name)
+		}
+		if f.Type == "histogram" {
+			if err := checkHistogram(f); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return families, nil
+}
+
+func parseComment(line string, families map[string]*ParsedFamily) error {
+	fields := strings.SplitN(line, " ", 4)
+	if len(fields) < 2 {
+		return nil // bare comment
+	}
+	switch fields[1] {
+	case "TYPE":
+		if len(fields) < 4 {
+			return fmt.Errorf("malformed TYPE line %q", line)
+		}
+		name, typ := fields[2], strings.TrimSpace(fields[3])
+		if !validMetricName(name) {
+			return fmt.Errorf("invalid metric name %q in TYPE line", name)
+		}
+		switch typ {
+		case "counter", "gauge", "histogram", "summary", "untyped":
+		default:
+			return fmt.Errorf("unknown metric type %q for %q", typ, name)
+		}
+		f := families[name]
+		if f == nil {
+			f = &ParsedFamily{Name: name}
+			families[name] = f
+		}
+		if f.Type != "" {
+			return fmt.Errorf("family %q declared # TYPE twice", name)
+		}
+		if len(f.Samples) > 0 {
+			return fmt.Errorf("family %q has samples before its # TYPE", name)
+		}
+		f.Type = typ
+	case "HELP":
+		if len(fields) < 3 {
+			return fmt.Errorf("malformed HELP line %q", line)
+		}
+		name := fields[2]
+		if !validMetricName(name) {
+			return fmt.Errorf("invalid metric name %q in HELP line", name)
+		}
+		f := families[name]
+		if f == nil {
+			f = &ParsedFamily{Name: name}
+			families[name] = f
+		}
+		if len(fields) == 4 {
+			f.Help = fields[3]
+		}
+	}
+	return nil
+}
+
+// familyFor resolves a sample name to its declared family, stripping
+// the histogram/summary suffixes for lookup.
+func familyFor(families map[string]*ParsedFamily, name string) *ParsedFamily {
+	if f, ok := families[name]; ok && f.Type != "" {
+		return f
+	}
+	for _, suffix := range []string{"_bucket", "_sum", "_count"} {
+		base := strings.TrimSuffix(name, suffix)
+		if base == name {
+			continue
+		}
+		if f, ok := families[base]; ok && (f.Type == "histogram" || f.Type == "summary") {
+			return f
+		}
+	}
+	return nil
+}
+
+func parseSample(line string) (ParsedSample, error) {
+	s := ParsedSample{Labels: map[string]string{}}
+	rest := line
+
+	// Metric name runs up to '{', ' ' or tab.
+	end := strings.IndexAny(rest, "{ \t")
+	if end < 0 {
+		return s, fmt.Errorf("sample %q has no value", line)
+	}
+	s.Name = rest[:end]
+	if !validMetricName(s.Name) {
+		return s, fmt.Errorf("invalid metric name %q", s.Name)
+	}
+	rest = rest[end:]
+
+	if rest[0] == '{' {
+		closing := labelSetEnd(rest)
+		if closing < 0 {
+			return s, fmt.Errorf("unterminated label set in %q", line)
+		}
+		if err := parseLabels(rest[1:closing], s.Labels); err != nil {
+			return s, err
+		}
+		rest = rest[closing+1:]
+	}
+
+	fields := strings.Fields(rest)
+	if len(fields) < 1 || len(fields) > 2 {
+		return s, fmt.Errorf("sample %q: want value [timestamp], have %d fields", line, len(fields))
+	}
+	v, err := parseValue(fields[0])
+	if err != nil {
+		return s, fmt.Errorf("sample %q: %w", line, err)
+	}
+	s.Value = v
+	if len(fields) == 2 {
+		if _, err := strconv.ParseInt(fields[1], 10, 64); err != nil {
+			return s, fmt.Errorf("sample %q: bad timestamp %q", line, fields[1])
+		}
+	}
+	return s, nil
+}
+
+// labelSetEnd finds the index of the '}' closing the label set opened
+// at rest[0], skipping braces inside quoted label values.
+func labelSetEnd(rest string) int {
+	inQuote := false
+	for i := 1; i < len(rest); i++ {
+		switch rest[i] {
+		case '\\':
+			if inQuote {
+				i++
+			}
+		case '"':
+			inQuote = !inQuote
+		case '}':
+			if !inQuote {
+				return i
+			}
+		}
+	}
+	return -1
+}
+
+func parseLabels(body string, into map[string]string) error {
+	i := 0
+	for i < len(body) {
+		eq := strings.IndexByte(body[i:], '=')
+		if eq < 0 {
+			return fmt.Errorf("label pair %q missing '='", body[i:])
+		}
+		name := strings.TrimSpace(body[i : i+eq])
+		if !validLabelName(name) {
+			return fmt.Errorf("invalid label name %q", name)
+		}
+		i += eq + 1
+		if i >= len(body) || body[i] != '"' {
+			return fmt.Errorf("label %q value is not quoted", name)
+		}
+		i++
+		var val strings.Builder
+		for {
+			if i >= len(body) {
+				return fmt.Errorf("label %q value unterminated", name)
+			}
+			c := body[i]
+			if c == '\\' {
+				if i+1 >= len(body) {
+					return fmt.Errorf("label %q value ends in backslash", name)
+				}
+				switch body[i+1] {
+				case '\\':
+					val.WriteByte('\\')
+				case '"':
+					val.WriteByte('"')
+				case 'n':
+					val.WriteByte('\n')
+				default:
+					return fmt.Errorf("label %q has bad escape \\%c", name, body[i+1])
+				}
+				i += 2
+				continue
+			}
+			if c == '"' {
+				i++
+				break
+			}
+			val.WriteByte(c)
+			i++
+		}
+		if _, dup := into[name]; dup {
+			return fmt.Errorf("label %q appears twice", name)
+		}
+		into[name] = val.String()
+		if i < len(body) {
+			if body[i] != ',' {
+				return fmt.Errorf("expected ',' between labels, found %q", body[i:])
+			}
+			i++
+		}
+	}
+	return nil
+}
+
+func parseValue(s string) (float64, error) {
+	switch s {
+	case "+Inf", "Inf":
+		return math.Inf(1), nil
+	case "-Inf":
+		return math.Inf(-1), nil
+	case "NaN", "nan":
+		return math.NaN(), nil
+	}
+	v, err := strconv.ParseFloat(s, 64)
+	if err != nil {
+		return 0, fmt.Errorf("bad value %q", s)
+	}
+	return v, nil
+}
+
+// checkHistogram verifies each label-set series of a histogram family
+// has monotone non-decreasing buckets ending at le="+Inf", and that
+// _count equals the +Inf bucket.
+func checkHistogram(f *ParsedFamily) error {
+	type series struct {
+		lastCum  float64
+		infSeen  bool
+		infValue float64
+		count    float64
+		hasCount bool
+	}
+	byKey := map[string]*series{}
+	key := func(labels map[string]string) string {
+		parts := make([]string, 0, len(labels))
+		for k, v := range labels {
+			if k == "le" {
+				continue
+			}
+			parts = append(parts, k+"="+v)
+		}
+		sortStrings(parts)
+		return strings.Join(parts, ",")
+	}
+	for _, s := range f.Samples {
+		k := key(s.Labels)
+		sr := byKey[k]
+		if sr == nil {
+			sr = &series{}
+			byKey[k] = sr
+		}
+		switch {
+		case strings.HasSuffix(s.Name, "_bucket"):
+			if _, ok := s.Labels["le"]; !ok {
+				return fmt.Errorf("histogram %q bucket without le label", f.Name)
+			}
+			if s.Value+1e-9 < sr.lastCum {
+				return fmt.Errorf("histogram %q has non-monotone buckets (series %q)", f.Name, k)
+			}
+			sr.lastCum = s.Value
+			if s.Labels["le"] == "+Inf" {
+				sr.infSeen = true
+				sr.infValue = s.Value
+			}
+		case strings.HasSuffix(s.Name, "_count"):
+			sr.count = s.Value
+			sr.hasCount = true
+		}
+	}
+	for k, sr := range byKey {
+		if !sr.infSeen {
+			return fmt.Errorf("histogram %q series %q has no le=\"+Inf\" bucket", f.Name, k)
+		}
+		if sr.hasCount && sr.count != sr.infValue {
+			return fmt.Errorf("histogram %q series %q: _count %g != +Inf bucket %g", f.Name, k, sr.count, sr.infValue)
+		}
+	}
+	return nil
+}
+
+func sortStrings(s []string) {
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && s[j] < s[j-1]; j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
+}

@@ -13,6 +13,14 @@ const (
 	PathProgram  = "/v1/program"
 	PathHealthz  = "/v1/healthz"
 	PathStatz    = "/v1/statz"
+	// PathProfilez serves the per-opcode FHE profile (JSON
+	// obs.ProfileSnapshot): aggregated instruction costs over every
+	// evaluation since boot plus the last run's level/scale trajectory.
+	PathProfilez = "/v1/profilez"
+	// PathMetrics serves the same counters in Prometheus text
+	// exposition format. It sits outside the /v1 prefix because
+	// scrapers conventionally expect the bare path.
+	PathMetrics = "/metrics"
 )
 
 // Request headers.
@@ -32,6 +40,13 @@ const (
 	// HeaderIdemReplayed marks a response served from the idempotency
 	// cache rather than a fresh evaluation.
 	HeaderIdemReplayed = "X-ACE-Idem-Replayed"
+	// HeaderTrace carries the request trace id on /v1/infer, in both
+	// directions: a client may supply one (8..64 lowercase hex
+	// characters) to correlate its own logs with the server's; anything
+	// else — including absence — makes the server mint a fresh id. The
+	// response always echoes the id actually used, and every structured
+	// log event for the request carries it as the "trace" attribute.
+	HeaderTrace = "X-ACE-Trace"
 )
 
 // ContentTypeBinary is the media type of key and ciphertext bodies.

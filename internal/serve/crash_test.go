@@ -31,14 +31,16 @@ func buildAced(t *testing.T) string {
 
 // startAced launches the daemon and waits for its -addr-file, which the
 // binary writes only after the listener is bound and recovery has
-// claimed all journaled jobs.
-func startAced(t *testing.T, bin string, args ...string) (*exec.Cmd, string) {
+// claimed all journaled jobs. The returned buffer accumulates the
+// daemon's combined output; read it only after the process has exited
+// (exec.Cmd writes into it from a background goroutine until then).
+func startAced(t *testing.T, bin string, args ...string) (*exec.Cmd, string, *bytes.Buffer) {
 	t.Helper()
 	addrFile := filepath.Join(t.TempDir(), "addr")
 	cmd := exec.Command(bin, append([]string{"-addr", "127.0.0.1:0", "-addr-file", addrFile}, args...)...)
-	var logs bytes.Buffer
-	cmd.Stdout = &logs
-	cmd.Stderr = &logs
+	logs := new(bytes.Buffer)
+	cmd.Stdout = logs
+	cmd.Stderr = logs
 	if err := cmd.Start(); err != nil {
 		t.Fatal(err)
 	}
@@ -51,7 +53,7 @@ func startAced(t *testing.T, bin string, args ...string) (*exec.Cmd, string) {
 	deadline := time.Now().Add(90 * time.Second)
 	for {
 		if raw, err := os.ReadFile(addrFile); err == nil && len(raw) > 0 {
-			return cmd, "http://" + strings.TrimSpace(string(raw))
+			return cmd, "http://" + strings.TrimSpace(string(raw)), logs
 		}
 		if cmd.ProcessState != nil || time.Now().After(deadline) {
 			t.Fatalf("aced never became ready; logs:\n%s", logs.String())
@@ -94,7 +96,7 @@ func TestCrashRestartResumesInflightJob(t *testing.T) {
 
 	// Generation A: checkpoint after every instruction and stretch each
 	// instruction so "mid-flight" is a wide, deterministic target.
-	cmdA, urlA := startAced(t, bin,
+	cmdA, urlA, _ := startAced(t, bin,
 		"-data-dir", dataDir, "-checkpoint-every", "1", "-instr-delay", "25ms", "-workers", "1")
 
 	ctx := context.Background()
@@ -155,7 +157,7 @@ func TestCrashRestartResumesInflightJob(t *testing.T) {
 
 	// Generation B over the same data dir; no instruction delay, so the
 	// recovered job finishes quickly from its checkpoint.
-	_, urlB := startAced(t, bin, "-data-dir", dataDir, "-checkpoint-every", "1", "-workers", "1")
+	_, urlB, _ := startAced(t, bin, "-data-dir", dataDir, "-checkpoint-every", "1", "-workers", "1")
 
 	// The client rides its reconnect window conceptually; here the retry
 	// targets the restarted daemon's address directly.

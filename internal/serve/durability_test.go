@@ -192,7 +192,7 @@ func TestJournalEncodingRejectsOversizedStrings(t *testing.T) {
 	if _, err := encodeForget(big); err == nil {
 		t.Fatal("encodeForget silently truncated an oversized string")
 	}
-	if _, err := encodeAccept("key", big, nil); err == nil {
+	if _, err := encodeAccept("key", big, time.Time{}, nil); err == nil {
 		t.Fatal("encodeAccept silently truncated an oversized session id")
 	}
 
@@ -201,7 +201,7 @@ func TestJournalEncodingRejectsOversizedStrings(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := dur.accept(big, "sess", []byte("input")); err == nil {
+	if err := dur.accept(big, "sess", time.Time{}, []byte("input")); err == nil {
 		t.Fatal("accept journaled an unframeable key")
 	}
 	dur.complete(big, []byte("result")) // must not write a misframed record
@@ -371,7 +371,7 @@ func TestRestartResumesJournaledJobFromCheckpoint(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := dur.accept(key, sessID, ctBytes); err != nil {
+	if err := dur.accept(key, sessID, time.Time{}, ctBytes); err != nil {
 		t.Fatal(err)
 	}
 	if err := dur.writeCheckpoint(key, snaps[len(snaps)/2]); err != nil {
@@ -440,7 +440,7 @@ func TestRecoveryFaultFailsJobOpen(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := dur.accept(key, sessID, ctBytes); err != nil {
+	if err := dur.accept(key, sessID, time.Time{}, ctBytes); err != nil {
 		t.Fatal(err)
 	}
 	dur.close()
@@ -486,7 +486,7 @@ func TestRecoveryWithoutSessionFailsOpen(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := dur.accept("ghost/idem-x", "ghost", []byte("ciphertext")); err != nil {
+	if err := dur.accept("ghost/idem-x", "ghost", time.Time{}, []byte("ciphertext")); err != nil {
 		t.Fatal(err)
 	}
 	dur.close()

@@ -57,7 +57,7 @@ const journalCap = 64 << 20
 // Journal record kinds. A record is its kind byte followed by
 // length-prefixed strings and a trailing opaque payload.
 const (
-	recAccept   = 1 // key, session id, input ciphertext
+	recAccept   = 1 // key, session id, deadline (unix ms), input ciphertext
 	recComplete = 2 // key, result ciphertext
 	recForget   = 3 // key
 )
@@ -73,7 +73,13 @@ type journalState struct {
 
 type acceptRec struct {
 	sessID string
-	input  []byte
+	// deadline is the absolute wall-clock deadline the client's request
+	// carried when the job was accepted; zero means none was recorded.
+	// Recovery honors it: a restarted daemon resumes the job with the
+	// remaining budget rather than a fresh MaxDeadline, and drops jobs
+	// whose deadline already passed (the client stopped waiting).
+	deadline time.Time
+	input    []byte
 }
 
 func openDurable(dir string, diskBudget int64, idemCap int) (*durable, *journalState, error) {
@@ -157,7 +163,7 @@ func readString(data []byte) (string, []byte, error) {
 	return string(data[:n]), data[n:], nil
 }
 
-func encodeAccept(key, sessID string, input []byte) ([]byte, error) {
+func encodeAccept(key, sessID string, deadline time.Time, input []byte) ([]byte, error) {
 	buf, err := appendString([]byte{recAccept}, key)
 	if err != nil {
 		return nil, err
@@ -165,6 +171,11 @@ func encodeAccept(key, sessID string, input []byte) ([]byte, error) {
 	if buf, err = appendString(buf, sessID); err != nil {
 		return nil, err
 	}
+	var ms int64
+	if !deadline.IsZero() {
+		ms = deadline.UnixMilli()
+	}
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(ms))
 	return append(buf, input...), nil
 }
 
@@ -201,10 +212,18 @@ func foldJournal(records [][]byte) (*journalState, error) {
 			if err != nil {
 				return nil, fmt.Errorf("serve: journal record %d: %w", i, err)
 			}
+			if len(rest) < 8 {
+				return nil, fmt.Errorf("serve: journal record %d: truncated deadline", i)
+			}
+			var deadline time.Time
+			if ms := int64(binary.LittleEndian.Uint64(rest)); ms != 0 {
+				deadline = time.UnixMilli(ms)
+			}
+			rest = rest[8:]
 			if _, dup := st.pending[key]; !dup {
 				st.order = append(st.order, key)
 			}
-			st.pending[key] = acceptRec{sessID: sessID, input: append([]byte(nil), rest...)}
+			st.pending[key] = acceptRec{sessID: sessID, deadline: deadline, input: append([]byte(nil), rest...)}
 		case recComplete:
 			st.dropPending(key)
 			if _, dup := st.completed[key]; !dup {
@@ -235,11 +254,12 @@ func (st *journalState) dropPending(key string) {
 
 // --- job journal --------------------------------------------------------
 
-// accept journals an admitted idempotent job: key, owning session and
-// the input ciphertext, fsynced before the job enters the queue so a
-// crash at any later point can re-execute it.
-func (d *durable) accept(key, sessID string, input []byte) error {
-	rec, err := encodeAccept(key, sessID, input)
+// accept journals an admitted idempotent job: key, owning session, the
+// request's absolute deadline and the input ciphertext, fsynced before
+// the job enters the queue so a crash at any later point can re-execute
+// it within the client's remaining time budget.
+func (d *durable) accept(key, sessID string, deadline time.Time, input []byte) error {
+	rec, err := encodeAccept(key, sessID, deadline, input)
 	if err != nil {
 		d.storeErrs.Add(1)
 		return err
@@ -321,7 +341,7 @@ func (d *durable) rewrite(st *journalState) error {
 	var recs [][]byte
 	for _, key := range st.order {
 		a := st.pending[key]
-		rec, err := encodeAccept(key, a.sessID, a.input)
+		rec, err := encodeAccept(key, a.sessID, a.deadline, a.input)
 		if err != nil {
 			return err
 		}

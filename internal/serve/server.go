@@ -17,7 +17,9 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"log/slog"
 	"net/http"
+	"net/http/pprof"
 	"runtime"
 	"slices"
 	"strconv"
@@ -29,6 +31,7 @@ import (
 	"antace/internal/ckksir"
 	"antace/internal/fault"
 	"antace/internal/ir"
+	"antace/internal/obs"
 	"antace/internal/serve/api"
 	"antace/internal/vm"
 )
@@ -80,6 +83,16 @@ type Config struct {
 	// InstrDelay stretches every VM instruction (chaos/e2e knob for
 	// making "mid-flight" a wide target; zero in production).
 	InstrDelay time.Duration
+
+	// Logger receives the server's structured events (request lifecycle,
+	// recovery, checkpointing), each carrying the request's trace id. Nil
+	// discards them — the daemon always provides one; library users and
+	// tests opt in.
+	Logger *slog.Logger
+	// Pprof mounts net/http/pprof under /debug/pprof/ on the server mux.
+	// Off by default: the profiler exposes heap contents, which on this
+	// server include evaluation-key material.
+	Pprof bool
 }
 
 func (c Config) withDefaults() Config {
@@ -148,6 +161,13 @@ type Server struct {
 	lat      *latencyWindow
 	mux      *http.ServeMux
 
+	// Observability: structured logs, per-opcode profile aggregation and
+	// the request-level histograms behind /metrics.
+	log       *slog.Logger
+	prof      *obs.Aggregate
+	queueWait *obs.Histogram
+	evalHist  *obs.Histogram
+
 	// dur is the disk tier; nil without a DataDir. restarts is the data
 	// dir's prior start count, fixed at boot.
 	dur      *durable
@@ -210,10 +230,17 @@ func New(prog Program, cfg Config) (*Server, error) {
 			NeedRlk:     true,
 			Bootstraps:  res.Bootstraps,
 		},
-		needRlk:  true,
-		sessions: newSessionCache(cfg.SessionBudget),
-		idem:     newIdemCache(cfg.IdemEntries),
-		lat:      newLatencyWindow(cfg.LatencyWindow),
+		needRlk:   true,
+		sessions:  newSessionCache(cfg.SessionBudget),
+		idem:      newIdemCache(cfg.IdemEntries),
+		lat:       newLatencyWindow(cfg.LatencyWindow),
+		log:       cfg.Logger,
+		prof:      obs.NewAggregate(),
+		queueWait: obs.NewHistogram(nil),
+		evalHist:  obs.NewHistogram(nil),
+	}
+	if s.log == nil {
+		s.log = slog.New(slog.NewTextHandler(io.Discard, nil))
 	}
 	rQ := params.RingQ()
 	for _, k := range rotations {
@@ -238,6 +265,15 @@ func New(prog Program, cfg Config) (*Server, error) {
 	mux.HandleFunc("POST "+api.PathInfer, s.handleInfer)
 	mux.HandleFunc("GET "+api.PathHealthz, s.handleHealthz)
 	mux.HandleFunc("GET "+api.PathStatz, s.handleStatz)
+	mux.HandleFunc("GET "+api.PathProfilez, s.handleProfilez)
+	mux.HandleFunc("GET "+api.PathMetrics, s.handleMetrics)
+	if cfg.Pprof {
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	}
 	s.mux = mux
 	return s, nil
 }
@@ -294,15 +330,36 @@ func (s *Server) openDurability() error {
 // recoverJob finishes one journaled in-flight job after a restart. Any
 // failure settles the idempotency entry as failed — followers get 503
 // and the client's retry loop re-executes from scratch.
+//
+// The recovered job runs under the client's journaled deadline, not a
+// fresh MaxDeadline: a client that asked for 2s of work must not have
+// its job resurrected into a 10-minute zombie occupying a worker long
+// after the caller gave up. Jobs whose deadline already passed are
+// dropped outright (journaled as forgotten, so a retry re-executes).
 func (s *Server) recoverJob(key string, a acceptRec, entry *idemEntry) {
+	trace := obs.NewTraceID()
+	log := s.log.With(slog.String("trace", trace), slog.String("idem_key", key))
 	if err := fault.Inject(fault.ServeRecoverErr); err != nil {
 		s.completeIdem(entry, false, nil)
 		return
+	}
+	budget := s.cfg.MaxDeadline
+	if !a.deadline.IsZero() {
+		rem := time.Until(a.deadline)
+		if rem <= 0 {
+			log.Info("recover.expired", slog.Time("deadline", a.deadline))
+			s.completeIdem(entry, false, nil)
+			return
+		}
+		if rem < budget {
+			budget = rem
+		}
 	}
 	sess, ok := s.lookupSession(a.sessID)
 	if !ok {
 		// The keys did not survive (disk eviction or RAM-only
 		// registration); the client re-registers and re-executes.
+		log.Info("recover.nosession", slog.String("session", a.sessID))
 		s.completeIdem(entry, false, nil)
 		return
 	}
@@ -311,16 +368,22 @@ func (s *Server) recoverJob(key string, a acceptRec, entry *idemEntry) {
 		s.completeIdem(entry, false, nil)
 		return
 	}
-	ctx, cancel := context.WithTimeout(context.Background(), s.cfg.MaxDeadline)
+	ctx, cancel := context.WithTimeout(obs.WithTrace(context.Background(), trace), budget)
 	defer cancel()
+	resume := s.dur.readCheckpoint(key)
+	log.Info("recover.start",
+		slog.String("session", a.sessID),
+		slog.Duration("budget", budget),
+		slog.Bool("checkpoint", resume != nil))
 	j := &job{ctx: ctx, sess: sess, ct: ct, done: make(chan jobResult, 1),
-		enqueued: time.Now(), idemKey: key, resume: s.dur.readCheckpoint(key)}
+		enqueued: time.Now(), idemKey: key, resume: resume}
 	if !s.enqueueBlocking(j) {
 		s.completeIdem(entry, false, nil)
 		return
 	}
 	res := <-j.done
 	if res.err != nil {
+		log.Warn("recover.failed", slog.String("err", res.err.Error()))
 		s.completeIdem(entry, false, nil)
 		return
 	}
@@ -331,6 +394,7 @@ func (s *Server) recoverJob(key string, a acceptRec, entry *idemEntry) {
 	}
 	s.completeIdem(entry, true, out)
 	s.stats.served.Add(1)
+	log.Info("recover.done")
 }
 
 // enqueueBlocking submits a recovered job, waiting for queue space
@@ -448,15 +512,23 @@ func (s *Server) execute(j *job) (res jobResult) {
 	if s.beforeExec != nil {
 		s.beforeExec(j)
 	}
+	wait := time.Since(j.enqueued)
+	s.queueWait.Observe(wait)
+	log := obs.Logger(j.ctx, s.log)
+	log.Info("infer.exec", slog.Duration("queue_wait", wait))
 	fault.InjectPanic(fault.ServeWorkerPanic)
 	m := vm.NewMachine(s.params, j.sess.keys, s.boot, s.enc)
 	m.StepDelay = s.cfg.InstrDelay
+	m.Prof = obs.NewRunProfile()
 	if s.dur != nil && j.idemKey != "" {
 		key := j.idemKey
 		m.Ckpt = &vm.CheckpointPolicy{
 			EveryN: s.cfg.CheckpointEveryN,
 			Every:  s.cfg.CheckpointEvery,
-			Sink:   func(snap []byte) error { return s.dur.writeCheckpoint(key, snap) },
+			Sink: func(snap []byte) error {
+				log.Debug("infer.checkpoint", slog.Int("bytes", len(snap)))
+				return s.dur.writeCheckpoint(key, snap)
+			},
 		}
 	}
 	in := j.ct
@@ -468,7 +540,17 @@ func (s *Server) execute(j *job) (res jobResult) {
 			s.stats.jobsResumed.Add(1)
 		}
 	}
+	evalStart := time.Now()
 	out, err := m.RunCtx(j.ctx, s.module, in)
+	eval := time.Since(evalStart)
+	s.evalHist.Observe(eval)
+	s.prof.Merge(m.Prof, eval)
+	if err != nil {
+		log.Warn("infer.eval", slog.Duration("eval", eval), slog.String("err", err.Error()))
+	} else {
+		log.Info("infer.eval", slog.Duration("eval", eval),
+			slog.Uint64("instrs", m.Prof.Steps()))
+	}
 	return jobResult{ct: out, err: err}
 }
 
@@ -628,8 +710,25 @@ func (s *Server) handleInfer(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
-	ctx, cancel := context.WithTimeout(r.Context(), d)
+	// One trace id per request, minted here unless the client supplied a
+	// valid one, echoed on the response and attached to the context so
+	// every structured event — accept through reply, including worker
+	// events on other goroutines — carries the same greppable id.
+	trace := r.Header.Get(api.HeaderTrace)
+	if !obs.ValidTraceID(trace) {
+		trace = obs.NewTraceID()
+	}
+	w.Header().Set(api.HeaderTrace, trace)
+	deadline := time.Now().Add(d)
+
+	ctx, cancel := context.WithTimeout(obs.WithTrace(r.Context(), trace), d)
 	defer cancel()
+	log := obs.Logger(ctx, s.log)
+	log.Info("infer.accept",
+		slog.String("session", sess.id),
+		slog.String("idem_key", idemKey),
+		slog.Int64("deadline_ms", d.Milliseconds()),
+		slog.Int("cipher_bytes", len(body)))
 
 	// Idempotency: a keyed request either owns the execution, replays a
 	// stored success bit for bit, or attaches to the in-flight attempt.
@@ -649,7 +748,7 @@ func (s *Server) handleInfer(w http.ResponseWriter, r *http.Request) {
 		if s.dur != nil {
 			// Fail open on a journal error: the job still runs, it just
 			// will not survive a crash (counted in storeErrs).
-			_ = s.dur.accept(idemFull, sess.id, body)
+			_ = s.dur.accept(idemFull, sess.id, deadline, body)
 		}
 	}
 
@@ -663,10 +762,12 @@ func (s *Server) handleInfer(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		s.completeIdem(entry, false, nil)
 		s.stats.rejected.Add(1)
+		log.Info("infer.reject", slog.Int("queue_depth", s.cfg.QueueDepth))
 		w.Header().Set("Retry-After", strconv.Itoa(int(s.cfg.RetryAfter/time.Second)))
 		writeErr(w, http.StatusTooManyRequests, "queue full (%d deep)", s.cfg.QueueDepth)
 		return
 	}
+	log.Info("infer.enqueue", slog.Int("queue_depth", len(s.sched.queue)))
 
 	select {
 	case res := <-j.done:
@@ -677,6 +778,7 @@ func (s *Server) handleInfer(w http.ResponseWriter, r *http.Request) {
 		// the attempt — the execution did not complete, so a retry must
 		// re-execute.
 		s.completeIdem(entry, false, nil)
+		log.Info("infer.reply", slog.String("outcome", "timeout"))
 		s.failCtx(w, ctx.Err(), d)
 	}
 }
@@ -728,14 +830,17 @@ func (s *Server) completeIdem(entry *idemEntry, ok bool, body []byte) {
 // distinguish a recovered worker panic from an ordinary evaluation
 // error without parsing message text.
 func (s *Server) finish(w http.ResponseWriter, j *job, entry *idemEntry, res jobResult) {
+	log := obs.Logger(j.ctx, s.log)
 	if res.err != nil {
 		s.completeIdem(entry, false, nil)
 		if errors.Is(res.err, context.DeadlineExceeded) || errors.Is(res.err, context.Canceled) {
+			log.Info("infer.reply", slog.String("outcome", "timeout"))
 			s.failCtx(w, res.err, 0)
 			return
 		}
 		s.stats.failed.Add(1)
 		re := fault.AsRuntime(fault.CodeEvalError, "serve.infer", res.err)
+		log.Warn("infer.reply", slog.String("outcome", "error"), slog.String("code", re.Code))
 		writeErrCode(w, http.StatusInternalServerError, re.Code, "evaluation failed: %v", res.err)
 		return
 	}
@@ -749,6 +854,8 @@ func (s *Server) finish(w http.ResponseWriter, j *job, entry *idemEntry, res job
 	s.completeIdem(entry, true, out)
 	s.stats.served.Add(1)
 	s.lat.add(time.Since(j.enqueued))
+	log.Info("infer.reply", slog.String("outcome", "ok"),
+		slog.Duration("total", time.Since(j.enqueued)), slog.Int("bytes", len(out)))
 	w.Header().Set("Content-Type", api.ContentTypeBinary)
 	w.WriteHeader(http.StatusOK)
 	_, _ = w.Write(out)

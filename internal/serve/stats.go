@@ -1,6 +1,7 @@
 package serve
 
 import (
+	"math"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -58,9 +59,20 @@ func (w *latencyWindow) quantiles() (p50, p90, p99 float64) {
 		return 0, 0, 0
 	}
 	sort.Slice(sample, func(i, j int) bool { return sample[i] < sample[j] })
+	// Nearest-rank with a ceiling: the q-quantile is the smallest sample
+	// such that at least q·n samples are ≤ it. Flooring the rank instead
+	// (the previous behavior) reported p99 as p~90 on a 10-sample window
+	// — an outlier-hiding bias in exactly the quantile that exists to
+	// expose outliers.
 	at := func(q float64) float64 {
-		i := int(q * float64(len(sample)-1))
-		return float64(sample[i]) / float64(time.Millisecond)
+		rank := int(math.Ceil(q * float64(len(sample))))
+		if rank < 1 {
+			rank = 1
+		}
+		if rank > len(sample) {
+			rank = len(sample)
+		}
+		return float64(sample[rank-1]) / float64(time.Millisecond)
 	}
 	return at(0.50), at(0.90), at(0.99)
 }

@@ -17,6 +17,7 @@ import (
 	"antace/internal/ckksir"
 	"antace/internal/fault"
 	"antace/internal/ir"
+	"antace/internal/obs"
 	"antace/internal/poly"
 )
 
@@ -38,6 +39,12 @@ type Machine struct {
 	// into one long enough to crash mid-flight deterministically — and
 	// must stay zero in production.
 	StepDelay time.Duration
+	// Prof, when set, receives one Record per executed instruction and
+	// one Step per produced ciphertext (the level/scale trajectory of
+	// the paper's Figure 6). Instruction timing starts before the
+	// StepDelay sleep, so summed op times track wall-clock evaluation
+	// time even in stretched chaos tests.
+	Prof *obs.RunProfile
 
 	// st holds execution state restored by Restore until the next
 	// RunCtx consumes it.
@@ -211,6 +218,7 @@ func (m *Machine) RunCtx(ctx context.Context, mod *ir.Module, input *ckks.Cipher
 		if err := ctx.Err(); err != nil {
 			return nil, fmt.Errorf("vm: aborted before instr %d (%s): %w", idx, in.Op, err)
 		}
+		instrStart := time.Now()
 		if m.StepDelay > 0 {
 			time.Sleep(m.StepDelay)
 		}
@@ -276,9 +284,15 @@ func (m *Machine) RunCtx(ctx context.Context, mod *ir.Module, input *ckks.Cipher
 		if err != nil {
 			return nil, fmt.Errorf("vm: instr %d (%s): %w", idx, in.Op, err)
 		}
+		if m.Prof != nil {
+			m.Prof.Record(in.Op, time.Since(instrStart))
+		}
 		if ct := cts[in.Result]; ct != nil {
 			if err := m.check(in.Result, ct); err != nil {
 				return nil, fmt.Errorf("vm: instr %d (%s): %w", idx, in.Op, err)
+			}
+			if m.Prof != nil {
+				m.Prof.Step(idx, in.Op, ct.Level(), ct.Scale)
 			}
 		}
 		st.pc = idx + 1

@@ -11,6 +11,7 @@ import (
 	"antace/internal/ckksir"
 	"antace/internal/ir"
 	"antace/internal/nnir"
+	"antace/internal/obs"
 	"antace/internal/onnx"
 	"antace/internal/ring"
 	"antace/internal/sihe"
@@ -218,5 +219,66 @@ func TestMachineRejectsBootstrapWithoutBootstrapper(t *testing.T) {
 	ct, _ := client.Encrypt(make([]float64, vres.InLayout.L))
 	if _, err := machine.Run(res.Module, ct); err == nil {
 		t.Fatal("expected missing-bootstrapper error")
+	}
+}
+
+// TestRunProfileInstrumentation proves the profiler sees every executed
+// instruction: counts match the program body, the op-time sum tracks
+// the wall-clock run within the 10% budget the paper-figure check
+// demands, and the trajectory mirrors each result's level and scale.
+func TestRunProfileInstrumentation(t *testing.T) {
+	res, vres := compileLinear(t)
+	machine, client, err := New(res, vres.InLayout.L, ring.SeedFromInt(21))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ct, err := client.Encrypt(make([]float64, vres.InLayout.L))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	machine.Prof = obs.NewRunProfile()
+	start := time.Now()
+	if _, err := machine.Run(res.Module, ct); err != nil {
+		t.Fatal(err)
+	}
+	wall := time.Since(start)
+
+	body := res.Module.Main().Body
+	if got := machine.Prof.Steps(); got != uint64(len(body)) {
+		t.Fatalf("profiled %d instructions, program has %d", got, len(body))
+	}
+	// Per-op counts must match the static instruction mix.
+	wantByOp := map[string]uint64{}
+	for _, in := range body {
+		wantByOp[in.Op]++
+	}
+	for _, st := range machine.Prof.Ops() {
+		if st.Count != wantByOp[st.Op] {
+			t.Errorf("op %s: profiled %d, program has %d", st.Op, st.Count, wantByOp[st.Op])
+		}
+	}
+	if sum := machine.Prof.Total(); sum > wall || float64(sum) < 0.9*float64(wall)-float64(5*time.Millisecond) {
+		t.Errorf("op-time sum %v outside 10%% of wall %v", sum, wall)
+	}
+	// Trajectory: one point per ciphertext-producing instruction, levels
+	// and scales as the compiler tracked them.
+	for _, pt := range machine.Prof.Trajectory {
+		in := body[pt.PC]
+		if in.Op != pt.Op {
+			t.Fatalf("trajectory pc %d records op %s, program has %s", pt.PC, pt.Op, in.Op)
+		}
+		if in.Result.Type.Kind != ir.KindCipher3 && pt.Level != in.Result.Level {
+			t.Errorf("trajectory pc %d level %d, compiler %d", pt.PC, pt.Level, in.Result.Level)
+		}
+	}
+
+	// A second run on the same machine with a fresh profile starts clean.
+	machine.Prof = obs.NewRunProfile()
+	if _, err := machine.Run(res.Module, ct); err != nil {
+		t.Fatal(err)
+	}
+	if got := machine.Prof.Steps(); got != uint64(len(body)) {
+		t.Fatalf("second run profiled %d instructions, want %d", got, len(body))
 	}
 }
