@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test verify vet race bench serve-smoke obs-smoke chaos durability
+.PHONY: build test verify vet race bench bench-fusion serve-smoke obs-smoke chaos durability
 
 build:
 	$(GO) build ./...
@@ -22,7 +22,7 @@ vet:
 # a shared session cache. ACE_WORKERS=8 forces parallel scheduling even on
 # single-core CI machines.
 race:
-	ACE_WORKERS=8 $(GO) test -race ./internal/ring/... ./internal/ckks/... ./internal/bootstrap/... ./internal/par/... ./internal/serve/... ./internal/fheclient/... ./internal/vm/... ./internal/obs/...
+	ACE_WORKERS=8 $(GO) test -race ./internal/ring/... ./internal/ckks/... ./internal/bootstrap/... ./internal/par/... ./internal/nt/... ./internal/polyir/... ./internal/serve/... ./internal/fheclient/... ./internal/vm/... ./internal/obs/...
 
 # Loopback smoke test of the serving layer: start an in-process daemon,
 # register a session through the real client, infer, decrypt, compare to
@@ -68,3 +68,11 @@ verify:
 # (BENCH_parallel.json records reference numbers).
 bench:
 	$(GO) test -run '^$$' -bench 'BenchmarkNTT$$|BenchmarkKeySwitch$$|BenchmarkHoistedRotations$$' -benchmem .
+
+# Fused-kernel benchmarks (BENCH_fusion.json records reference numbers):
+# the four benchmarks the fused key-switch path and lazy-reduction NTT
+# move. -count=3 because single runs on shared machines are ±10% noisy;
+# take the best run per benchmark when comparing.
+bench-fusion:
+	$(GO) test -run '^$$' -count=3 -timeout 1800s \
+		-bench 'BenchmarkNTT$$|BenchmarkKeySwitch$$|BenchmarkHoistedRotations$$|BenchmarkRuntimeBootstrap$$' -benchmem .

@@ -3,6 +3,7 @@ package main
 import (
 	"fmt"
 	"io"
+	"strings"
 	"time"
 
 	"antace"
@@ -61,6 +62,19 @@ func runOpProfile(w io.Writer) error {
 	}
 	fmt.Fprintf(w, "\ninstructions: %d   op-time sum: %.3fms   wall: %.3fms (gap is loop overhead)\n",
 		machine.Prof.Steps(), float64(opSum)/float64(time.Millisecond), float64(wall)/float64(time.Millisecond))
+
+	if kernels := machine.Prof.Kernels(); len(kernels) > 0 {
+		fmt.Fprintf(w, "\nfused kernels (sub-measurements inside the ops above; not additive with op-time)\n\n")
+		fmt.Fprintf(w, "%-18s %7s %10s %10s %10s  %s\n", "kernel", "count", "total_ms", "mean_ms", "max_ms", "replaces")
+		for _, st := range kernels {
+			replaces := "-"
+			if cs := obs.FusedConstituents[st.Op]; len(cs) > 0 {
+				replaces = strings.Join(cs, "+")
+			}
+			fmt.Fprintf(w, "%-18s %7d %10.3f %10.4f %10.4f  %s\n",
+				st.Op, st.Count, st.TotalMs, st.MeanMs, st.MaxMs, replaces)
+		}
+	}
 
 	fmt.Fprintf(w, "\nlevel/scale trajectory (first %d steps):\n", min(len(machine.Prof.Trajectory), 24))
 	fmt.Fprintf(w, "%5s %-18s %6s %12s\n", "pc", "op", "level", "scale")

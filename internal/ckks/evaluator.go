@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 	"math/big"
+	"time"
 
 	"antace/internal/fault"
 	"antace/internal/nt"
@@ -23,6 +24,13 @@ type Evaluator struct {
 	keys   *EvaluationKeySet
 
 	autIndexCache map[uint64][]int
+
+	// KernelObserver, when non-nil, receives the duration of every fused
+	// kernel execution (poly.decomp_modup, poly.hw_modmuladd,
+	// poly.mod_down) on the evaluator's goroutine. The VM wires it to the
+	// run profile so /v1/profilez can attribute key-switch time below the
+	// instruction level.
+	KernelObserver func(op string, d time.Duration)
 }
 
 // NewEvaluator creates an evaluator with the given key set (which may be
@@ -161,12 +169,14 @@ func (ev *Evaluator) Mul(a, b *Ciphertext) (*Ciphertext, error) {
 	out := NewCiphertext(ev.params, 2, a.Level())
 	out.Scale = a.Scale * b.Scale
 	rQ.MulCoeffs(a.Value[0], b.Value[0], out.Value[0])
-	tmp := rQ.GetPolyNoZero(a.Level())
-	rQ.MulCoeffs(a.Value[0], b.Value[1], out.Value[1])
-	rQ.MulCoeffs(a.Value[1], b.Value[0], tmp)
-	rQ.Add(out.Value[1], tmp, out.Value[1])
+	// The middle term a0*b1 + a1*b0 is a two-digit inner product: one
+	// fused pass with a single reduction per coefficient, no scratch poly.
+	rQ.InnerProduct(
+		[]*ring.Poly{a.Value[0], a.Value[1]},
+		[]*ring.Poly{b.Value[1], b.Value[0]},
+		out.Value[1],
+	)
 	rQ.MulCoeffs(a.Value[1], b.Value[1], out.Value[2])
-	rQ.PutPoly(tmp)
 	return out, nil
 }
 
@@ -407,66 +417,15 @@ func (ev *Evaluator) automorphism(ct *Ciphertext, gal uint64) (*Ciphertext, erro
 // domain at its level, using hybrid RNS-digit key switching. The returned
 // polynomials are pooled scratch owned by the caller, who must release
 // them with RingQ().PutPoly once consumed.
+//
+// It is the one-shot form of the hoisted path: decompose with the fused
+// decomp_modup kernel, then inner-product and mod-down with the fused
+// hw_modmuladd / mod_down kernels. Relinearisation, automorphisms and
+// hoisted rotations therefore all execute the identical fused pipeline.
 func (ev *Evaluator) keySwitch(c1 *ring.Poly, swk *SwitchingKey) (d0, d1 *ring.Poly, err error) {
-	params := ev.params
-	rQ, rP := params.RingQ(), params.RingP()
-	be := params.BasisExtender()
-	level := c1.Level()
-	alpha := params.Alpha()
-	digits := (level + 1 + alpha - 1) / alpha
-	if digits > len(swk.BQ) {
-		return nil, nil, fmt.Errorf("ckks: switching key has %d digits, need %d", len(swk.BQ), digits)
-	}
-
-	c1c := rQ.GetPolyNoZero(level)
-	c1.Copy(c1c)
-	rQ.INTT(c1c, c1c)
-
-	accQ0 := rQ.GetPoly(level)
-	accQ1 := rQ.GetPoly(level)
-	accP0 := rP.GetPoly(rP.MaxLevel())
-	accP1 := rP.GetPoly(rP.MaxLevel())
-	tQ := rQ.GetPolyNoZero(level)
-	tP := rP.GetPolyNoZero(rP.MaxLevel())
-
-	for d := 0; d < digits; d++ {
-		start := d * alpha
-		end := start + alpha
-		if end > level+1 {
-			end = level + 1
-		}
-		be.ModUpDigitQP(c1c, start, end, level, tQ, tP)
-		rQ.NTT(tQ, tQ)
-		rP.NTT(tP, tP)
-		rQ.MulCoeffsThenAdd(tQ, swk.BQ[d], accQ0)
-		rP.MulCoeffsThenAdd(tP, swk.BP[d], accP0)
-		rQ.MulCoeffsThenAdd(tQ, swk.AQ[d], accQ1)
-		rP.MulCoeffsThenAdd(tP, swk.AP[d], accP1)
-	}
-	rQ.PutPoly(c1c)
-	rQ.PutPoly(tQ)
-	rP.PutPoly(tP)
-
-	// The two output halves are independent pipelines; run them as two
-	// coarse tasks on top of the limb-level parallelism inside each step.
-	par.Do(
-		func() {
-			rQ.INTT(accQ0, accQ0)
-			rP.INTT(accP0, accP0)
-			be.ModDownQP(accQ0, accP0)
-			rQ.NTT(accQ0, accQ0)
-		},
-		func() {
-			rQ.INTT(accQ1, accQ1)
-			rP.INTT(accP1, accP1)
-			be.ModDownQP(accQ1, accP1)
-			rQ.NTT(accQ1, accQ1)
-		},
-	)
-	rP.PutPoly(accP0)
-	rP.PutPoly(accP1)
-
-	return accQ0, accQ1, nil
+	h := ev.decomposeForKeySwitch(c1)
+	defer h.release(ev.params.RingQ(), ev.params.RingP())
+	return ev.applyKeySwitchHoisted(h, swk)
 }
 
 func min(a, b int) int {

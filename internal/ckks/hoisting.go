@@ -2,10 +2,29 @@ package ckks
 
 import (
 	"fmt"
+	"time"
 
 	"antace/internal/par"
 	"antace/internal/ring"
 )
+
+// Fused-kernel op names, as attributed by the KernelObserver. These are
+// string-equal to the internal/polyir opcode constants (OpDecompModUp,
+// OpModMulAdd, OpModDown) — importing polyir here would cycle through
+// ckksir, so the equality is asserted by a test in polyir instead.
+const (
+	opDecompModUp = "poly.decomp_modup"
+	opModMulAdd   = "poly.hw_modmuladd"
+	opModDown     = "poly.mod_down"
+)
+
+// observe reports one fused-kernel execution to the evaluator's
+// KernelObserver, if any.
+func (ev *Evaluator) observe(op string, start time.Time) {
+	if ev.KernelObserver != nil {
+		ev.KernelObserver(op, time.Since(start))
+	}
+}
 
 // Hoisted rotations (Halevi–Shoup): the expensive part of a rotation is
 // decomposing c1 into key-switching digits (INTT, base extension, forward
@@ -36,8 +55,11 @@ func (h *hoistedDecomp) release(rQ, rP *ring.Ring) {
 }
 
 // decomposeForKeySwitch computes the shared digit decomposition of c1
-// (NTT domain, at its level).
+// (NTT domain, at its level) with the fused decomp_modup kernel: each
+// digit is decomposed, base-extended and forward-NTT'd row by row
+// without materialising a coefficient-domain intermediate.
 func (ev *Evaluator) decomposeForKeySwitch(c1 *ring.Poly) *hoistedDecomp {
+	t0 := time.Now()
 	params := ev.params
 	rQ, rP := params.RingQ(), params.RingP()
 	be := params.BasisExtender()
@@ -58,51 +80,49 @@ func (ev *Evaluator) decomposeForKeySwitch(c1 *ring.Poly) *hoistedDecomp {
 		}
 		tQ := rQ.GetPolyNoZero(level)
 		tP := rP.GetPolyNoZero(rP.MaxLevel())
-		be.ModUpDigitQP(c1c, start, end, level, tQ, tP)
-		rQ.NTT(tQ, tQ)
-		rP.NTT(tP, tP)
+		be.DecompModUpNTT(c1c, start, end, level, tQ, tP)
 		h.tQ = append(h.tQ, tQ)
 		h.tP = append(h.tP, tP)
 	}
 	rQ.PutPoly(c1c)
+	ev.observe(opDecompModUp, t0)
 	return h
 }
 
 // applyKeySwitchHoisted finishes a key switch from a (possibly permuted)
-// decomposition: multiply-accumulate against the key digits and divide
-// by P. The returned polynomials are pooled scratch owned by the caller
+// decomposition: the evaluation-key inner product runs as the fused
+// hw_modmuladd kernel (128-bit lazy accumulation, one reduction per
+// digit sum), and the divide-by-P tail as the fused ModDownNTT pass.
+// The returned polynomials are pooled scratch owned by the caller
 // (release with RingQ().PutPoly).
 func (ev *Evaluator) applyKeySwitchHoisted(h *hoistedDecomp, swk *SwitchingKey) (d0, d1 *ring.Poly, err error) {
 	params := ev.params
 	rQ, rP := params.RingQ(), params.RingP()
 	be := params.BasisExtender()
-	if len(h.tQ) > len(swk.BQ) {
-		return nil, nil, fmt.Errorf("ckks: switching key has %d digits, need %d", len(swk.BQ), len(h.tQ))
+	nd := len(h.tQ)
+	if nd > len(swk.BQ) {
+		return nil, nil, fmt.Errorf("ckks: switching key has %d digits, need %d", len(swk.BQ), nd)
 	}
-	accQ0 := rQ.GetPoly(h.level)
-	accQ1 := rQ.GetPoly(h.level)
-	accP0 := rP.GetPoly(rP.MaxLevel())
-	accP1 := rP.GetPoly(rP.MaxLevel())
-	for d := range h.tQ {
-		rQ.MulCoeffsThenAdd(h.tQ[d], swk.BQ[d], accQ0)
-		rP.MulCoeffsThenAdd(h.tP[d], swk.BP[d], accP0)
-		rQ.MulCoeffsThenAdd(h.tQ[d], swk.AQ[d], accQ1)
-		rP.MulCoeffsThenAdd(h.tP[d], swk.AP[d], accP1)
-	}
+	// InnerProduct fully overwrites the accumulators, so the pooled polys
+	// need no zeroing pass.
+	accQ0 := rQ.GetPolyNoZero(h.level)
+	accQ1 := rQ.GetPolyNoZero(h.level)
+	accP0 := rP.GetPolyNoZero(rP.MaxLevel())
+	accP1 := rP.GetPolyNoZero(rP.MaxLevel())
+	t0 := time.Now()
+	rQ.InnerProduct(h.tQ, swk.BQ[:nd], accQ0)
+	rP.InnerProduct(h.tP, swk.BP[:nd], accP0)
+	rQ.InnerProduct(h.tQ, swk.AQ[:nd], accQ1)
+	rP.InnerProduct(h.tP, swk.AP[:nd], accP1)
+	ev.observe(opModMulAdd, t0)
+	// The two output halves are independent pipelines; run them as two
+	// coarse tasks on top of the limb-level parallelism inside each.
+	t1 := time.Now()
 	par.Do(
-		func() {
-			rQ.INTT(accQ0, accQ0)
-			rP.INTT(accP0, accP0)
-			be.ModDownQP(accQ0, accP0)
-			rQ.NTT(accQ0, accQ0)
-		},
-		func() {
-			rQ.INTT(accQ1, accQ1)
-			rP.INTT(accP1, accP1)
-			be.ModDownQP(accQ1, accP1)
-			rQ.NTT(accQ1, accQ1)
-		},
+		func() { be.ModDownNTT(accQ0, accP0) },
+		func() { be.ModDownNTT(accQ1, accP1) },
 	)
+	ev.observe(opModDown, t1)
 	rP.PutPoly(accP0)
 	rP.PutPoly(accP1)
 	return accQ0, accQ1, nil

@@ -1,0 +1,61 @@
+package ckks
+
+import (
+	"testing"
+	"time"
+
+	"antace/internal/obs"
+)
+
+// TestKernelOpNamesMatchObs pins the kernel name constants to the obs
+// fused-constituent registry: ckks cannot import polyir (cycle through
+// ckksir), so the names are duplicated as string literals and this test
+// is what keeps them from drifting. The polyir side of the same contract
+// lives in internal/polyir.
+func TestKernelOpNamesMatchObs(t *testing.T) {
+	for _, op := range []string{opDecompModUp, opModMulAdd, opModDown} {
+		if _, ok := obs.FusedConstituents[op]; !ok {
+			t.Errorf("kernel op %q has no entry in obs.FusedConstituents", op)
+		}
+	}
+	if len(obs.FusedConstituents) != 3 {
+		t.Errorf("obs.FusedConstituents has %d entries, ckks emits 3 — registries drifted", len(obs.FusedConstituents))
+	}
+}
+
+// TestKernelObserverCoversKeySwitch runs relinearization and a rotation
+// with the observer attached and checks every fused kernel fires with a
+// sane duration, and that observed names stay inside the registry — the
+// wiring /v1/profilez depends on.
+func TestKernelObserverCoversKeySwitch(t *testing.T) {
+	tc := newTestContext(t, []int{1})
+	seen := map[string]int{}
+	tc.eval.KernelObserver = func(op string, d time.Duration) {
+		if d < 0 {
+			t.Errorf("kernel %q reported negative duration %v", op, d)
+		}
+		if _, ok := obs.FusedConstituents[op]; !ok {
+			t.Errorf("kernel %q not in obs.FusedConstituents", op)
+		}
+		seen[op]++
+	}
+	defer func() { tc.eval.KernelObserver = nil }()
+
+	values := randomComplexVector(tc.params.Slots(), 1, 3)
+	pt, err := tc.enc.Encode(values, tc.params.MaxLevel(), tc.params.DefaultScale())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ct := tc.encSk.Encrypt(pt)
+	if _, err := tc.eval.MulRelin(ct, ct); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tc.eval.Rotate(ct, 1); err != nil {
+		t.Fatal(err)
+	}
+	for _, op := range []string{opDecompModUp, opModMulAdd, opModDown} {
+		if seen[op] < 2 {
+			t.Errorf("kernel %q observed %d times, want >= 2 (relinearization and rotation)", op, seen[op])
+		}
+	}
+}

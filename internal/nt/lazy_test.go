@@ -1,0 +1,185 @@
+package nt
+
+import (
+	"math/big"
+	"math/rand"
+	"testing"
+)
+
+// lazyTestModuli returns primes spanning the supported range, including
+// the largest NTT-friendly prime below the 2^62 package bound — the edge
+// where the lazy invariants (2q, 4q and folded 128-bit sums staying
+// below their overflow lines) have the least slack.
+func lazyTestModuli(t testing.TB) []uint64 {
+	t.Helper()
+	var out []uint64
+	for _, logQ := range []uint64{30, 45, 61} {
+		ps, err := GenerateNTTPrimes(logQ, 1<<11, 1)
+		if err != nil {
+			t.Fatalf("GenerateNTTPrimes(%d): %v", logQ, err)
+		}
+		out = append(out, ps...)
+	}
+	// Largest prime ≡ 1 mod 2^11 below 2^62.
+	nthRoot := uint64(1) << 11
+	q := (uint64(1)<<62-1)/nthRoot*nthRoot + 1
+	for !IsPrime(q) {
+		q -= nthRoot
+	}
+	return append(out, q)
+}
+
+// TestMulModShoupLazyAnyInput checks the contract the Harvey butterflies
+// rely on: for ANY x (not just x < q) and y < q, the lazy product is
+// below 2q and congruent to x*y, and the strict variant is fully
+// reduced.
+func TestMulModShoupLazyAnyInput(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, q := range lazyTestModuli(t) {
+		m := NewModulus(q)
+		for i := 0; i < 2000; i++ {
+			x := rng.Uint64() // arbitrary, including >= 4q
+			y := rng.Uint64() % q
+			yPrec := ShoupPrec(y, q)
+			want := MulMod(x, y, m)
+
+			lazy := MulModShoupLazy(x, y, yPrec, q)
+			if lazy >= 2*q {
+				t.Fatalf("q=%d: MulModShoupLazy(%d, %d) = %d >= 2q", q, x, y, lazy)
+			}
+			if lazy%q != want {
+				t.Fatalf("q=%d: MulModShoupLazy(%d, %d) ≡ %d, want %d", q, x, y, lazy%q, want)
+			}
+			strict := MulModShoup(x, y, yPrec, q)
+			if strict != want {
+				t.Fatalf("q=%d: MulModShoup(%d, %d) = %d, want %d", q, x, y, strict, want)
+			}
+		}
+	}
+}
+
+// TestRed128ArbitraryInput checks that Red128 fully reduces ANY 128-bit
+// value for moduli below 2^62, which is what lets the fused kernels hand
+// it sums of many unreduced products.
+func TestRed128ArbitraryInput(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	big64 := new(big.Int).Lsh(big.NewInt(1), 64)
+	for _, q := range lazyTestModuli(t) {
+		m := NewModulus(q)
+		bq := new(big.Int).SetUint64(q)
+		check := func(hi, lo uint64) {
+			got := Red128(hi, lo, m)
+			if got >= q {
+				t.Fatalf("q=%d: Red128(%d, %d) = %d >= q", q, hi, lo, got)
+			}
+			v := new(big.Int).SetUint64(hi)
+			v.Mul(v, big64)
+			v.Add(v, new(big.Int).SetUint64(lo))
+			want := v.Mod(v, bq).Uint64()
+			if got != want {
+				t.Fatalf("q=%d: Red128(%d, %d) = %d, want %d", q, hi, lo, got, want)
+			}
+		}
+		check(^uint64(0), ^uint64(0)) // the all-ones extreme
+		check(0, 0)
+		for i := 0; i < 2000; i++ {
+			check(rng.Uint64(), rng.Uint64())
+		}
+	}
+}
+
+// TestMulAdd128Accumulation accumulates long pseudo-random dot products
+// with MulAdd128 — folding with Red128 at LazyThreshold exactly as the
+// kernels do — and checks the result against exact big.Int arithmetic.
+// It also verifies the no-fold guarantee: 8 products of sub-2^62
+// operands plus a reduced carry never overflow 128 bits.
+func TestMulAdd128Accumulation(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for _, q := range lazyTestModuli(t) {
+		m := NewModulus(q)
+		bq := new(big.Int).SetUint64(q)
+		for _, terms := range []int{1, 7, 8, 9, 64, 257} {
+			var hi, lo uint64
+			want := new(big.Int)
+			tmp := new(big.Int)
+			for i := 0; i < terms; i++ {
+				x := rng.Uint64() % q
+				y := rng.Uint64() % q
+				hi, lo = MulAdd128(x, y, hi, lo)
+				if hi >= LazyThreshold {
+					lo = Red128(hi, lo, m)
+					hi = 0
+				}
+				tmp.SetUint64(x)
+				tmp.Mul(tmp, new(big.Int).SetUint64(y))
+				want.Add(want, tmp)
+			}
+			got := Red128(hi, lo, m)
+			if want.Mod(want, bq); got != want.Uint64() {
+				t.Fatalf("q=%d terms=%d: got %d, want %d", q, terms, got, want.Uint64())
+			}
+		}
+		// No-fold bound: 8 worst-case products plus a carried residue.
+		var hi, lo uint64
+		lo = q - 1
+		worst := new(big.Int).SetUint64(q - 1)
+		want := new(big.Int).SetUint64(q - 1)
+		worst.Mul(worst, worst)
+		for i := 0; i < 8; i++ {
+			prevHi := hi
+			hi, lo = MulAdd128(q-1, q-1, hi, lo)
+			if hi < prevHi {
+				t.Fatalf("q=%d: 128-bit accumulator overflowed at term %d", q, i)
+			}
+			want.Add(want, worst)
+		}
+		got := Red128(hi, lo, m)
+		if want.Mod(want, bq); got != want.Uint64() {
+			t.Fatalf("q=%d: no-fold batch got %d, want %d", q, got, want.Uint64())
+		}
+	}
+}
+
+// FuzzLazyReduction fuzzes the three lazy primitives against big.Int
+// references on the largest supported modulus shape.
+func FuzzLazyReduction(f *testing.F) {
+	f.Add(uint64(0), uint64(0), uint64(0))
+	f.Add(^uint64(0), ^uint64(0), ^uint64(0))
+	f.Add(uint64(1)<<62, uint64(3), uint64(1)<<61)
+	f.Add(uint64(12345678901234567), uint64(987654321), uint64(42))
+	moduli := []uint64{
+		(1 << 30) + 2049,    // small prime ≡ 1 mod 2^11 if prime; replaced below if not
+		4611686018427322369, // near 2^62
+		2305843009213554689, // near 2^61
+	}
+	for i, q := range moduli {
+		if !IsPrime(q) {
+			// Walk down to the nearest prime so the corpus stays valid
+			// even if the literals above rot.
+			for !IsPrime(q) {
+				q--
+			}
+			moduli[i] = q
+		}
+	}
+	f.Fuzz(func(t *testing.T, x, y, hi uint64) {
+		for _, q := range moduli {
+			m := NewModulus(q)
+			yq := y % q
+			lazy := MulModShoupLazy(x, yq, ShoupPrec(yq, q), q)
+			if lazy >= 2*q {
+				t.Fatalf("q=%d: lazy product %d >= 2q", q, lazy)
+			}
+			if lazy%q != MulMod(x, yq, m) {
+				t.Fatalf("q=%d: lazy product wrong residue", q)
+			}
+			if r := Red128(hi, x, m); r >= q {
+				t.Fatalf("q=%d: Red128(%d, %d) = %d not reduced", q, hi, x, r)
+			}
+			h2, l2 := MulAdd128(x%q, yq, 0, hi)
+			if r := Red128(h2, l2, m); r >= q {
+				t.Fatalf("q=%d: accumulated Red128 not reduced", q)
+			}
+		}
+	})
+}

@@ -76,8 +76,15 @@ func MulMod(x, y uint64, m Modulus) uint64 {
 	return Red128(mhi, mlo, m)
 }
 
-// Red128 reduces the 128-bit value hi*2^64 + lo modulo q, assuming the
-// value is below q*2^64 (always true for products of reduced operands).
+// Red128 reduces the 128-bit value hi*2^64 + lo modulo q. It is correct
+// for ANY 128-bit input when q < 2^62 (the package-wide bound), not just
+// products of reduced operands: the computed quotient word t wraps mod
+// 2^64 when floor(x/q) exceeds 2^64, but r = lo - t*q is evaluated in the
+// same mod-2^64 arithmetic, so the wrap cancels; t underestimates the
+// true quotient by at most 2, leaving a remainder below 3q < 2^64 that
+// the correction loop finishes. The lazy 128-bit accumulators in
+// internal/ring (key-switch inner product, RNS base conversion) depend on
+// this — they hand Red128 sums of many unreduced products.
 func Red128(hi, lo uint64, m Modulus) uint64 {
 	u1, u0 := m.BRC[0], m.BRC[1]
 	// t = floor(x*u / 2^128) where x = hi:lo and u = u1:u0. Expand the
@@ -106,7 +113,9 @@ func ShoupPrec(y, q uint64) uint64 {
 
 // MulModShoup returns x*y mod q given yPrec = ShoupPrec(y, q). This is the
 // fast path used by NTT butterflies: two multiplications, no division.
-// x must be < q (or < 2q for the lazy variant below after final reduction).
+// Like the lazy variant below, it accepts ANY x (the pre-subtraction
+// value is x*r0/2^64 + q*r1/2^64 < 2q for every uint64 x, so the single
+// conditional subtraction fully reduces it); y must be < q.
 func MulModShoup(x, y, yPrec, q uint64) uint64 {
 	t, _ := bits.Mul64(x, yPrec)
 	r := x*y - t*q
@@ -117,10 +126,37 @@ func MulModShoup(x, y, yPrec, q uint64) uint64 {
 }
 
 // MulModShoupLazy is MulModShoup without the final conditional subtraction;
-// the result lies in [0, 2q).
+// the result lies in [0, 2q). Unlike MulModShoup's documented contract, the
+// lazy form is correct for ANY x (not just x < q): with yPrec exact,
+// r = x*y - floor(x*yPrec/2^64)*q satisfies 0 <= r < q*(1 + x/2^64) < 2q,
+// which fits a uint64 for q < 2^63. This is what makes Harvey-style lazy
+// NTT butterflies sound: operands in [0, 4q) feed straight into the
+// multiply with no pre-reduction.
 func MulModShoupLazy(x, y, yPrec, q uint64) uint64 {
 	t, _ := bits.Mul64(x, yPrec)
 	return x*y - t*q
+}
+
+// LazyThreshold is the accumulator high-word bound at which lazy 128-bit
+// sums must be folded (see MulAdd128). Each partial product of operands
+// below 2^62 contributes less than 2^60 to the high word, so folding
+// whenever hi >= 2^63 leaves headroom for the next addition:
+// 2^63 + 2^60 < 2^64.
+const LazyThreshold = 1 << 63
+
+// MulAdd128 adds the 128-bit product x*y into the (hi, lo) accumulator.
+// Callers must fold the accumulator with Red128 before hi can overflow;
+// with all operands below 2^62 (the package-wide modulus bound), folding
+// whenever hi >= LazyThreshold is sufficient. This is the fused
+// multiply-accumulate at the core of the key-switch inner product and the
+// RNS base-conversion kernels: one reduction per accumulated sum instead
+// of one per multiply.
+func MulAdd128(x, y, hi, lo uint64) (uint64, uint64) {
+	phi, plo := bits.Mul64(x, y)
+	var c uint64
+	lo, c = bits.Add64(lo, plo, 0)
+	hi, _ = bits.Add64(hi, phi, c)
+	return hi, lo
 }
 
 // ModExp returns base^exp mod q by square-and-multiply.

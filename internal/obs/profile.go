@@ -58,11 +58,36 @@ func newOpRec() *opRec {
 	return &opRec{buckets: make([]uint64, len(DurationBuckets)+1)}
 }
 
+// FusedConstituents maps each fused kernel opcode — as reported by the
+// runtime's KernelObserver and named by internal/polyir's FuseOperators
+// pass — to the primitive opcodes whose work it subsumes. Live Figure 6
+// comparisons against pre-fusion profiles read this to know which
+// primitive rows a fused row replaced: poly.decomp_modup folds the digit
+// decomposition, the RNS mod-up and the surrounding inverse/forward
+// transforms into one pass; poly.hw_modmuladd folds the evaluation-key
+// multiply and accumulate; the fused poly.mod_down kernel additionally
+// absorbs the INTT/NTT pair that used to bracket the primitive mod_down.
+//
+// The strings are literals rather than polyir constants because obs is a
+// stdlib-only leaf package; a test in polyir asserts they stay equal to
+// the IR opcode names.
+var FusedConstituents = map[string][]string{
+	"poly.decomp_modup": {"poly.decomp", "poly.mod_up", "poly.hw_intt", "poly.hw_ntt"},
+	"poly.hw_modmuladd": {"poly.hw_modmul", "poly.hw_modadd"},
+	"poly.mod_down":     {"poly.mod_down", "poly.hw_intt", "poly.hw_ntt"},
+}
+
 // RunProfile records one execution's per-opcode costs and trajectory.
 // A run is single-goroutine, so RunProfile is not synchronized; merge
 // it into an Aggregate for cross-request accounting.
+//
+// Instruction-level costs (Record) and fused-kernel costs (RecordKernel)
+// are kept in separate tables: kernel time is a sub-measurement *inside*
+// instructions already counted by Record, so folding it into the op
+// table would double-count evaluation time.
 type RunProfile struct {
-	ops map[string]*opRec
+	ops     map[string]*opRec
+	kernels map[string]*opRec
 
 	Trajectory  []TrajPoint
 	TrajDropped int
@@ -70,15 +95,17 @@ type RunProfile struct {
 
 // NewRunProfile returns an empty per-run recorder.
 func NewRunProfile() *RunProfile {
-	return &RunProfile{ops: make(map[string]*opRec, 16)}
+	return &RunProfile{
+		ops:     make(map[string]*opRec, 16),
+		kernels: make(map[string]*opRec, 4),
+	}
 }
 
-// Record adds one instruction's duration under its opcode.
-func (p *RunProfile) Record(op string, d time.Duration) {
-	r := p.ops[op]
+func record(tab map[string]*opRec, op string, d time.Duration) {
+	r := tab[op]
 	if r == nil {
 		r = newOpRec()
-		p.ops[op] = r
+		tab[op] = r
 	}
 	r.count++
 	r.total += d
@@ -86,6 +113,18 @@ func (p *RunProfile) Record(op string, d time.Duration) {
 		r.max = d
 	}
 	r.buckets[bucketIndex(d)]++
+}
+
+// Record adds one instruction's duration under its opcode.
+func (p *RunProfile) Record(op string, d time.Duration) {
+	record(p.ops, op, d)
+}
+
+// RecordKernel adds one fused-kernel execution under its opcode. It has
+// the signature of ckks.Evaluator.KernelObserver so the VM can wire it
+// up directly.
+func (p *RunProfile) RecordKernel(op string, d time.Duration) {
+	record(p.kernels, op, d)
 }
 
 // Step appends one trajectory point, bounded by maxTrajPoints.
@@ -132,8 +171,18 @@ type OpStat struct {
 // Ops returns the run's per-opcode stats sorted by total time,
 // costliest first.
 func (p *RunProfile) Ops() []OpStat {
-	out := make([]OpStat, 0, len(p.ops))
-	for op, r := range p.ops {
+	return opStats(p.ops)
+}
+
+// Kernels returns the run's fused-kernel stats sorted by total time,
+// costliest first.
+func (p *RunProfile) Kernels() []OpStat {
+	return opStats(p.kernels)
+}
+
+func opStats(tab map[string]*opRec) []OpStat {
+	out := make([]OpStat, 0, len(tab))
+	for op, r := range tab {
 		st := OpStat{
 			Op:      op,
 			Count:   r.count,
@@ -160,11 +209,21 @@ type ProfileSnapshot struct {
 	// per-instruction measurements. The two bracket each other — their
 	// gap is loop overhead — and the paper-figure reproduction checks
 	// they agree within 10%.
-	EvalMsTotal    float64     `json:"eval_ms_total"`
-	OpMsTotal      float64     `json:"op_ms_total"`
-	BucketBoundsMs []float64   `json:"bucket_bounds_ms"`
-	Ops            []OpStat    `json:"ops"`
-	LastTrajectory []TrajPoint `json:"last_trajectory,omitempty"`
+	EvalMsTotal    float64   `json:"eval_ms_total"`
+	OpMsTotal      float64   `json:"op_ms_total"`
+	BucketBoundsMs []float64 `json:"bucket_bounds_ms"`
+	Ops            []OpStat  `json:"ops"`
+	// Kernels breaks key-switch instruction time down into the fused
+	// kernels executed beneath them (poly.decomp_modup, poly.hw_modmuladd,
+	// poly.mod_down). Kernel time is a refinement of time already counted
+	// in Ops/OpMsTotal, never additional to it, so KernelMsTotal must not
+	// be summed with OpMsTotal. FusedOps maps each fused opcode to the
+	// primitive opcodes it subsumes, keeping comparisons against
+	// pre-fusion profiles interpretable.
+	Kernels        []OpStat            `json:"kernels,omitempty"`
+	KernelMsTotal  float64             `json:"kernel_ms_total"`
+	FusedOps       map[string][]string `json:"fused_ops,omitempty"`
+	LastTrajectory []TrajPoint         `json:"last_trajectory,omitempty"`
 }
 
 // Aggregate folds RunProfiles from concurrent workers into the
@@ -173,6 +232,7 @@ type ProfileSnapshot struct {
 type Aggregate struct {
 	mu       sync.Mutex
 	ops      map[string]*opRec
+	kernels  map[string]*opRec
 	runs     uint64
 	eval     time.Duration
 	lastTraj []TrajPoint
@@ -180,7 +240,10 @@ type Aggregate struct {
 
 // NewAggregate returns an empty aggregate.
 func NewAggregate() *Aggregate {
-	return &Aggregate{ops: make(map[string]*opRec, 16)}
+	return &Aggregate{
+		ops:     make(map[string]*opRec, 16),
+		kernels: make(map[string]*opRec, 4),
+	}
 }
 
 // Merge folds one finished run into the aggregate. eval is the
@@ -191,11 +254,19 @@ func (a *Aggregate) Merge(p *RunProfile, eval time.Duration) {
 	defer a.mu.Unlock()
 	a.runs++
 	a.eval += eval
-	for op, r := range p.ops {
-		dst := a.ops[op]
+	mergeOpRecs(a.ops, p.ops)
+	mergeOpRecs(a.kernels, p.kernels)
+	if len(p.Trajectory) > 0 {
+		a.lastTraj = append(a.lastTraj[:0], p.Trajectory...)
+	}
+}
+
+func mergeOpRecs(dstTab, srcTab map[string]*opRec) {
+	for op, r := range srcTab {
+		dst := dstTab[op]
 		if dst == nil {
 			dst = newOpRec()
-			a.ops[op] = dst
+			dstTab[op] = dst
 		}
 		dst.count += r.count
 		dst.total += r.total
@@ -205,9 +276,6 @@ func (a *Aggregate) Merge(p *RunProfile, eval time.Duration) {
 		for i := range r.buckets {
 			dst.buckets[i] += r.buckets[i]
 		}
-	}
-	if len(p.Trajectory) > 0 {
-		a.lastTraj = append(a.lastTraj[:0], p.Trajectory...)
 	}
 }
 
@@ -225,21 +293,17 @@ func (a *Aggregate) Snapshot() ProfileSnapshot {
 	for i, b := range DurationBuckets {
 		snap.BucketBoundsMs[i] = b * 1e3
 	}
-	for op, r := range a.ops {
-		st := OpStat{
-			Op:      op,
-			Count:   r.count,
-			TotalMs: float64(r.total) / float64(time.Millisecond),
-			MaxMs:   float64(r.max) / float64(time.Millisecond),
-			Buckets: append([]uint64(nil), r.buckets...),
-		}
-		if r.count > 0 {
-			st.MeanMs = st.TotalMs / float64(r.count)
-		}
+	snap.Ops = opStats(a.ops)
+	for _, st := range snap.Ops {
 		snap.OpMsTotal += st.TotalMs
-		snap.Ops = append(snap.Ops, st)
 	}
-	sort.Slice(snap.Ops, func(i, j int) bool { return snap.Ops[i].TotalMs > snap.Ops[j].TotalMs })
+	if len(a.kernels) > 0 {
+		snap.Kernels = opStats(a.kernels)
+		for _, st := range snap.Kernels {
+			snap.KernelMsTotal += st.TotalMs
+		}
+		snap.FusedOps = FusedConstituents
+	}
 	return snap
 }
 

@@ -201,6 +201,26 @@ func For(n, grain int, fn func(start, end int)) {
 	}
 }
 
+// Inline reports whether For(n, grain, fn) would run fn inline on the
+// calling goroutine as a single fn(0, n) call. Zero-alloc kernels branch
+// on it: a func literal passed to For escapes to the heap even when For
+// ends up invoking it inline, so hot callers (the NTT row loops) call a
+// named method directly in the serial case and only construct the
+// closure when it will actually be dispatched to workers.
+func Inline(n, grain int) bool {
+	if n <= 0 {
+		return true
+	}
+	if grain < 1 {
+		grain = 1
+	}
+	mu.Lock()
+	w := numWorkers
+	p := defaultPool
+	mu.Unlock()
+	return w <= 1 || n <= grain || p == nil
+}
+
 // Do runs the given functions, possibly concurrently, and returns when
 // all have completed. It is a convenience for small static task sets
 // (e.g. the two halves of a key-switch output).

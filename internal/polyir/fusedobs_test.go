@@ -1,0 +1,35 @@
+package polyir
+
+import (
+	"reflect"
+	"testing"
+
+	"antace/internal/obs"
+)
+
+// TestObsFusedConstituentsMatchIR pins obs.FusedConstituents — which obs
+// declares with string literals because it is a stdlib-only leaf — to
+// the IR opcode constants. The runtime (internal/ckks) duplicates the
+// same three kernel names; its copy is pinned by a sibling test in that
+// package, so together the compiler, runtime, and observability views of
+// the fused opcodes cannot drift apart.
+func TestObsFusedConstituentsMatchIR(t *testing.T) {
+	want := map[string][]string{
+		OpDecompModUp: {OpDecomp, OpModUp, OpINTT, OpNTT},
+		OpModMulAdd:   {OpModMul, OpModAdd},
+		OpModDown:     {OpModDown, OpINTT, OpNTT},
+	}
+	if len(obs.FusedConstituents) != len(want) {
+		t.Fatalf("obs.FusedConstituents has %d entries, IR defines %d fused ops", len(obs.FusedConstituents), len(want))
+	}
+	for op, constituents := range want {
+		got, ok := obs.FusedConstituents[op]
+		if !ok {
+			t.Errorf("fused op %q missing from obs.FusedConstituents", op)
+			continue
+		}
+		if !reflect.DeepEqual(got, constituents) {
+			t.Errorf("fused op %q: obs constituents %v, IR says %v", op, got, constituents)
+		}
+	}
+}

@@ -45,55 +45,128 @@ func newNTTTables(n int, psi uint64, m nt.Modulus) nttTables {
 // slot i, the convention assumed by the automorphism index tables.
 func (r *Ring) NTT(p, pOut *Poly) {
 	l := minLevel(p, pOut)
-	par.For(l+1, r.grainNTT, func(start, end int) {
-		for i := start; i < end; i++ {
-			if &p.Coeffs[i][0] != &pOut.Coeffs[i][0] {
-				copy(pOut.Coeffs[i], p.Coeffs[i])
-			}
-			r.nttRow(pOut.Coeffs[i], i)
-		}
-	})
+	if par.Inline(l+1, r.grainNTT) {
+		r.nttRows(p, pOut, 0, l+1)
+		return
+	}
+	par.For(l+1, r.grainNTT, func(start, end int) { r.nttRows(p, pOut, start, end) })
 }
 
 // INTT transforms p (NTT domain) into pOut (coefficient domain).
 func (r *Ring) INTT(p, pOut *Poly) {
 	l := minLevel(p, pOut)
-	par.For(l+1, r.grainNTT, func(start, end int) {
-		for i := start; i < end; i++ {
-			if &p.Coeffs[i][0] != &pOut.Coeffs[i][0] {
-				copy(pOut.Coeffs[i], p.Coeffs[i])
-			}
-			r.inttRow(pOut.Coeffs[i], i)
-		}
-	})
+	if par.Inline(l+1, r.grainNTT) {
+		r.inttRows(p, pOut, 0, l+1)
+		return
+	}
+	par.For(l+1, r.grainNTT, func(start, end int) { r.inttRows(p, pOut, start, end) })
 }
 
-// nttRow applies the forward negacyclic NTT in place on one RNS row.
+// nttRows forward-transforms rows [start, end), copying out-of-place
+// inputs first. Named (rather than a closure) so the serial path of
+// NTT/INTT allocates nothing.
+func (r *Ring) nttRows(p, pOut *Poly, start, end int) {
+	for i := start; i < end; i++ {
+		if &p.Coeffs[i][0] != &pOut.Coeffs[i][0] {
+			copy(pOut.Coeffs[i], p.Coeffs[i])
+		}
+		r.nttRow(pOut.Coeffs[i], i)
+	}
+}
+
+// inttRows is the inverse-transform sibling of nttRows.
+func (r *Ring) inttRows(p, pOut *Poly, start, end int) {
+	for i := start; i < end; i++ {
+		if &p.Coeffs[i][0] != &pOut.Coeffs[i][0] {
+			copy(pOut.Coeffs[i], p.Coeffs[i])
+		}
+		r.inttRow(pOut.Coeffs[i], i)
+	}
+}
+
+// nttRow applies the forward negacyclic NTT in place on one RNS row,
+// using Harvey-style lazy butterflies: coefficients are kept in [0, 4q)
+// across stages, each butterfly performs at most one conditional
+// subtraction (folding the top operand back into [0, 2q)), and the full
+// Barrett-style correction runs only once, folded into the final stage.
+// MulModShoupLazy tolerates any uint64 input and returns [0, 2q), so
+// with q < 2^62 (enforced by NewRing) the invariant
+//
+//	a[j] = u + v           < 2q + 2q = 4q < 2^64
+//	a[j+t] = u + 2q - v    < 4q
+//
+// holds for every stage. The outputs are fully reduced (< q) and — since
+// lazy reduction is exact modular arithmetic with deferred carries —
+// bit-identical to the eager butterfly's.
 func (r *Ring) nttRow(a []uint64, row int) {
 	n := r.N
 	q := r.Moduli[row]
+	twoQ := q << 1
 	tab := &r.tables[row]
 	t := n
-	for m := 1; m < n; m <<= 1 {
+	for m := 1; m < n>>1; m <<= 1 {
 		t >>= 1
 		for i := 0; i < m; i++ {
 			w := tab.psiRev[m+i]
 			wp := tab.psiRevShoup[m+i]
 			j1 := 2 * i * t
-			for j := j1; j < j1+t; j++ {
-				u := a[j]
-				v := nt.MulModShoup(a[j+t], w, wp, q)
-				a[j] = nt.Add(u, v, q)
-				a[j+t] = nt.Sub(u, v, q)
+			// Slicing the two butterfly halves to equal length lets the
+			// compiler drop the bounds checks from the inner loop.
+			x := a[j1 : j1+t : j1+t]
+			y := a[j1+t : j1+2*t : j1+2*t]
+			y = y[:len(x)]
+			for j := range x {
+				u := x[j]
+				if u >= twoQ {
+					u -= twoQ
+				}
+				v := nt.MulModShoupLazy(y[j], w, wp, q)
+				x[j] = u + v
+				y[j] = u + twoQ - v
 			}
 		}
+	}
+	// Final stage (t == 1): same butterfly with the batch reduction from
+	// [0, 4q) to [0, q) folded in, so no separate correction pass over the
+	// row is needed.
+	for i, m := 0, n>>1; i < m; i++ {
+		w := tab.psiRev[m+i]
+		wp := tab.psiRevShoup[m+i]
+		j := 2 * i
+		u := a[j]
+		if u >= twoQ {
+			u -= twoQ
+		}
+		v := nt.MulModShoupLazy(a[j+1], w, wp, q)
+		x := u + v
+		if x >= twoQ {
+			x -= twoQ
+		}
+		if x >= q {
+			x -= q
+		}
+		a[j] = x
+		y := u + twoQ - v
+		if y >= twoQ {
+			y -= twoQ
+		}
+		if y >= q {
+			y -= q
+		}
+		a[j+1] = y
 	}
 }
 
 // inttRow applies the inverse negacyclic NTT in place on one RNS row.
+// The inverse butterflies keep coefficients in [0, 2q): the sum gets one
+// conditional subtraction, the difference u + 2q - v (< 4q) feeds the
+// lazy Shoup multiply which lands back in [0, 2q). The n^-1 fold performs
+// the only strict reduction — MulModShoup's single conditional
+// subtraction fully reduces any input in [0, 2^64).
 func (r *Ring) inttRow(a []uint64, row int) {
 	n := r.N
 	q := r.Moduli[row]
+	twoQ := q << 1
 	tab := &r.tables[row]
 	t := 1
 	for m := n; m > 1; m >>= 1 {
@@ -102,17 +175,24 @@ func (r *Ring) inttRow(a []uint64, row int) {
 		for i := 0; i < h; i++ {
 			w := tab.psiInvRev[h+i]
 			wp := tab.psiInvRevShoup[h+i]
-			for j := j1; j < j1+t; j++ {
-				u := a[j]
-				v := a[j+t]
-				a[j] = nt.Add(u, v, q)
-				a[j+t] = nt.MulModShoup(nt.Sub(u, v, q), w, wp, q)
+			lox := a[j1 : j1+t : j1+t]
+			hix := a[j1+t : j1+2*t : j1+2*t]
+			hix = hix[:len(lox)]
+			for j := range lox {
+				u := lox[j]
+				v := hix[j]
+				x := u + v
+				if x >= twoQ {
+					x -= twoQ
+				}
+				lox[j] = x
+				hix[j] = nt.MulModShoupLazy(u+twoQ-v, w, wp, q)
 			}
 			j1 += 2 * t
 		}
 		t <<= 1
 	}
-	for j := 0; j < n; j++ {
+	for j := range a {
 		a[j] = nt.MulModShoup(a[j], tab.nInv, tab.nInvShoup, q)
 	}
 }

@@ -63,15 +63,21 @@ func (r *Ring) DiscardPools() {
 // GetPoly returns a zeroed polynomial at the given level from the pool.
 func (r *Ring) GetPoly(level int) *Poly {
 	p := r.GetPolyNoZero(level)
-	par.For(level+1, r.grainPW, func(start, end int) {
-		for i := start; i < end; i++ {
-			row := p.Coeffs[i]
-			for j := range row {
-				row[j] = 0
-			}
-		}
-	})
+	if par.Inline(level+1, r.grainPW) {
+		zeroRows(p, 0, level+1)
+		return p
+	}
+	par.For(level+1, r.grainPW, func(start, end int) { zeroRows(p, start, end) })
 	return p
+}
+
+func zeroRows(p *Poly, start, end int) {
+	for i := start; i < end; i++ {
+		row := p.Coeffs[i]
+		for j := range row {
+			row[j] = 0
+		}
+	}
 }
 
 // GetPolyNoZero returns a pooled polynomial at the given level whose

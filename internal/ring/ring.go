@@ -167,6 +167,11 @@ func NewRing(n int, moduli []uint64) (*Ring, error) {
 	r.Mods = make([]nt.Modulus, len(moduli))
 	r.tables = make([]nttTables, len(moduli))
 	for i, q := range moduli {
+		if q >= 1<<62 {
+			// The lazy NTT keeps coefficients in [0, 4q) and the fused
+			// kernels keep 2q-lazy operands; both need 4q < 2^64.
+			return nil, fmt.Errorf("ring: modulus %d is not below 2^62", q)
+		}
 		if q%(2*uint64(n)) != 1 {
 			return nil, fmt.Errorf("ring: modulus %d is not ≡ 1 mod 2N", q)
 		}
@@ -228,15 +233,23 @@ func minLevel(ps ...*Poly) int {
 // Add sets p3 = p1 + p2 over the common rows of all three.
 func (r *Ring) Add(p1, p2, p3 *Poly) {
 	l := minLevel(p1, p2, p3)
-	par.For(l+1, r.grainPW, func(start, end int) {
-		for i := start; i < end; i++ {
-			q := r.Moduli[i]
-			a, b, c := p1.Coeffs[i], p2.Coeffs[i], p3.Coeffs[i]
-			for j := 0; j < r.N; j++ {
-				c[j] = nt.Add(a[j], b[j], q)
-			}
+	if par.Inline(l+1, r.grainPW) {
+		r.addRows(p1, p2, p3, 0, l+1)
+		return
+	}
+	par.For(l+1, r.grainPW, func(start, end int) { r.addRows(p1, p2, p3, start, end) })
+}
+
+func (r *Ring) addRows(p1, p2, p3 *Poly, start, end int) {
+	for i := start; i < end; i++ {
+		q := r.Moduli[i]
+		c := p3.Coeffs[i][:r.N]
+		a := p1.Coeffs[i][:len(c)]
+		b := p2.Coeffs[i][:len(c)]
+		for j := range c {
+			c[j] = nt.Add(a[j], b[j], q)
 		}
-	})
+	}
 }
 
 // Sub sets p3 = p1 - p2 over the common rows of all three.
@@ -270,30 +283,46 @@ func (r *Ring) Neg(p1, p2 *Poly) {
 // MulCoeffs sets p3 = p1 ⊙ p2 (pointwise), valid in NTT domain.
 func (r *Ring) MulCoeffs(p1, p2, p3 *Poly) {
 	l := minLevel(p1, p2, p3)
-	par.For(l+1, r.grainPW, func(start, end int) {
-		for i := start; i < end; i++ {
-			m := r.Mods[i]
-			a, b, c := p1.Coeffs[i], p2.Coeffs[i], p3.Coeffs[i]
-			for j := 0; j < r.N; j++ {
-				c[j] = nt.MulMod(a[j], b[j], m)
-			}
+	if par.Inline(l+1, r.grainPW) {
+		r.mulCoeffsRows(p1, p2, p3, 0, l+1)
+		return
+	}
+	par.For(l+1, r.grainPW, func(start, end int) { r.mulCoeffsRows(p1, p2, p3, start, end) })
+}
+
+func (r *Ring) mulCoeffsRows(p1, p2, p3 *Poly, start, end int) {
+	for i := start; i < end; i++ {
+		m := r.Mods[i]
+		c := p3.Coeffs[i][:r.N]
+		a := p1.Coeffs[i][:len(c)]
+		b := p2.Coeffs[i][:len(c)]
+		for j := range c {
+			c[j] = nt.MulMod(a[j], b[j], m)
 		}
-	})
+	}
 }
 
 // MulCoeffsThenAdd sets p3 += p1 ⊙ p2 (pointwise), valid in NTT domain.
 func (r *Ring) MulCoeffsThenAdd(p1, p2, p3 *Poly) {
 	l := minLevel(p1, p2, p3)
-	par.For(l+1, r.grainPW, func(start, end int) {
-		for i := start; i < end; i++ {
-			m := r.Mods[i]
-			q := r.Moduli[i]
-			a, b, c := p1.Coeffs[i], p2.Coeffs[i], p3.Coeffs[i]
-			for j := 0; j < r.N; j++ {
-				c[j] = nt.Add(c[j], nt.MulMod(a[j], b[j], m), q)
-			}
+	if par.Inline(l+1, r.grainPW) {
+		r.mulCoeffsThenAddRows(p1, p2, p3, 0, l+1)
+		return
+	}
+	par.For(l+1, r.grainPW, func(start, end int) { r.mulCoeffsThenAddRows(p1, p2, p3, start, end) })
+}
+
+func (r *Ring) mulCoeffsThenAddRows(p1, p2, p3 *Poly, start, end int) {
+	for i := start; i < end; i++ {
+		m := r.Mods[i]
+		q := r.Moduli[i]
+		c := p3.Coeffs[i][:r.N]
+		a := p1.Coeffs[i][:len(c)]
+		b := p2.Coeffs[i][:len(c)]
+		for j := range c {
+			c[j] = nt.Add(c[j], nt.MulMod(a[j], b[j], m), q)
 		}
-	})
+	}
 }
 
 // MulScalar sets p2 = p1 * scalar, where scalar is a non-negative integer.

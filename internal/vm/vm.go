@@ -185,6 +185,14 @@ func (m *Machine) RunCtx(ctx context.Context, mod *ir.Module, input *ckks.Cipher
 		return nil, fmt.Errorf("vm: expected one parameter, have %d", len(f.Params))
 	}
 	ev := m.Eval
+	// Attribute fused key-switch kernel time (decomp_modup, hw_modmuladd,
+	// mod_down) to the run profile alongside the per-instruction records.
+	// The observer is cleared on exit so a profile from one run never
+	// receives kernel events from a later one.
+	if m.Prof != nil {
+		ev.KernelObserver = m.Prof.RecordKernel
+		defer func() { ev.KernelObserver = nil }()
+	}
 
 	// Adopt restored state, or start fresh. The state is popped off the
 	// machine either way: after a failure it must not leak into a later
