@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test verify vet race bench bench-fusion serve-smoke obs-smoke chaos durability
+.PHONY: build test verify vet race bench bench-fusion bench-batch serve-smoke obs-smoke chaos durability
 
 build:
 	$(GO) build ./...
@@ -22,7 +22,7 @@ vet:
 # a shared session cache. ACE_WORKERS=8 forces parallel scheduling even on
 # single-core CI machines.
 race:
-	ACE_WORKERS=8 $(GO) test -race ./internal/ring/... ./internal/ckks/... ./internal/bootstrap/... ./internal/par/... ./internal/nt/... ./internal/polyir/... ./internal/serve/... ./internal/fheclient/... ./internal/vm/... ./internal/obs/...
+	ACE_WORKERS=8 $(GO) test -race ./internal/ring/... ./internal/ckks/... ./internal/bootstrap/... ./internal/par/... ./internal/nt/... ./internal/polyir/... ./internal/serve/... ./internal/fheclient/... ./internal/vm/... ./internal/obs/... ./internal/batch/...
 
 # Loopback smoke test of the serving layer: start an in-process daemon,
 # register a session through the real client, infer, decrypt, compare to
@@ -46,6 +46,7 @@ obs-smoke:
 chaos:
 	$(GO) test -count=1 -race -run 'Chaos' ./internal/serve/ -v
 	$(GO) test -count=1 -race ./internal/fault/
+	$(GO) test -count=1 -race ./internal/batch/
 
 # Durability suite: the crash-restart e2e kills a real aced daemon with
 # SIGKILL mid-inference and proves the restarted one finishes the job
@@ -76,3 +77,12 @@ bench:
 bench-fusion:
 	$(GO) test -run '^$$' -count=3 -timeout 1800s \
 		-bench 'BenchmarkNTT$$|BenchmarkKeySwitch$$|BenchmarkHoistedRotations$$|BenchmarkRuntimeBootstrap$$' -benchmem .
+
+# Cross-request batching benchmark (BENCH_batch.json records reference
+# numbers): boot a real aced serving the reduced ResNet-20 at logN 12
+# (stride 8), drive 8 concurrent clients through acebench -load, batched
+# vs unbatched, best of 3 runs per mode. SLOW: one encrypted inference
+# takes ~12.5 minutes on a single-core box, so the full run exceeds an
+# hour. See scripts/bench_batch.sh for tunables.
+bench-batch:
+	bash scripts/bench_batch.sh

@@ -9,6 +9,8 @@
 //	acebench -tab 11 -images 1000
 //	acebench -tab 8                   # repository LoC breakdown
 //	acebench -profile-ops             # measured per-opcode profile
+//	acebench -load http://host:8080 -clients 8 -duration 60s
+//	                                  # concurrent-client load generator
 package main
 
 import (
@@ -17,6 +19,7 @@ import (
 	"os"
 	"path/filepath"
 	"strings"
+	"time"
 
 	"antace/internal/costmodel"
 	"antace/internal/experiments"
@@ -31,8 +34,19 @@ func main() {
 	resnetImages := flag.Int("resnet-images", 50, "Table 11: images for the ResNet agreement runs")
 	calibrate := flag.Bool("calibrate", true, "microbenchmark the runtime for the cost model")
 	profileOps := flag.Bool("profile-ops", false, "compile the demo model, run one encrypted inference and print the measured per-opcode profile (Figure 6's measured analogue)")
+	load := flag.String("load", "", "base URL of a live aced: run the concurrent-client load generator instead of the paper artifacts")
+	clients := flag.Int("clients", 8, "load mode: number of concurrent clients")
+	window := flag.Duration("duration", time.Minute, "load mode: measurement window (extended until at least one inference completes)")
+	reqDeadline := flag.Duration("request-deadline", 30*time.Minute, "load mode: per-request deadline forwarded to the server")
 	flag.Parse()
 
+	if *load != "" {
+		if err := runLoad(*load, *clients, *window, *reqDeadline); err != nil {
+			fmt.Fprintf(os.Stderr, "load failed: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 	if *profileOps {
 		if err := runOpProfile(os.Stdout); err != nil {
 			fmt.Fprintf(os.Stderr, "profile-ops failed: %v\n", err)

@@ -56,6 +56,9 @@ func run() int {
 		deadline     = flag.Duration("deadline", time.Minute, "default per-request deadline")
 		maxDeadline  = flag.Duration("max-deadline", 10*time.Minute, "clamp on client-requested deadlines")
 		drainTimeout = flag.Duration("drain-timeout", 30*time.Second, "how long to wait for in-flight requests on shutdown")
+		batchMax     = flag.Int("batch-max", 0, "coalesce up to N concurrent inferences into one fused evaluation (0 or 1 = off; capped by spare slot lanes)")
+		batchWindow  = flag.Duration("batch-window", 0, "how long an arriving inference waits for lane-mates before evaluating (0 with -batch-max > 1 = 20ms default)")
+		forceLogN    = flag.Int("force-logn", 0, "override the ring degree to 2^n, leaving spare slot lanes for batching (0 = automatic; test profile only)")
 		dataDir      = flag.String("data-dir", "", "durability directory: sessions, job journal and checkpoints survive restarts (empty = RAM-only)")
 		ckptEvery    = flag.Int("checkpoint-every", 0, "checkpoint journaled jobs every N instructions (0 = use -checkpoint-interval)")
 		ckptInterval = flag.Duration("checkpoint-interval", 0, "checkpoint journaled jobs on this wall-clock period (0 with -checkpoint-every 0 = 2s default)")
@@ -102,6 +105,9 @@ func run() int {
 		logger.Error("unknown profile (want test or paper)", slog.String("profile", *profile))
 		return 1
 	}
+	if *forceLogN != 0 {
+		prof.CKKS.ForceLogN = *forceLogN
+	}
 
 	logger.Info("compiling", slog.String("model", name), slog.String("profile", *profile))
 	start := time.Now()
@@ -129,6 +135,8 @@ func run() int {
 		DiskBudget:       *diskBudgetMB << 20,
 		CheckpointEveryN: *ckptEvery,
 		CheckpointEvery:  *ckptInterval,
+		BatchMax:         *batchMax,
+		BatchWindow:      *batchWindow,
 		InstrDelay:       *instrDelay,
 		Logger:           logger,
 		Pprof:            *pprofOn,
@@ -141,6 +149,11 @@ func run() int {
 		st := srv.StatzSnapshot()
 		logger.Info("durability on", slog.String("dir", *dataDir),
 			slog.Uint64("restart", st.Restarts), slog.Int64("store_bytes", st.StoreBytes))
+	}
+	if *batchMax > 1 {
+		st := srv.StatzSnapshot()
+		logger.Info("batching on", slog.Int("stride", st.BatchStride),
+			slog.Int("lanes", st.BatchLanes), slog.Duration("window", *batchWindow))
 	}
 
 	// From here the server exists: workers run and recovery may already be
@@ -206,6 +219,8 @@ func run() int {
 		slog.Uint64("served", st.Served), slog.Uint64("rejected", st.Rejected),
 		slog.Uint64("timed_out", st.TimedOut), slog.Uint64("failed", st.Failed),
 		slog.Uint64("panics", st.Panics), slog.Uint64("idem_replays", st.IdemReplays),
+		slog.Uint64("batches", st.Batches), slog.Uint64("batched_jobs", st.BatchedJobs),
+		slog.Uint64("solo_fallbacks", st.SoloFallbacks), slog.Uint64("queue_expired", st.QueueExpired),
 		slog.Uint64("faults_fired", st.FaultsFired), slog.Uint64("restarts", st.Restarts),
 		slog.Uint64("sessions_recovered", st.SessionsRecovered),
 		slog.Uint64("jobs_resumed", st.JobsResumed),
@@ -255,15 +270,25 @@ func writeAddrFile(path, addr string) error {
 	return os.Rename(tmp, path)
 }
 
-// loadModel reads the ONNX file, or builds the demo linear classifier
-// when no path is given (the quickstart example's model).
+// loadModel reads the ONNX file, or builds a synthetic model when no
+// path (the quickstart linear demo) or a builtin: name is given.
+// builtin:resnet20 is the reduced CIFAR ResNet-20 the batching
+// benchmark serves: real residual structure, small enough that one
+// encrypted inference finishes in minutes rather than hours.
 func loadModel(path string) (*ace.Model, string, error) {
-	if path == "" {
+	switch path {
+	case "", "builtin:linear":
 		m, err := onnx.BuildLinear(64, 10, 42)
 		if err != nil {
 			return nil, "", err
 		}
 		return m, "linear-demo-64x10", nil
+	case "builtin:resnet20":
+		m, err := onnx.BuildResNet(onnx.ResNetConfig{Depth: 20, InputSize: 8, BaseChannels: 4, Classes: 10})
+		if err != nil {
+			return nil, "", err
+		}
+		return m, "resnet20-reduced-8x8x4", nil
 	}
 	m, err := ace.LoadONNX(path)
 	if err != nil {

@@ -1,0 +1,126 @@
+package batch
+
+import (
+	"sync"
+	"time"
+)
+
+// Coalescer groups items that arrive within a latency window, keyed by a
+// compatibility key (the serving layer keys on the session, since every
+// job in a group is evaluated — and its packed lanes decrypted — under
+// one client's key material). The first item of a key opens a window;
+// the group flushes when the window elapses or the group reaches max,
+// whichever comes first. Flush callbacks run outside the coalescer's
+// lock: the max-trigger flush on the adding goroutine, the window flush
+// on the timer goroutine, and CloseAndFlush's final sweep on the caller.
+type Coalescer[T any] struct {
+	window time.Duration
+	max    int
+	flush  func(items []T, final bool)
+
+	mu      sync.Mutex
+	pending map[string]*group[T]
+	gen     uint64
+	closed  bool
+}
+
+type group[T any] struct {
+	items []T
+	timer *time.Timer
+	gen   uint64 // guards the timer against flushing a successor group
+}
+
+// NewCoalescer builds a coalescer. window <= 0 flushes every item
+// immediately as a singleton group (batching effectively off); max < 1
+// is treated as 1. The flush callback receives final=true only from
+// CloseAndFlush, so the serving layer can switch from load-shedding to
+// blocking submission while draining.
+func NewCoalescer[T any](window time.Duration, max int, flush func(items []T, final bool)) *Coalescer[T] {
+	if max < 1 {
+		max = 1
+	}
+	return &Coalescer[T]{window: window, max: max, flush: flush, pending: map[string]*group[T]{}}
+}
+
+// Add appends an item under a compatibility key, flushing the group if
+// it reached max. It returns false when the coalescer is closed (the
+// server is draining) and the item was not accepted.
+func (c *Coalescer[T]) Add(key string, item T) bool {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return false
+	}
+	if c.window <= 0 || c.max == 1 {
+		c.mu.Unlock()
+		c.flush([]T{item}, false)
+		return true
+	}
+	g := c.pending[key]
+	if g == nil {
+		c.gen++
+		g = &group[T]{gen: c.gen}
+		c.pending[key] = g
+		gen := g.gen
+		g.timer = time.AfterFunc(c.window, func() { c.flushKey(key, gen) })
+	}
+	g.items = append(g.items, item)
+	if len(g.items) >= c.max {
+		items := g.items
+		g.timer.Stop()
+		delete(c.pending, key)
+		c.mu.Unlock()
+		c.flush(items, false)
+		return true
+	}
+	c.mu.Unlock()
+	return true
+}
+
+// flushKey is the window-expiry path. The generation check makes a
+// stale timer (one whose group was already flushed by the max trigger,
+// with a new group since opened under the same key) a no-op.
+func (c *Coalescer[T]) flushKey(key string, gen uint64) {
+	c.mu.Lock()
+	g := c.pending[key]
+	if g == nil || g.gen != gen {
+		c.mu.Unlock()
+		return
+	}
+	items := g.items
+	delete(c.pending, key)
+	c.mu.Unlock()
+	if len(items) > 0 {
+		c.flush(items, false)
+	}
+}
+
+// CloseAndFlush stops accepting items and synchronously flushes every
+// open window with final=true. Safe to call more than once.
+func (c *Coalescer[T]) CloseAndFlush() {
+	c.mu.Lock()
+	c.closed = true
+	var groups [][]T
+	for key, g := range c.pending {
+		g.timer.Stop()
+		if len(g.items) > 0 {
+			groups = append(groups, g.items)
+		}
+		delete(c.pending, key)
+	}
+	c.mu.Unlock()
+	for _, items := range groups {
+		c.flush(items, true)
+	}
+}
+
+// Pending reports items currently waiting in open windows (tests).
+func (c *Coalescer[T]) Pending() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	n := 0
+	for _, g := range c.pending {
+		n += len(g.items)
+	}
+	return n
+}

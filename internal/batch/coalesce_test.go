@@ -1,0 +1,154 @@
+package batch
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+type flushRec struct {
+	mu     sync.Mutex
+	groups [][]int
+	finals []bool
+}
+
+func (r *flushRec) flush(items []int, final bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.groups = append(r.groups, items)
+	r.finals = append(r.finals, final)
+}
+
+func (r *flushRec) snapshot() [][]int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return append([][]int(nil), r.groups...)
+}
+
+func TestCoalescerMaxTrigger(t *testing.T) {
+	var rec flushRec
+	c := NewCoalescer(time.Hour, 3, rec.flush)
+	for i := 0; i < 7; i++ {
+		if !c.Add("s", i) {
+			t.Fatal("Add refused before close")
+		}
+	}
+	groups := rec.snapshot()
+	if len(groups) != 2 || len(groups[0]) != 3 || len(groups[1]) != 3 {
+		t.Fatalf("groups = %v, want two full groups of 3", groups)
+	}
+	if c.Pending() != 1 {
+		t.Fatalf("pending = %d, want 1", c.Pending())
+	}
+	c.CloseAndFlush()
+	groups = rec.snapshot()
+	if len(groups) != 3 || len(groups[2]) != 1 {
+		t.Fatalf("after close groups = %v, want trailing singleton", groups)
+	}
+	rec.mu.Lock()
+	final := rec.finals[2]
+	rec.mu.Unlock()
+	if !final {
+		t.Fatal("close-time flush not marked final")
+	}
+}
+
+func TestCoalescerWindowTrigger(t *testing.T) {
+	var rec flushRec
+	c := NewCoalescer(20*time.Millisecond, 100, rec.flush)
+	c.Add("s", 1)
+	c.Add("s", 2)
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		if groups := rec.snapshot(); len(groups) == 1 {
+			if len(groups[0]) != 2 {
+				t.Fatalf("window flush carried %v, want both items", groups[0])
+			}
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("window never flushed")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	c.CloseAndFlush()
+}
+
+func TestCoalescerKeysAreIndependent(t *testing.T) {
+	var rec flushRec
+	c := NewCoalescer(time.Hour, 2, rec.flush)
+	c.Add("a", 1)
+	c.Add("b", 2)
+	c.Add("a", 3)
+	groups := rec.snapshot()
+	if len(groups) != 1 || len(groups[0]) != 2 || groups[0][0] != 1 || groups[0][1] != 3 {
+		t.Fatalf("groups = %v, want [[1 3]]", groups)
+	}
+	c.CloseAndFlush()
+	groups = rec.snapshot()
+	if len(groups) != 2 || len(groups[1]) != 1 || groups[1][0] != 2 {
+		t.Fatalf("groups = %v, want [[1 3] [2]]", groups)
+	}
+}
+
+func TestCoalescerClosedRefusesAdds(t *testing.T) {
+	var rec flushRec
+	c := NewCoalescer(time.Hour, 2, rec.flush)
+	c.CloseAndFlush()
+	if c.Add("s", 1) {
+		t.Fatal("Add accepted after close")
+	}
+	c.CloseAndFlush() // idempotent
+}
+
+func TestCoalescerImmediateModeWithoutWindow(t *testing.T) {
+	var rec flushRec
+	c := NewCoalescer(0, 8, rec.flush)
+	c.Add("s", 1)
+	c.Add("s", 2)
+	groups := rec.snapshot()
+	if len(groups) != 2 || len(groups[0]) != 1 || len(groups[1]) != 1 {
+		t.Fatalf("groups = %v, want two singletons", groups)
+	}
+}
+
+// TestCoalescerConcurrent hammers one coalescer from many goroutines and
+// checks every item is flushed exactly once (run under -race).
+func TestCoalescerConcurrent(t *testing.T) {
+	var rec flushRec
+	c := NewCoalescer(5*time.Millisecond, 4, rec.flush)
+	const workers, per = 8, 50
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				c.Add("s", w*per+i)
+				if i%7 == 0 {
+					time.Sleep(time.Millisecond)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	time.Sleep(20 * time.Millisecond)
+	c.CloseAndFlush()
+	seen := map[int]int{}
+	for _, g := range rec.snapshot() {
+		if len(g) > 4 {
+			t.Fatalf("group of %d exceeds max 4", len(g))
+		}
+		for _, it := range g {
+			seen[it]++
+		}
+	}
+	if len(seen) != workers*per {
+		t.Fatalf("flushed %d distinct items, want %d", len(seen), workers*per)
+	}
+	for it, n := range seen {
+		if n != 1 {
+			t.Fatalf("item %d flushed %d times", it, n)
+		}
+	}
+}

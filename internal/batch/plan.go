@@ -1,0 +1,89 @@
+// Package batch implements cross-request slot batching: packing several
+// concurrent inference requests into the spare slot lanes of one shared
+// ciphertext so that every key switch, rescale and bootstrap of a single
+// fused evaluation is amortised across the whole group (the nGraph-HE2
+// observation, applied across requests instead of across one client's
+// minibatch).
+//
+// The layout is strided interleaving. A compiled program operates on a
+// logical slot vector of length L; a ring with slots = N/2 ≥ L·S leaves
+// room for S lanes at stride S = slots/L. Lane b of a batched ciphertext
+// holds job b's logical slot i at physical slot i·S+b. Three facts make
+// the whole scheme exact (verified against the real encoder/evaluator in
+// this package's tests):
+//
+//   - A full-ring Galois rotation by k·S maps physical slot i·S+b to
+//     ((i−k) mod L)·S+b: every lane rotates by k logical slots, and no
+//     value ever crosses a lane boundary.
+//   - Every other CKKS op the compiler emits (add, mul, mul_plain,
+//     rescale, relin, modswitch, poly, bootstrap, reinterpret) acts
+//     slotwise, so it is lane-preserving by construction.
+//   - Clients encode inputs at stride S with zeros between lanes, so a
+//     group of B ≤ S inputs packs exactly as Σ_b Rotate(ct_b, −b): the
+//     zero gaps guarantee the lane sums never collide, no masking (and
+//     therefore no level or scale consumption) is needed.
+//
+// Transform rewrites a compiled module for this layout (rotations scaled
+// by S, encoded constants replicated across lanes); Coalescer groups
+// compatible queued jobs within a latency window; the lane index math
+// lives in this file. Extraction is free: the reply ciphertext carries
+// its lane, and the owning client decodes slots i·S+lane.
+package batch
+
+import "fmt"
+
+// Stride returns the lane capacity of a ring: how many length-vecLen
+// programs interleave into slots physical slots. It is 1 (no batching
+// capacity) unless vecLen is a power of two that divides the slot count,
+// which is the layout contract the rotation algebra relies on.
+func Stride(slots, vecLen int) int {
+	if vecLen <= 0 || slots <= 0 || vecLen&(vecLen-1) != 0 || slots%vecLen != 0 {
+		return 1
+	}
+	return slots / vecLen
+}
+
+// ExpandLane spreads a logical vector into a strided one: out has length
+// len(v)·stride with v[i] at i·stride+lane and zeros elsewhere. This is
+// the client-side encoding of a batchable input; lane is 0 on the wire
+// (the server assigns real lanes by rotating at pack time).
+func ExpandLane(v []float64, lane, stride int) ([]float64, error) {
+	if stride < 1 || lane < 0 || lane >= stride {
+		return nil, fmt.Errorf("batch: lane %d out of range for stride %d", lane, stride)
+	}
+	out := make([]float64, len(v)*stride)
+	for i, x := range v {
+		out[i*stride+lane] = x
+	}
+	return out, nil
+}
+
+// ExtractLane recovers one lane's logical vector from a strided one.
+func ExtractLane(u []float64, lane, stride int) ([]float64, error) {
+	if stride < 1 || lane < 0 || lane >= stride {
+		return nil, fmt.Errorf("batch: lane %d out of range for stride %d", lane, stride)
+	}
+	if len(u)%stride != 0 {
+		return nil, fmt.Errorf("batch: vector length %d is not a multiple of stride %d", len(u), stride)
+	}
+	out := make([]float64, len(u)/stride)
+	for i := range out {
+		out[i] = u[i*stride+lane]
+	}
+	return out, nil
+}
+
+// ReplicateLanes turns a logical plaintext vector (a mask or weight
+// diagonal the compiler encoded for the solo program) into its batched
+// form: m[i] lands at i·stride+b for every lane b, so a single
+// mul_plain applies the same constant to every lane — exactly what the
+// solo program would have done to each request separately.
+func ReplicateLanes(m []float64, stride int) []float64 {
+	out := make([]float64, len(m)*stride)
+	for i, x := range m {
+		for b := 0; b < stride; b++ {
+			out[i*stride+b] = x
+		}
+	}
+	return out
+}

@@ -1,0 +1,158 @@
+package batch
+
+import (
+	"math/rand/v2"
+	"testing"
+)
+
+func TestStride(t *testing.T) {
+	cases := []struct{ slots, vecLen, want int }{
+		{2048, 256, 8},
+		{256, 256, 1},
+		{256, 64, 4},
+		{256, 192, 1},  // not a power of two
+		{256, 0, 1},    // degenerate
+		{100, 25, 1},   // slots not binary multiple of vecLen
+		{4096, 512, 8},
+	}
+	for _, c := range cases {
+		if got := Stride(c.slots, c.vecLen); got != c.want {
+			t.Errorf("Stride(%d,%d) = %d, want %d", c.slots, c.vecLen, got, c.want)
+		}
+	}
+}
+
+func TestExpandExtractRoundtrip(t *testing.T) {
+	rng := rand.New(rand.NewPCG(1, 2))
+	for _, stride := range []int{1, 2, 4, 8} {
+		l := 16
+		lanes := make([][]float64, stride)
+		packed := make([]float64, l*stride)
+		for b := 0; b < stride; b++ {
+			lanes[b] = make([]float64, l)
+			for i := range lanes[b] {
+				lanes[b][i] = rng.Float64()
+			}
+			exp, err := ExpandLane(lanes[b], b, stride)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i, x := range exp {
+				packed[i] += x
+			}
+		}
+		for b := 0; b < stride; b++ {
+			got, err := ExtractLane(packed, b, stride)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i := range got {
+				if got[i] != lanes[b][i] {
+					t.Fatalf("stride %d lane %d slot %d: %g != %g", stride, b, i, got[i], lanes[b][i])
+				}
+			}
+		}
+	}
+}
+
+func TestReplicateLanes(t *testing.T) {
+	m := []float64{1, 2, 3}
+	got := ReplicateLanes(m, 2)
+	want := []float64{1, 1, 2, 2, 3, 3}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("ReplicateLanes = %v, want %v", got, want)
+		}
+	}
+	for b := 0; b < 2; b++ {
+		lane, err := ExtractLane(got, b, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range m {
+			if lane[i] != m[i] {
+				t.Fatalf("lane %d of replicated mask differs: %v", b, lane)
+			}
+		}
+	}
+}
+
+func TestLaneBoundsErrors(t *testing.T) {
+	if _, err := ExpandLane([]float64{1}, 2, 2); err == nil {
+		t.Error("ExpandLane accepted lane out of range")
+	}
+	if _, err := ExtractLane([]float64{1, 2, 3}, 0, 2); err == nil {
+		t.Error("ExtractLane accepted length not divisible by stride")
+	}
+	if _, err := ExtractLane([]float64{1, 2}, -1, 2); err == nil {
+		t.Error("ExtractLane accepted negative lane")
+	}
+}
+
+// FuzzLaneIndexMath cross-checks the pack/extract index math: any mix of
+// lanes written through ExpandLane into a shared vector must extract
+// back exactly, lanes must never collide, and a logical rotation by k
+// must commute with the lane layout (rotate the strided vector by
+// k·stride = rotate every lane's logical vector by k).
+func FuzzLaneIndexMath(f *testing.F) {
+	f.Add(uint8(3), uint8(2), uint8(1), int16(3))
+	f.Add(uint8(4), uint8(8), uint8(7), int16(-5))
+	f.Fuzz(func(t *testing.T, logL, strideB, laneB uint8, k16 int16) {
+		l := 1 << (logL%6 + 1)         // 2..64
+		stride := int(strideB)%8 + 1   // 1..8
+		lane := int(laneB) % stride    // 0..stride-1
+		k := int(k16)
+		rng := rand.New(rand.NewPCG(uint64(logL), uint64(strideB)))
+		v := make([]float64, l)
+		for i := range v {
+			v[i] = rng.Float64()
+		}
+		exp, err := ExpandLane(v, lane, stride)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(exp) != l*stride {
+			t.Fatalf("expanded length %d, want %d", len(exp), l*stride)
+		}
+		// No collision: all other lanes stay zero.
+		for b := 0; b < stride; b++ {
+			got, err := ExtractLane(exp, b, stride)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i := range got {
+				want := 0.0
+				if b == lane {
+					want = v[i]
+				}
+				if got[i] != want {
+					t.Fatalf("lane %d slot %d: %g, want %g", b, i, got[i], want)
+				}
+			}
+		}
+		// Rotation commutes with the layout.
+		rot := func(u []float64, k int) []float64 {
+			n := len(u)
+			k %= n
+			if k < 0 {
+				k += n
+			}
+			out := make([]float64, n)
+			for i := range out {
+				out[i] = u[(i+k)%n]
+			}
+			return out
+		}
+		viaLanes, err := ExtractLane(rot(exp, k*stride), lane, stride)
+		if err != nil {
+			t.Fatal(err)
+		}
+		direct := rot(v, k)
+		for i := range direct {
+			if viaLanes[i] != direct[i] {
+				t.Fatalf("rotation k=%d stride=%d lane=%d slot %d: %g != %g",
+					k, stride, lane, i, viaLanes[i], direct[i])
+			}
+		}
+	})
+}

@@ -1,0 +1,170 @@
+package batch
+
+import (
+	"fmt"
+
+	"antace/internal/ckksir"
+	"antace/internal/ir"
+)
+
+// SimRun executes a CKKS IR module slotwise on cleartext float64 slots —
+// the ckksir analogue of vecir.Run. Every op the compiler emits is
+// either elementwise or a cyclic rotation, so the simulator is exact
+// (no noise, no approximation of the approximations: ckks.poly
+// evaluates the compiled polynomial itself, ckks.bootstrap is the
+// identity the ideal circuit computes).
+//
+// Its role here is the bit-identity proof behind batching: for the same
+// instruction stream, lane b of SimRun(Transform(mod, S), packed) and
+// SimRun(mod, input_b) perform literally the same float64 operations in
+// the same order on every logical slot, so the differential tests can
+// assert exact equality (==), not epsilon closeness — any index-math
+// bug in the lane layout or the transform breaks bit-identity
+// immediately.
+func SimRun(mod *ir.Module, input []float64) ([]float64, error) {
+	f := mod.Main()
+	if f == nil {
+		return nil, fmt.Errorf("batch: sim: empty module")
+	}
+	if len(f.Params) != 1 {
+		return nil, fmt.Errorf("batch: sim: expected one parameter, have %d", len(f.Params))
+	}
+	n := len(input)
+	if n == 0 {
+		return nil, fmt.Errorf("batch: sim: empty input")
+	}
+	env := map[*ir.Value][]float64{f.Params[0]: input}
+	get := func(v *ir.Value) ([]float64, error) {
+		if x, ok := env[v]; ok {
+			return x, nil
+		}
+		return nil, fmt.Errorf("batch: sim: %s not computed", v)
+	}
+	// fit pads or truncates an encoded constant to the slot width, the
+	// way the CKKS encoder zero-extends short vectors.
+	fit := func(c []float64) []float64 {
+		if len(c) == n {
+			return c
+		}
+		out := make([]float64, n)
+		copy(out, c)
+		return out
+	}
+	for idx, in := range f.Body {
+		arg := func(i int) ([]float64, error) { return get(in.Args[i]) }
+		var out []float64
+		var err error
+		switch in.Op {
+		case ckksir.OpEncode:
+			vec, ok := in.Args[0].Const.([]float64)
+			if !ok {
+				return nil, fmt.Errorf("batch: sim: instr %d: encode argument is not a vector constant", idx)
+			}
+			out = fit(vec)
+		case ckksir.OpAdd, ckksir.OpAddPlain:
+			var a, b []float64
+			if a, err = arg(0); err == nil {
+				b, err = arg(1)
+			}
+			if err == nil {
+				out = make([]float64, n)
+				for i := range out {
+					out[i] = a[i] + b[i]
+				}
+			}
+		case ckksir.OpMul, ckksir.OpMulPlain:
+			var a, b []float64
+			if a, err = arg(0); err == nil {
+				b, err = arg(1)
+			}
+			if err == nil {
+				out = make([]float64, n)
+				for i := range out {
+					out[i] = a[i] * b[i]
+				}
+			}
+		case ckksir.OpRotate:
+			k := in.AttrInt("k", 0)
+			k %= n
+			if k < 0 {
+				k += n
+			}
+			var a []float64
+			if a, err = arg(0); err == nil {
+				out = make([]float64, n)
+				for i := range out {
+					out[i] = a[(i+k)%n]
+				}
+			}
+		case ckksir.OpMulConst:
+			c := in.AttrFloat("c", 1)
+			var a []float64
+			if a, err = arg(0); err == nil {
+				out = make([]float64, n)
+				for i := range out {
+					out[i] = a[i] * c
+				}
+			}
+		case ckksir.OpReinterpret:
+			// Dividing the declared scale by factor multiplies the decoded
+			// value by factor.
+			factor := in.AttrFloat("factor", 1)
+			var a []float64
+			if a, err = arg(0); err == nil {
+				out = make([]float64, n)
+				for i := range out {
+					out[i] = a[i] * factor
+				}
+			}
+		case ckksir.OpPoly:
+			coeffs, ok := in.Attrs["coeffs"].([]float64)
+			if !ok {
+				return nil, fmt.Errorf("batch: sim: instr %d: poly without coeffs", idx)
+			}
+			basis, _ := in.Attrs["basis"].(string)
+			a2, b2 := in.AttrFloat("a", -1), in.AttrFloat("b", 1)
+			var a []float64
+			if a, err = arg(0); err == nil {
+				out = make([]float64, n)
+				for i := range out {
+					if basis == "cheb" {
+						out[i] = evalCheb(coeffs, a[i], a2, b2)
+					} else {
+						out[i] = evalMonomial(coeffs, a[i])
+					}
+				}
+			}
+		case ckksir.OpRelin, ckksir.OpRescale, ckksir.OpModSwitch, ckksir.OpBootstrap:
+			// Level/scale bookkeeping and refresh: the ideal slot values
+			// pass through unchanged.
+			out, err = arg(0)
+		default:
+			return nil, fmt.Errorf("batch: sim: unknown op %q", in.Op)
+		}
+		if err != nil {
+			return nil, fmt.Errorf("batch: sim: instr %d (%s): %w", idx, in.Op, err)
+		}
+		env[in.Result] = out
+	}
+	return get(f.Ret)
+}
+
+// evalMonomial evaluates Σ coeffs[i]·x^i by Horner's rule.
+func evalMonomial(coeffs []float64, x float64) float64 {
+	acc := 0.0
+	for i := len(coeffs) - 1; i >= 0; i-- {
+		acc = acc*x + coeffs[i]
+	}
+	return acc
+}
+
+// evalCheb evaluates Σ coeffs[i]·T_i(t) with t = (2x−a−b)/(b−a) by the
+// Clenshaw recurrence.
+func evalCheb(coeffs []float64, x, a, b float64) float64 {
+	t := (2*x - a - b) / (b - a)
+	var b1, b2 float64
+	for i := len(coeffs) - 1; i >= 1; i-- {
+		b1, b2 = 2*t*b1-b2+coeffs[i], b1
+	}
+	return t*b1 - b2 + coeffs[0]
+}

@@ -55,12 +55,17 @@ const (
 	// ServeRecoverErr fails one journaled job's recovery during daemon
 	// startup, exercising the forget-and-re-execute fallback path.
 	ServeRecoverErr = "serve.recover.err"
+	// BatchFlushPanic panics inside the batched evaluation path after a
+	// coalesced group has been handed to a worker, exercising the
+	// batch-wide failure boundary: every job in that group must fail,
+	// and no other group may be affected.
+	BatchFlushPanic = "batch.flush.panic"
 )
 
 // Points lists the injection points compiled into the runtime, for the
 // registry section of /v1/statz-style introspection and docs.
 func Points() []string {
-	return []string{ServeWorkerPanic, VMInstrPanic, VMInstrErr, CKKSRescaleErr, ClientConnReset, StoreWriteTorn, ServeRecoverErr}
+	return []string{ServeWorkerPanic, VMInstrPanic, VMInstrErr, CKKSRescaleErr, ClientConnReset, StoreWriteTorn, ServeRecoverErr, BatchFlushPanic}
 }
 
 // InjectedError is the error produced by a firing injection point.

@@ -21,6 +21,7 @@ import (
 	"syscall"
 	"time"
 
+	"antace/internal/batch"
 	"antace/internal/ckks"
 	"antace/internal/fault"
 	"antace/internal/obs"
@@ -250,9 +251,21 @@ func (c *Client) Register(ctx context.Context, seed *[32]byte) (string, error) {
 }
 
 // Encrypt packs a slot vector at the program's input level and scale.
+// Against a batching server (spec.BatchStride > 1) the vector is
+// encoded strided into lane 0 — logical slot i at physical slot
+// i·stride — which is the layout the server's lane-transformed program
+// consumes; the server moves the ciphertext to its assigned lane with a
+// single rotation at pack time.
 func (c *Client) Encrypt(values []float64) (*ckks.Ciphertext, error) {
 	if len(values) != c.spec.VecLen {
 		return nil, fmt.Errorf("fheclient: input length %d, program compiled for %d", len(values), c.spec.VecLen)
+	}
+	if s := c.spec.BatchStride; s > 1 {
+		exp, err := batch.ExpandLane(values, 0, s)
+		if err != nil {
+			return nil, fmt.Errorf("fheclient: lane encoding: %w", err)
+		}
+		values = exp
 	}
 	pt, err := c.enc.EncodeReal(values, c.spec.InputLevel, c.spec.InputScale)
 	if err != nil {
@@ -266,15 +279,34 @@ func (c *Client) Encrypt(values []float64) (*ckks.Ciphertext, error) {
 	return c.encryptor.Encrypt(pt), nil
 }
 
-// Decrypt recovers the slot vector from a result ciphertext.
+// Decrypt recovers the slot vector from a solo result ciphertext. For
+// replies from a batched evaluation use DecryptLane with the lane and
+// stride the response headers carried.
 func (c *Client) Decrypt(ct *ckks.Ciphertext) ([]float64, error) {
+	return c.DecryptLane(ct, 0, c.spec.BatchStride)
+}
+
+// DecryptLane recovers this caller's slot vector from a (possibly
+// shared) result ciphertext: decrypt, decode the strided layout and
+// keep the slots at i·stride+lane. stride <= 1 decodes a plain solo
+// reply. Extraction is pure client-side index math on decoded slots —
+// it costs no homomorphic operation.
+func (c *Client) DecryptLane(ct *ckks.Ciphertext, lane, stride int) ([]float64, error) {
 	c.mu.Lock()
 	dec := c.decryptor
 	c.mu.Unlock()
 	if dec == nil {
 		return nil, fmt.Errorf("fheclient: not registered (call Register first)")
 	}
-	return c.enc.DecodeReal(dec.Decrypt(ct), c.spec.VecLen), nil
+	if stride <= 1 {
+		return c.enc.DecodeReal(dec.Decrypt(ct), c.spec.VecLen), nil
+	}
+	wide := c.enc.DecodeReal(dec.Decrypt(ct), c.spec.VecLen*stride)
+	out, err := batch.ExtractLane(wide, lane, stride)
+	if err != nil {
+		return nil, fmt.Errorf("fheclient: lane extraction: %w", err)
+	}
+	return out, nil
 }
 
 // transientError marks a failure where the request may never have
@@ -302,15 +334,24 @@ func (e *transientError) Unwrap() error { return e.err }
 // otherwise — so one logical inference is a single greppable id across
 // the client's retries and the server's structured logs.
 func (c *Client) InferCipher(ctx context.Context, ct *ckks.Ciphertext) (*ckks.Ciphertext, error) {
+	out, _, _, err := c.InferCipherLane(ctx, ct)
+	return out, err
+}
+
+// InferCipherLane is InferCipher plus the reply's lane coordinates:
+// when the server evaluated the request inside a shared batched
+// ciphertext, stride > 1 and lane locate this caller's slots for
+// DecryptLane. A solo reply returns lane 0, stride 0.
+func (c *Client) InferCipherLane(ctx context.Context, ct *ckks.Ciphertext) (*ckks.Ciphertext, int, int, error) {
 	c.mu.Lock()
 	id := c.sessionID
 	c.mu.Unlock()
 	if id == "" {
-		return nil, fmt.Errorf("fheclient: not registered (call Register first)")
+		return nil, 0, 0, fmt.Errorf("fheclient: not registered (call Register first)")
 	}
 	body, err := ct.MarshalBinary()
 	if err != nil {
-		return nil, fmt.Errorf("fheclient: encoding ciphertext: %w", err)
+		return nil, 0, 0, fmt.Errorf("fheclient: encoding ciphertext: %w", err)
 	}
 
 	trace := obs.TraceID(ctx)
@@ -323,9 +364,9 @@ func (c *Client) InferCipher(ctx context.Context, ct *ckks.Ciphertext) (*ckks.Ci
 	var slept time.Duration
 	var refusedSince time.Time
 	for attempt := 1; ; attempt++ {
-		out, err := c.inferOnce(ctx, id, idemKey, trace, body)
+		out, lane, stride, err := c.inferOnce(ctx, id, idemKey, trace, body)
 		if err == nil {
-			return out, nil
+			return out, lane, stride, nil
 		}
 		// A refused connection means nothing is listening — the window
 		// between a daemon crash and its recovered successor binding the
@@ -339,7 +380,7 @@ func (c *Client) InferCipher(ctx context.Context, ct *ckks.Ciphertext) (*ckks.Ci
 			if time.Since(refusedSince) < pol.ReconnectWindow {
 				select {
 				case <-ctx.Done():
-					return nil, ctx.Err()
+					return nil, 0, 0, ctx.Err()
 				case <-time.After(pol.ReconnectDelay):
 				}
 				attempt--
@@ -355,15 +396,15 @@ func (c *Client) InferCipher(ctx context.Context, ct *ckks.Ciphertext) (*ckks.Ci
 			if errors.As(err, &te) {
 				err = te.err
 			}
-			return nil, err
+			return nil, 0, 0, err
 		}
 		d := pol.backoff(attempt, retryAfter)
 		if slept+d > pol.Budget {
-			return nil, fmt.Errorf("fheclient: retry budget %v exhausted after %d attempts: %w", pol.Budget, attempt, err)
+			return nil, 0, 0, fmt.Errorf("fheclient: retry budget %v exhausted after %d attempts: %w", pol.Budget, attempt, err)
 		}
 		select {
 		case <-ctx.Done():
-			return nil, ctx.Err()
+			return nil, 0, 0, ctx.Err()
 		case <-time.After(d):
 			slept += d
 		}
@@ -387,11 +428,13 @@ func classify(err error) (retryAfter time.Duration, retryable bool) {
 	return 0, errors.As(err, &te)
 }
 
-// inferOnce performs one HTTP round trip of InferCipher.
-func (c *Client) inferOnce(ctx context.Context, id, idemKey, trace string, body []byte) (*ckks.Ciphertext, error) {
+// inferOnce performs one HTTP round trip of InferCipher, returning the
+// reply's lane coordinates alongside the ciphertext (0, 0 on a solo
+// reply without lane headers).
+func (c *Client) inferOnce(ctx context.Context, id, idemKey, trace string, body []byte) (*ckks.Ciphertext, int, int, error) {
 	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.base+api.PathInfer, bytes.NewReader(body))
 	if err != nil {
-		return nil, err
+		return nil, 0, 0, err
 	}
 	req.Header.Set("Content-Type", api.ContentTypeBinary)
 	req.Header.Set(api.HeaderSession, id)
@@ -413,43 +456,65 @@ func (c *Client) inferOnce(ctx context.Context, id, idemKey, trace string, body 
 	resp, err := c.hc.Do(req)
 	if err != nil {
 		if ctx.Err() != nil {
-			return nil, fmt.Errorf("fheclient: inference request: %w", err)
+			return nil, 0, 0, fmt.Errorf("fheclient: inference request: %w", err)
 		}
-		return nil, &transientError{fmt.Errorf("fheclient: inference request: %w", err)}
+		return nil, 0, 0, &transientError{fmt.Errorf("fheclient: inference request: %w", err)}
 	}
 	defer resp.Body.Close()
 	// Chaos hook: the server already answered, but the response is lost
 	// before we read it — exactly the window where only the idempotency
 	// key keeps a retry from executing the program twice.
 	if ferr := fault.Inject(fault.ClientConnReset); ferr != nil {
-		return nil, &transientError{fmt.Errorf("fheclient: inference request: connection reset: %w", ferr)}
+		return nil, 0, 0, &transientError{fmt.Errorf("fheclient: inference request: connection reset: %w", ferr)}
 	}
 	if resp.StatusCode != http.StatusOK {
-		return nil, apiError(resp)
+		return nil, 0, 0, apiError(resp)
+	}
+	var lane, stride int
+	if h := resp.Header.Get(api.HeaderLaneStride); h != "" {
+		if stride, err = strconv.Atoi(h); err != nil {
+			return nil, 0, 0, fmt.Errorf("fheclient: bad %s header %q", api.HeaderLaneStride, h)
+		}
+		if h := resp.Header.Get(api.HeaderLane); h != "" {
+			if lane, err = strconv.Atoi(h); err != nil {
+				return nil, 0, 0, fmt.Errorf("fheclient: bad %s header %q", api.HeaderLane, h)
+			}
+		}
+		if stride < 0 || lane < 0 || (stride > 1 && lane >= stride) {
+			return nil, 0, 0, fmt.Errorf("fheclient: lane %d out of range for stride %d", lane, stride)
+		}
 	}
 	data, err := io.ReadAll(resp.Body)
 	if err != nil {
-		return nil, &transientError{fmt.Errorf("fheclient: reading result: %w", err)}
+		return nil, 0, 0, &transientError{fmt.Errorf("fheclient: reading result: %w", err)}
 	}
 	out := &ckks.Ciphertext{}
 	if err := out.UnmarshalBinary(data); err != nil {
-		return nil, fmt.Errorf("fheclient: decoding result: %w", err)
+		return nil, 0, 0, fmt.Errorf("fheclient: decoding result: %w", err)
 	}
-	return out, nil
+	return out, lane, stride, nil
 }
 
 // Infer runs one encrypted inference end to end: encrypt locally, stream
-// through the server, decrypt locally.
+// through the server, decrypt locally. Against a batching server the
+// reply may be a shared ciphertext; the lane headers say which
+// interleaved slots are this call's result and Infer extracts them
+// transparently, so callers never see the batching.
 func (c *Client) Infer(ctx context.Context, values []float64) ([]float64, error) {
 	ct, err := c.Encrypt(values)
 	if err != nil {
 		return nil, err
 	}
-	out, err := c.InferCipher(ctx, ct)
+	out, lane, stride, err := c.InferCipherLane(ctx, ct)
 	if err != nil {
 		return nil, err
 	}
-	return c.Decrypt(out)
+	if stride <= 1 {
+		// No lane headers: a solo reply, still in the strided layout when
+		// the program spec says the server batches.
+		return c.Decrypt(out)
+	}
+	return c.DecryptLane(out, lane, stride)
 }
 
 // Drop deletes the registered session server-side.

@@ -40,6 +40,13 @@ const (
 	// HeaderIdemReplayed marks a response served from the idempotency
 	// cache rather than a fresh evaluation.
 	HeaderIdemReplayed = "X-ACE-Idem-Replayed"
+	// HeaderLane and HeaderLaneStride are set on /v1/infer responses
+	// when the server evaluated the request inside a shared batched
+	// ciphertext: the reply holds BatchStride interleaved results, and
+	// this caller's logical slot i lives at physical slot i·stride+lane.
+	// Absent (or stride ≤ 1) means the reply is a plain solo ciphertext.
+	HeaderLane       = "X-ACE-Lane"
+	HeaderLaneStride = "X-ACE-Lane-Stride"
 	// HeaderTrace carries the request trace id on /v1/infer, in both
 	// directions: a client may supply one (8..64 lowercase hex
 	// characters) to correlate its own logs with the server's; anything
@@ -67,6 +74,11 @@ type ProgramSpec struct {
 	Conjugation bool    `json:"conjugation"`
 	NeedRlk     bool    `json:"need_rlk"`
 	Bootstraps  int     `json:"bootstraps"`
+	// BatchStride > 1 means the server runs a lane-transformed program:
+	// clients must encode their VecLen input strided — logical slot i at
+	// physical slot i·BatchStride (lane 0) of a VecLen·BatchStride slot
+	// vector — and extract their lane from replies per HeaderLane.
+	BatchStride int `json:"batch_stride,omitempty"`
 }
 
 // SessionReply is returned by POST /v1/sessions.
@@ -105,10 +117,24 @@ type Statz struct {
 	// FaultsFired counts armed injection points firing (zero outside
 	// chaos runs).
 	FaultsFired uint64 `json:"faults_fired"`
-	QueueDepth  int    `json:"queue_depth"`
-	QueueCap    int    `json:"queue_cap"`
-	Workers     int    `json:"workers"`
-	Draining    bool   `json:"draining"`
+	// QueueExpired counts jobs dropped by workers because their deadline
+	// passed while queued — previously folded invisibly into TimedOut.
+	QueueExpired uint64 `json:"queue_expired"`
+	QueueDepth   int    `json:"queue_depth"`
+	QueueCap     int    `json:"queue_cap"`
+	Workers      int    `json:"workers"`
+	Draining     bool   `json:"draining"`
+
+	// Cross-request batching: Batches counts multi-job fused evaluations,
+	// BatchedJobs the requests they carried (so BatchedJobs/Batches is
+	// the realized mean occupancy), SoloFallbacks coalesced windows that
+	// closed with a single job and ran unbatched. BatchLanes/BatchStride
+	// echo the effective configuration (lanes ≤ stride; 1 = batching off).
+	Batches       uint64 `json:"batches"`
+	BatchedJobs   uint64 `json:"batched_jobs"`
+	SoloFallbacks uint64 `json:"solo_fallbacks"`
+	BatchLanes    int    `json:"batch_lanes"`
+	BatchStride   int    `json:"batch_stride"`
 
 	Sessions         int    `json:"sessions"`
 	SessionBytes     int64  `json:"session_bytes"`

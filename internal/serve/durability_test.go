@@ -204,7 +204,7 @@ func TestJournalEncodingRejectsOversizedStrings(t *testing.T) {
 	if err := dur.accept(big, "sess", time.Time{}, []byte("input")); err == nil {
 		t.Fatal("accept journaled an unframeable key")
 	}
-	dur.complete(big, []byte("result")) // must not write a misframed record
+	dur.complete(big, []byte("result"), 0, 0) // must not write a misframed record
 	dur.close()
 
 	dur2, st, err := openDurable(dir, 1<<30, 16)

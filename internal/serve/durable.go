@@ -60,6 +60,12 @@ const (
 	recAccept   = 1 // key, session id, deadline (unix ms), input ciphertext
 	recComplete = 2 // key, result ciphertext
 	recForget   = 3 // key
+	// recCompleteLane extends recComplete for results evaluated inside a
+	// shared batched ciphertext: key, lane (uint16), stride (uint16),
+	// result ciphertext. Kept as a separate kind so journals written by
+	// an unbatched daemon stay byte-identical to the pre-batching format
+	// and old journals replay without migration.
+	recCompleteLane = 4
 )
 
 // journalState is the fold of a journal replay: jobs accepted but not
@@ -67,8 +73,16 @@ const (
 type journalState struct {
 	pending   map[string]acceptRec
 	order     []string // accept order of pending keys
-	completed map[string][]byte
+	completed map[string]completedRec
 	done      []string // completion order of completed keys
+}
+
+// completedRec is one settled result: the reply bytes plus, for results
+// that rode a shared batch, the caller's lane (stride <= 1 means solo).
+type completedRec struct {
+	lane   int
+	stride int
+	body   []byte
 }
 
 type acceptRec struct {
@@ -187,6 +201,19 @@ func encodeComplete(key string, result []byte) ([]byte, error) {
 	return append(buf, result...), nil
 }
 
+func encodeCompleteLane(key string, lane, stride int, result []byte) ([]byte, error) {
+	if lane < 0 || lane > math.MaxUint16 || stride < 0 || stride > math.MaxUint16 {
+		return nil, fmt.Errorf("serve: journal lane %d/stride %d out of range", lane, stride)
+	}
+	buf, err := appendString([]byte{recCompleteLane}, key)
+	if err != nil {
+		return nil, err
+	}
+	buf = binary.LittleEndian.AppendUint16(buf, uint16(lane))
+	buf = binary.LittleEndian.AppendUint16(buf, uint16(stride))
+	return append(buf, result...), nil
+}
+
 func encodeForget(key string) ([]byte, error) {
 	return appendString([]byte{recForget}, key)
 }
@@ -196,7 +223,7 @@ func encodeForget(key string) ([]byte, error) {
 // gave up while the worker finished) resolve in append order, so the
 // final record wins.
 func foldJournal(records [][]byte) (*journalState, error) {
-	st := &journalState{pending: map[string]acceptRec{}, completed: map[string][]byte{}}
+	st := &journalState{pending: map[string]acceptRec{}, completed: map[string]completedRec{}}
 	for i, rec := range records {
 		if len(rec) < 1 {
 			return nil, fmt.Errorf("serve: empty journal record %d", i)
@@ -229,7 +256,19 @@ func foldJournal(records [][]byte) (*journalState, error) {
 			if _, dup := st.completed[key]; !dup {
 				st.done = append(st.done, key)
 			}
-			st.completed[key] = append([]byte(nil), rest...)
+			st.completed[key] = completedRec{body: append([]byte(nil), rest...)}
+		case recCompleteLane:
+			if len(rest) < 4 {
+				return nil, fmt.Errorf("serve: journal record %d: truncated lane", i)
+			}
+			lane := int(binary.LittleEndian.Uint16(rest))
+			strideV := int(binary.LittleEndian.Uint16(rest[2:]))
+			rest = rest[4:]
+			st.dropPending(key)
+			if _, dup := st.completed[key]; !dup {
+				st.done = append(st.done, key)
+			}
+			st.completed[key] = completedRec{lane: lane, stride: strideV, body: append([]byte(nil), rest...)}
 		case recForget:
 			st.dropPending(key)
 		default:
@@ -275,9 +314,17 @@ func (d *durable) accept(key, sessID string, deadline time.Time, input []byte) e
 }
 
 // complete journals a finished job's result bytes — the persisted half
-// of the idempotency success LRU — and removes its checkpoint.
-func (d *durable) complete(key string, result []byte) {
-	rec, err := encodeComplete(key, result)
+// of the idempotency success LRU — and removes its checkpoint. Results
+// of batched evaluations (stride > 1) record their lane so post-restart
+// replays carry the same lane headers.
+func (d *durable) complete(key string, result []byte, lane, stride int) {
+	var rec []byte
+	var err error
+	if stride > 1 {
+		rec, err = encodeCompleteLane(key, lane, stride, result)
+	} else {
+		rec, err = encodeComplete(key, result)
+	}
 	if err != nil {
 		d.storeErrs.Add(1)
 	} else {
@@ -352,7 +399,14 @@ func (d *durable) rewrite(st *journalState) error {
 		done = done[len(done)-d.idemCap:]
 	}
 	for _, key := range done {
-		rec, err := encodeComplete(key, st.completed[key])
+		c := st.completed[key]
+		var rec []byte
+		var err error
+		if c.stride > 1 {
+			rec, err = encodeCompleteLane(key, c.lane, c.stride, c.body)
+		} else {
+			rec, err = encodeComplete(key, c.body)
+		}
 		if err != nil {
 			return err
 		}

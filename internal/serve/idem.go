@@ -14,7 +14,12 @@ type idemEntry struct {
 	done chan struct{}
 	ok   bool
 	body []byte
-	elem *list.Element // non-nil once retained in the completed LRU
+	// lane/stride record where in the stored ciphertext the caller's
+	// slots live when the execution rode a shared batch (stride <= 1
+	// for solo results); replays re-emit them as response headers.
+	lane   int
+	stride int
+	elem   *list.Element // non-nil once retained in the completed LRU
 }
 
 // idemCache makes /v1/infer retries safe: the first request bearing a
@@ -59,9 +64,10 @@ func (c *idemCache) begin(key string) (entry *idemEntry, owner bool) {
 // complete finalizes an owned entry. Success retains the body under the
 // LRU cap; failure removes the key so the next attempt re-executes.
 // Followers blocked on entry.done observe the final state afterwards.
-func (c *idemCache) complete(e *idemEntry, ok bool, body []byte) {
+func (c *idemCache) complete(e *idemEntry, ok bool, body []byte, lane, stride int) {
 	c.mu.Lock()
 	e.ok, e.body = ok, body
+	e.lane, e.stride = lane, stride
 	if ok {
 		e.elem = c.order.PushFront(e)
 		for c.order.Len() > c.capacity {
@@ -80,13 +86,13 @@ func (c *idemCache) complete(e *idemEntry, ok bool, body []byte) {
 // a post-restart retry under the same key replays the stored bytes
 // exactly as if the daemon had never died. Keys already present — e.g.
 // claimed by an in-flight recovered job — are left alone.
-func (c *idemCache) restore(key string, body []byte) {
+func (c *idemCache) restore(key string, body []byte, lane, stride int) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if _, ok := c.byKey[key]; ok {
 		return
 	}
-	e := &idemEntry{key: key, done: make(chan struct{}), ok: true, body: body}
+	e := &idemEntry{key: key, done: make(chan struct{}), ok: true, body: body, lane: lane, stride: stride}
 	close(e.done)
 	e.elem = c.order.PushFront(e)
 	c.byKey[key] = e

@@ -35,6 +35,13 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	e.Family("ace_requests_failed_total", "Inference requests that failed with a 5xx.", obs.Counter).Add(float64(st.Failed))
 	e.Family("ace_eval_panics_total", "Evaluations that died in a recovered panic.", obs.Counter).Add(float64(st.Panics))
 	e.Family("ace_idem_replays_total", "Responses served from the idempotency cache.", obs.Counter).Add(float64(st.IdemReplays))
+	e.Family("ace_queue_expired_total", "Jobs dropped by workers because their deadline passed while queued.", obs.Counter).Add(float64(st.QueueExpired))
+
+	e.Family("ace_batches_total", "Multi-request fused evaluations over shared ciphertexts.", obs.Counter).Add(float64(st.Batches))
+	e.Family("ace_batched_jobs_total", "Requests served inside fused evaluations.", obs.Counter).Add(float64(st.BatchedJobs))
+	e.Family("ace_batch_solo_fallbacks_total", "Coalescing windows that closed with a single request.", obs.Counter).Add(float64(st.SoloFallbacks))
+	e.Family("ace_batch_lanes", "Maximum requests one evaluation carries (1 = batching off).", obs.Gauge).Add(float64(st.BatchLanes))
+	e.Family("ace_batch_stride", "Slot-lane stride of the served program (1 = untransformed).", obs.Gauge).Add(float64(st.BatchStride))
 
 	ff := e.Family("ace_fault_fired_total", "Armed fault-injection points fired, per point.", obs.Counter)
 	for _, p := range fault.Snapshot() {

@@ -26,23 +26,39 @@ type job struct {
 	resume  []byte
 }
 
+// jobResult carries a finished evaluation back to the handler. When the
+// job rode a shared batched ciphertext, stride > 1 and lane say which
+// interleaved slots of ct belong to this caller; stride <= 1 is a plain
+// solo result.
 type jobResult struct {
-	ct  *ckks.Ciphertext
-	err error
+	ct     *ckks.Ciphertext
+	lane   int
+	stride int
+	err    error
+}
+
+// batchGroup is the scheduler's unit of work: one or more jobs that
+// share a session and will be evaluated together. The solo path
+// enqueues singleton groups, so batched and unbatched serving flow
+// through the same queue, drain logic and worker pool.
+type batchGroup struct {
+	jobs []*job
 }
 
 // scheduler owns the bounded queue and the worker pool. Workers pull
-// jobs in FIFO order and run exec, which builds a per-request machine
+// groups in FIFO order and run exec, which builds a per-group machine
 // around the session's keys (the Evaluator is per-goroutine; parameters,
-// encoder and bootstrapper are shared read-only).
+// encoder and bootstrapper are shared read-only). exec settles every
+// job's done channel itself.
 type scheduler struct {
-	queue chan *job
-	wg    sync.WaitGroup
-	exec  func(*job) jobResult
+	queue   chan *batchGroup
+	wg      sync.WaitGroup
+	exec    func(*batchGroup)
+	expired func(*job)
 }
 
-func newScheduler(depth, workers int, exec func(*job) jobResult) *scheduler {
-	s := &scheduler{queue: make(chan *job, depth), exec: exec}
+func newScheduler(depth, workers int, exec func(*batchGroup), expired func(*job)) *scheduler {
+	s := &scheduler{queue: make(chan *batchGroup, depth), exec: exec, expired: expired}
 	s.wg.Add(workers)
 	for i := 0; i < workers; i++ {
 		go s.worker()
@@ -52,15 +68,28 @@ func newScheduler(depth, workers int, exec func(*job) jobResult) *scheduler {
 
 func (s *scheduler) worker() {
 	defer s.wg.Done()
-	for j := range s.queue {
+	for g := range s.queue {
 		// A request whose deadline expired while queued is dropped
 		// without touching the evaluator: completing doomed work would
-		// only delay live requests behind it.
-		if err := j.ctx.Err(); err != nil {
-			j.done <- jobResult{err: err}
+		// only delay live requests behind it. In a batched group the
+		// expired member is filtered out and the survivors still run —
+		// one abandoned caller must not void its window-mates' work.
+		live := g.jobs[:0]
+		for _, j := range g.jobs {
+			if err := j.ctx.Err(); err != nil {
+				if s.expired != nil {
+					s.expired(j)
+				}
+				j.done <- jobResult{err: err}
+				continue
+			}
+			live = append(live, j)
+		}
+		if len(live) == 0 {
 			continue
 		}
-		j.done <- s.exec(j)
+		g.jobs = live
+		s.exec(g)
 	}
 }
 

@@ -26,6 +26,7 @@ import (
 	"sync"
 	"time"
 
+	"antace/internal/batch"
 	"antace/internal/bootstrap"
 	"antace/internal/ckks"
 	"antace/internal/ckksir"
@@ -64,6 +65,20 @@ type Config struct {
 	// IdemEntries bounds the idempotency result cache (default 256
 	// retained successes; in-flight executions are uncounted).
 	IdemEntries int
+
+	// BatchMax > 1 enables cross-request slot batching: concurrent
+	// inference requests on the same session that arrive within
+	// BatchWindow are packed into spare slot lanes of one shared
+	// ciphertext and evaluated together, up to min(BatchMax, stride)
+	// jobs per evaluation, where stride = slots/VecLen. The program is
+	// lane-transformed at startup (every rotation scaled by the stride,
+	// every constant replicated per lane), so clients must encode inputs
+	// strided per the spec's BatchStride and extract their lane from
+	// replies. 0 or 1 disables batching and serves exactly the solo
+	// path. BatchWindow defaults to 20ms when batching is on: latency
+	// traded per request for up-to-stride-fold throughput.
+	BatchMax    int
+	BatchWindow time.Duration
 
 	// DataDir, when set, enables the durability layer: registered key
 	// bundles spill to disk, idempotent jobs are journaled, and
@@ -123,6 +138,9 @@ func (c Config) withDefaults() Config {
 	if c.IdemEntries <= 0 {
 		c.IdemEntries = 256
 	}
+	if c.BatchMax > 1 && c.BatchWindow <= 0 {
+		c.BatchWindow = 20 * time.Millisecond
+	}
 	if c.DiskBudget <= 0 {
 		c.DiskBudget = 1 << 30
 	}
@@ -154,6 +172,14 @@ type Server struct {
 	required []uint64 // Galois elements every session must provide
 	needRlk  bool
 
+	// Cross-request batching: stride is the lane spacing the served
+	// module was transformed for (1 = batching off), maxLanes the most
+	// jobs one evaluation carries, and coal the per-session coalescing
+	// window in front of the queue (nil when batching is off).
+	stride   int
+	maxLanes int
+	coal     *batch.Coalescer[*job]
+
 	sessions *sessionCache
 	sched    *scheduler
 	idem     *idemCache
@@ -173,8 +199,12 @@ type Server struct {
 	dur      *durable
 	restarts uint64
 
-	mu       sync.RWMutex // guards draining vs. queue sends and close
+	mu       sync.RWMutex // guards draining/stopped vs. queue sends and close
 	draining bool
+	// stopped is set after the coalescer's final sweep and before the
+	// queue closes; flush callbacks check it under mu so no send can
+	// race the close.
+	stopped bool
 
 	// beforeExec is a test hook invoked by workers ahead of evaluation;
 	// nil outside tests.
@@ -194,13 +224,46 @@ func New(prog Program, cfg Config) (*Server, error) {
 	if err != nil {
 		return nil, err
 	}
+
+	// Cross-request batching: when the ring has spare slot capacity
+	// (stride = slots/VecLen > 1), serve a lane-transformed clone of the
+	// module — every rotation scaled by the stride, every constant
+	// replicated across lanes — so up to min(BatchMax, stride) packed
+	// inputs evaluate in one pass. The transform preserves per-slot
+	// semantics exactly (see internal/batch), so stride 1 and batching
+	// off serve byte-identical programs.
+	module := res.Module
+	stride := 1
+	if cfg.BatchMax > 1 {
+		stride = batch.Stride(params.Slots(), prog.VecLen)
+	}
+	maxLanes := 1
+	var rotations []int
+	if stride > 1 {
+		bmod, terr := batch.Transform(res.Module, stride)
+		if terr != nil {
+			return nil, fmt.Errorf("serve: batch transform: %w", terr)
+		}
+		module = bmod
+		maxLanes = min(cfg.BatchMax, stride)
+		rotations = batch.Rotations(bmod)
+		// Packing rotates job b's lane-0 ciphertext by −b before the
+		// additive merge, so the session needs those Galois keys too.
+		for b := 1; b < maxLanes; b++ {
+			rotations = append(rotations, -b)
+		}
+	} else {
+		rotations = append([]int(nil), res.Rotations...)
+	}
+
 	var bt *bootstrap.Bootstrapper
-	rotations := append([]int(nil), res.Rotations...)
 	conj := false
 	if res.Boot != nil {
 		if bt, err = bootstrap.NewBootstrapper(params, *res.Boot, res.InputScale); err != nil {
 			return nil, err
 		}
+		// Bootstrap rotations are over the full slot count and
+		// lane-oblivious; they are never stride-scaled.
 		rotations = append(rotations, bt.RequiredRotations()...)
 		conj = true
 	}
@@ -211,13 +274,19 @@ func New(prog Program, cfg Config) (*Server, error) {
 	if err != nil {
 		return nil, err
 	}
+	specStride := 0
+	if stride > 1 {
+		specStride = stride
+	}
 	s := &Server{
-		cfg:    cfg,
-		name:   prog.Name,
-		module: res.Module,
-		params: params,
-		enc:    ckks.NewEncoder(params),
-		boot:   bt,
+		cfg:      cfg,
+		name:     prog.Name,
+		module:   module,
+		params:   params,
+		enc:      ckks.NewEncoder(params),
+		boot:     bt,
+		stride:   stride,
+		maxLanes: maxLanes,
 		spec: api.ProgramSpec{
 			Name:        prog.Name,
 			Params:      paramBytes,
@@ -229,6 +298,7 @@ func New(prog Program, cfg Config) (*Server, error) {
 			Conjugation: conj,
 			NeedRlk:     true,
 			Bootstraps:  res.Bootstraps,
+			BatchStride: specStride,
 		},
 		needRlk:   true,
 		sessions:  newSessionCache(cfg.SessionBudget),
@@ -249,7 +319,11 @@ func New(prog Program, cfg Config) (*Server, error) {
 	if conj {
 		s.required = append(s.required, rQ.GaloisElementForConjugation())
 	}
-	s.sched = newScheduler(cfg.QueueDepth, cfg.Workers, s.execute)
+	s.sched = newScheduler(cfg.QueueDepth, cfg.Workers, s.executeGroup,
+		func(*job) { s.stats.queueExpired.Add(1) })
+	if maxLanes > 1 {
+		s.coal = batch.NewCoalescer[*job](cfg.BatchWindow, maxLanes, s.flushBatch)
+	}
 
 	if cfg.DataDir != "" {
 		if err := s.openDurability(); err != nil {
@@ -300,7 +374,8 @@ func (s *Server) openDurability() error {
 		done = done[len(done)-s.cfg.IdemEntries:]
 	}
 	for _, key := range done {
-		s.idem.restore(key, st.completed[key])
+		c := st.completed[key]
+		s.idem.restore(key, c.body, c.lane, c.stride)
 	}
 
 	// Compact to live state and drop checkpoints with no pending accept,
@@ -340,7 +415,7 @@ func (s *Server) recoverJob(key string, a acceptRec, entry *idemEntry) {
 	trace := obs.NewTraceID()
 	log := s.log.With(slog.String("trace", trace), slog.String("idem_key", key))
 	if err := fault.Inject(fault.ServeRecoverErr); err != nil {
-		s.completeIdem(entry, false, nil)
+		s.completeIdem(entry, false, nil, 0, 0)
 		return
 	}
 	budget := s.cfg.MaxDeadline
@@ -348,7 +423,7 @@ func (s *Server) recoverJob(key string, a acceptRec, entry *idemEntry) {
 		rem := time.Until(a.deadline)
 		if rem <= 0 {
 			log.Info("recover.expired", slog.Time("deadline", a.deadline))
-			s.completeIdem(entry, false, nil)
+			s.completeIdem(entry, false, nil, 0, 0)
 			return
 		}
 		if rem < budget {
@@ -360,12 +435,12 @@ func (s *Server) recoverJob(key string, a acceptRec, entry *idemEntry) {
 		// The keys did not survive (disk eviction or RAM-only
 		// registration); the client re-registers and re-executes.
 		log.Info("recover.nosession", slog.String("session", a.sessID))
-		s.completeIdem(entry, false, nil)
+		s.completeIdem(entry, false, nil, 0, 0)
 		return
 	}
 	ct := &ckks.Ciphertext{}
 	if err := ct.UnmarshalBinary(a.input); err != nil {
-		s.completeIdem(entry, false, nil)
+		s.completeIdem(entry, false, nil, 0, 0)
 		return
 	}
 	ctx, cancel := context.WithTimeout(obs.WithTrace(context.Background(), trace), budget)
@@ -378,35 +453,38 @@ func (s *Server) recoverJob(key string, a acceptRec, entry *idemEntry) {
 	j := &job{ctx: ctx, sess: sess, ct: ct, done: make(chan jobResult, 1),
 		enqueued: time.Now(), idemKey: key, resume: resume}
 	if !s.enqueueBlocking(j) {
-		s.completeIdem(entry, false, nil)
+		s.completeIdem(entry, false, nil, 0, 0)
 		return
 	}
 	res := <-j.done
 	if res.err != nil {
 		log.Warn("recover.failed", slog.String("err", res.err.Error()))
-		s.completeIdem(entry, false, nil)
+		s.completeIdem(entry, false, nil, 0, 0)
 		return
 	}
 	out, err := res.ct.MarshalBinary()
 	if err != nil {
-		s.completeIdem(entry, false, nil)
+		s.completeIdem(entry, false, nil, 0, 0)
 		return
 	}
-	s.completeIdem(entry, true, out)
+	s.completeIdem(entry, true, out, res.lane, res.stride)
 	s.stats.served.Add(1)
 	log.Info("recover.done")
 }
 
-// enqueueBlocking submits a recovered job, waiting for queue space
-// rather than bouncing 429 (nobody is holding an HTTP connection open
-// for it). Returns false if the server is draining.
+// enqueueBlocking submits a recovered job as a singleton group, waiting
+// for queue space rather than bouncing 429 (nobody is holding an HTTP
+// connection open for it). Returns false if the server is draining.
+// Recovered jobs never coalesce: their journaled input is a complete
+// ciphertext and their checkpoint (if any) is mid-execution state that
+// only makes sense solo.
 func (s *Server) enqueueBlocking(j *job) bool {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
 	if s.draining {
 		return false
 	}
-	s.sched.queue <- j
+	s.sched.queue <- &batchGroup{jobs: []*job{j}}
 	return true
 }
 
@@ -457,6 +535,16 @@ func (s *Server) Drain(ctx context.Context) error {
 	}
 	done := make(chan struct{})
 	go func() {
+		// Order matters: new arrivals are already refused (draining),
+		// so sweep the coalescer's open windows into the queue first
+		// (blocking — accepted work must run), then flip stopped so no
+		// flush can send again, then close the queue.
+		if s.coal != nil {
+			s.coal.CloseAndFlush()
+		}
+		s.mu.Lock()
+		s.stopped = true
+		s.mu.Unlock()
 		s.sched.stop()
 		if s.dur != nil {
 			s.dur.close()
@@ -471,9 +559,9 @@ func (s *Server) Drain(ctx context.Context) error {
 	}
 }
 
-// tryEnqueue submits a job unless the server drains or the queue is
-// full. The read lock pairs with Drain's write lock so no send can race
-// the queue close.
+// tryEnqueue submits a singleton group unless the server drains or the
+// queue is full. The read lock pairs with Drain's write lock so no send
+// can race the queue close.
 func (s *Server) tryEnqueue(j *job) (ok, draining bool) {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
@@ -481,11 +569,65 @@ func (s *Server) tryEnqueue(j *job) (ok, draining bool) {
 		return false, true
 	}
 	select {
-	case s.sched.queue <- j:
+	case s.sched.queue <- &batchGroup{jobs: []*job{j}}:
 		return true, false
 	default:
 		return false, false
 	}
+}
+
+// Sentinel results for jobs a batch flush could not hand to the queue;
+// finish maps them onto the same 429/503 responses the solo admission
+// path produces.
+var (
+	errQueueFull    = errors.New("serve: queue full at batch flush")
+	errDrainingDrop = errors.New("serve: server draining")
+)
+
+// flushBatch is the coalescer's flush callback: hand one closed window
+// to the worker queue as a group. A timer- or max-triggered flush
+// load-sheds on a full queue exactly like the solo path (each member
+// answers 429); the final drain-time sweep blocks instead, because
+// every member was already accepted and must be served before the
+// workers stop. Holding the read lock across the send pairs with
+// Drain's write-locked stopped flip, so no send races the queue close.
+func (s *Server) flushBatch(jobs []*job, final bool) {
+	if len(jobs) == 1 {
+		s.stats.soloFallbacks.Add(1)
+	}
+	g := &batchGroup{jobs: jobs}
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if s.stopped {
+		for _, j := range jobs {
+			j.done <- jobResult{err: errDrainingDrop}
+		}
+		return
+	}
+	if final {
+		s.sched.queue <- g
+		return
+	}
+	select {
+	case s.sched.queue <- g:
+	default:
+		for _, j := range jobs {
+			j.done <- jobResult{err: errQueueFull}
+		}
+	}
+}
+
+// executeGroup is the worker entry point: singleton groups run the solo
+// path (which keeps checkpointing for journaled jobs), multi-job groups
+// run the fused batched evaluation. Either way every job's done channel
+// is settled here.
+func (s *Server) executeGroup(g *batchGroup) {
+	if len(g.jobs) == 1 {
+		j := g.jobs[0]
+		j.done <- s.execute(j)
+		return
+	}
+	s.executeBatch(g)
 }
 
 // execute runs one job on a fresh per-request machine around the shared
@@ -551,7 +693,131 @@ func (s *Server) execute(j *job) (res jobResult) {
 		log.Info("infer.eval", slog.Duration("eval", eval),
 			slog.Uint64("instrs", m.Prof.Steps()))
 	}
-	return jobResult{ct: out, err: err}
+	// Under a batched server even a solo run executes the
+	// lane-transformed module, so the caller's result lives in lane 0 of
+	// a strided layout and the reply must say so.
+	return jobResult{ct: out, lane: 0, stride: s.stride, err: err}
+}
+
+// executeBatch runs a coalesced multi-job group as one fused
+// evaluation: each member's lane-0 ciphertext is rotated into its own
+// lane (Rotate by −b costs one key switch, no level), the rotated
+// inputs are summed into a single packed ciphertext — lanes are
+// disjoint by construction, so addition is exact — and the transformed
+// module runs once. Every surviving member receives the same output
+// ciphertext tagged with its lane.
+//
+// It is the batch-wide panic and failure boundary the batch.flush.panic
+// injection point exercises: a panic or evaluation error fails every
+// job in THIS group (each answers 500) and nothing outside it — the
+// worker survives, other groups are untouched.
+func (s *Server) executeBatch(g *batchGroup) {
+	jobs := g.jobs
+	fail := func(err error) {
+		var re *fault.RuntimeError
+		if errors.As(err, &re) && re.Code == fault.CodeEvalPanic {
+			s.stats.panics.Add(1)
+		}
+		for _, j := range jobs {
+			j.done <- jobResult{err: err}
+		}
+	}
+	defer func() {
+		if rec := recover(); rec != nil {
+			s.params.DiscardScratch()
+			fail(fault.FromPanic("serve.worker", rec))
+		}
+	}()
+
+	// A member whose input is not at the compiled level/scale would
+	// poison the whole pack; fail it alone before touching the others.
+	live := jobs[:0]
+	for _, j := range jobs {
+		if j.ct.Level() != s.spec.InputLevel || !scaleClose(j.ct.Scale, s.spec.InputScale) {
+			j.done <- jobResult{err: fmt.Errorf(
+				"serve: batched input at level %d scale %g, compiled for level %d scale %g",
+				j.ct.Level(), j.ct.Scale, s.spec.InputLevel, s.spec.InputScale)}
+			continue
+		}
+		live = append(live, j)
+	}
+	jobs = live
+	switch len(jobs) {
+	case 0:
+		return
+	case 1:
+		jobs[0].done <- s.execute(jobs[0])
+		return
+	}
+
+	s.stats.batches.Add(1)
+	s.stats.batchedJobs.Add(uint64(len(jobs)))
+
+	// The fused run serves every member, so it gets the most patient
+	// member's deadline; a member whose own deadline lapses mid-flight
+	// times out at its handler without dooming its lane-mates.
+	trace := obs.NewTraceID()
+	deadline := time.Time{}
+	for _, j := range jobs {
+		if d, ok := j.ctx.Deadline(); ok && d.After(deadline) {
+			deadline = d
+		}
+		if s.beforeExec != nil {
+			s.beforeExec(j)
+		}
+		wait := time.Since(j.enqueued)
+		s.queueWait.Observe(wait)
+	}
+	ctx := obs.WithTrace(context.Background(), trace)
+	if !deadline.IsZero() {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithDeadline(ctx, deadline)
+		defer cancel()
+	}
+	log := obs.Logger(ctx, s.log)
+	log.Info("batch.exec", slog.Int("jobs", len(jobs)), slog.Int("stride", s.stride))
+
+	fault.InjectPanic(fault.BatchFlushPanic)
+	m := vm.NewMachine(s.params, jobs[0].sess.keys, s.boot, s.enc)
+	m.StepDelay = s.cfg.InstrDelay
+	m.Prof = obs.NewRunProfile()
+
+	in := jobs[0].ct
+	for b := 1; b < len(jobs); b++ {
+		rot, err := m.Eval.Rotate(jobs[b].ct, -b)
+		if err == nil {
+			in, err = m.Eval.Add(in, rot)
+		}
+		if err != nil {
+			fail(fmt.Errorf("serve: packing lane %d: %w", b, err))
+			return
+		}
+	}
+
+	evalStart := time.Now()
+	out, err := m.RunCtx(ctx, s.module, in)
+	eval := time.Since(evalStart)
+	s.evalHist.Observe(eval)
+	s.prof.Merge(m.Prof, eval)
+	if err != nil {
+		log.Warn("batch.eval", slog.Duration("eval", eval), slog.String("err", err.Error()))
+		fail(err)
+		return
+	}
+	log.Info("batch.eval", slog.Duration("eval", eval),
+		slog.Uint64("instrs", m.Prof.Steps()))
+	for b, j := range jobs {
+		j.done <- jobResult{ct: out, lane: b, stride: s.stride}
+	}
+}
+
+// scaleClose mirrors the vm's scale tolerance (1e-6 relative).
+func scaleClose(a, b float64) bool {
+	d := a - b
+	if d < 0 {
+		d = -d
+	}
+	return d <= 1e-6*b
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {
@@ -753,21 +1019,34 @@ func (s *Server) handleInfer(w http.ResponseWriter, r *http.Request) {
 	}
 
 	j := &job{ctx: ctx, sess: sess, ct: ct, done: make(chan jobResult, 1), enqueued: time.Now(), idemKey: idemFull}
-	ok, draining := s.tryEnqueue(j)
-	if draining {
-		s.completeIdem(entry, false, nil)
-		writeErr(w, http.StatusServiceUnavailable, "server is draining")
-		return
+	if s.coal != nil {
+		// Batched admission: the job waits in the session's coalescing
+		// window; the flush callback performs the actual queue send and
+		// reports full-queue load shedding through the job's done
+		// channel (finish maps it to the same 429).
+		if !s.coal.Add(sess.id, j) {
+			s.completeIdem(entry, false, nil, 0, 0)
+			writeErr(w, http.StatusServiceUnavailable, "server is draining")
+			return
+		}
+		log.Info("infer.coalesce", slog.String("session", sess.id))
+	} else {
+		ok, draining := s.tryEnqueue(j)
+		if draining {
+			s.completeIdem(entry, false, nil, 0, 0)
+			writeErr(w, http.StatusServiceUnavailable, "server is draining")
+			return
+		}
+		if !ok {
+			s.completeIdem(entry, false, nil, 0, 0)
+			s.stats.rejected.Add(1)
+			log.Info("infer.reject", slog.Int("queue_depth", s.cfg.QueueDepth))
+			w.Header().Set("Retry-After", strconv.Itoa(int(s.cfg.RetryAfter/time.Second)))
+			writeErr(w, http.StatusTooManyRequests, "queue full (%d deep)", s.cfg.QueueDepth)
+			return
+		}
+		log.Info("infer.enqueue", slog.Int("queue_depth", len(s.sched.queue)))
 	}
-	if !ok {
-		s.completeIdem(entry, false, nil)
-		s.stats.rejected.Add(1)
-		log.Info("infer.reject", slog.Int("queue_depth", s.cfg.QueueDepth))
-		w.Header().Set("Retry-After", strconv.Itoa(int(s.cfg.RetryAfter/time.Second)))
-		writeErr(w, http.StatusTooManyRequests, "queue full (%d deep)", s.cfg.QueueDepth)
-		return
-	}
-	log.Info("infer.enqueue", slog.Int("queue_depth", len(s.sched.queue)))
 
 	select {
 	case res := <-j.done:
@@ -777,7 +1056,7 @@ func (s *Server) handleInfer(w http.ResponseWriter, r *http.Request) {
 		// context and abandons the job. The idempotency entry dies with
 		// the attempt — the execution did not complete, so a retry must
 		// re-execute.
-		s.completeIdem(entry, false, nil)
+		s.completeIdem(entry, false, nil, 0, 0)
 		log.Info("infer.reply", slog.String("outcome", "timeout"))
 		s.failCtx(w, ctx.Err(), d)
 	}
@@ -802,6 +1081,7 @@ func (s *Server) followIdem(w http.ResponseWriter, ctx context.Context, entry *i
 	s.stats.idemReplays.Add(1)
 	w.Header().Set("Content-Type", api.ContentTypeBinary)
 	w.Header().Set(api.HeaderIdemReplayed, "1")
+	setLaneHeaders(w, entry.lane, entry.stride)
 	w.WriteHeader(http.StatusOK)
 	_, _ = w.Write(entry.body)
 }
@@ -810,19 +1090,22 @@ func (s *Server) followIdem(w http.ResponseWriter, ctx context.Context, entry *i
 // on the request) are ignored. With a disk tier attached the outcome is
 // journaled first — success persists the reply bytes for post-restart
 // replay, failure (or an abandoned attempt) forgets the job so a retry
-// re-executes rather than resuming a doomed checkpoint.
-func (s *Server) completeIdem(entry *idemEntry, ok bool, body []byte) {
+// re-executes rather than resuming a doomed checkpoint. A batched
+// success additionally records the lane the caller's slots live in, so
+// a replay — in-memory or post-restart — carries the same lane headers
+// as the original response.
+func (s *Server) completeIdem(entry *idemEntry, ok bool, body []byte, lane, stride int) {
 	if entry == nil {
 		return
 	}
 	if s.dur != nil {
 		if ok {
-			s.dur.complete(entry.key, body)
+			s.dur.complete(entry.key, body, lane, stride)
 		} else {
 			s.dur.forget(entry.key)
 		}
 	}
-	s.idem.complete(entry, ok, body)
+	s.idem.complete(entry, ok, body, lane, stride)
 }
 
 // finish writes a completed job's response. Evaluation failures carry a
@@ -832,10 +1115,21 @@ func (s *Server) completeIdem(entry *idemEntry, ok bool, body []byte) {
 func (s *Server) finish(w http.ResponseWriter, j *job, entry *idemEntry, res jobResult) {
 	log := obs.Logger(j.ctx, s.log)
 	if res.err != nil {
-		s.completeIdem(entry, false, nil)
+		s.completeIdem(entry, false, nil, 0, 0)
 		if errors.Is(res.err, context.DeadlineExceeded) || errors.Is(res.err, context.Canceled) {
 			log.Info("infer.reply", slog.String("outcome", "timeout"))
 			s.failCtx(w, res.err, 0)
+			return
+		}
+		if errors.Is(res.err, errQueueFull) {
+			s.stats.rejected.Add(1)
+			log.Info("infer.reject", slog.Int("queue_depth", s.cfg.QueueDepth))
+			w.Header().Set("Retry-After", strconv.Itoa(int(s.cfg.RetryAfter/time.Second)))
+			writeErr(w, http.StatusTooManyRequests, "queue full (%d deep)", s.cfg.QueueDepth)
+			return
+		}
+		if errors.Is(res.err, errDrainingDrop) {
+			writeErr(w, http.StatusServiceUnavailable, "server is draining")
 			return
 		}
 		s.stats.failed.Add(1)
@@ -846,19 +1140,31 @@ func (s *Server) finish(w http.ResponseWriter, j *job, entry *idemEntry, res job
 	}
 	out, err := res.ct.MarshalBinary()
 	if err != nil {
-		s.completeIdem(entry, false, nil)
+		s.completeIdem(entry, false, nil, 0, 0)
 		s.stats.failed.Add(1)
 		writeErrCode(w, http.StatusInternalServerError, fault.CodeEvalError, "encoding result: %v", err)
 		return
 	}
-	s.completeIdem(entry, true, out)
+	s.completeIdem(entry, true, out, res.lane, res.stride)
 	s.stats.served.Add(1)
 	s.lat.add(time.Since(j.enqueued))
 	log.Info("infer.reply", slog.String("outcome", "ok"),
 		slog.Duration("total", time.Since(j.enqueued)), slog.Int("bytes", len(out)))
 	w.Header().Set("Content-Type", api.ContentTypeBinary)
+	setLaneHeaders(w, res.lane, res.stride)
 	w.WriteHeader(http.StatusOK)
 	_, _ = w.Write(out)
+}
+
+// setLaneHeaders tags a batched reply with the caller's lane; solo
+// replies (stride <= 1) stay header-free, keeping the unbatched wire
+// format byte-identical to the pre-batching server.
+func setLaneHeaders(w http.ResponseWriter, lane, stride int) {
+	if stride <= 1 {
+		return
+	}
+	w.Header().Set(api.HeaderLane, strconv.Itoa(lane))
+	w.Header().Set(api.HeaderLaneStride, strconv.Itoa(stride))
 }
 
 // failCtx maps a context error to its HTTP status: an expired deadline is
@@ -907,6 +1213,12 @@ func (s *Server) StatzSnapshot() api.Statz {
 		Failed:           s.stats.failed.Load(),
 		Panics:           s.stats.panics.Load(),
 		IdemReplays:      s.stats.idemReplays.Load(),
+		QueueExpired:     s.stats.queueExpired.Load(),
+		Batches:          s.stats.batches.Load(),
+		BatchedJobs:      s.stats.batchedJobs.Load(),
+		SoloFallbacks:    s.stats.soloFallbacks.Load(),
+		BatchLanes:       s.maxLanes,
+		BatchStride:      s.stride,
 		FaultsFired:      fault.TotalFired(),
 		QueueDepth:       len(s.sched.queue),
 		QueueCap:         s.cfg.QueueDepth,

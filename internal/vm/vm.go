@@ -12,6 +12,7 @@ import (
 	"math"
 	"time"
 
+	"antace/internal/batch"
 	"antace/internal/bootstrap"
 	"antace/internal/ckks"
 	"antace/internal/ckksir"
@@ -61,6 +62,11 @@ type Client struct {
 	InputLevel int
 	InputScale float64
 	VecLen     int
+	// Stride > 1 targets a lane-transformed module (cross-request slot
+	// batching): Encrypt places the logical vector strided into lane 0
+	// and DecryptLane extracts one lane of a shared result. Zero or one
+	// is the plain solo layout.
+	Stride int
 }
 
 // New builds the machine and client for a compiled program. A nil seed
@@ -134,6 +140,13 @@ func (c *Client) Encrypt(values []float64) (*ckks.Ciphertext, error) {
 	if len(values) != c.VecLen {
 		return nil, fmt.Errorf("vm: input length %d, compiled for %d", len(values), c.VecLen)
 	}
+	if c.Stride > 1 {
+		exp, err := batch.ExpandLane(values, 0, c.Stride)
+		if err != nil {
+			return nil, err
+		}
+		values = exp
+	}
 	pt, err := c.Encoder.EncodeReal(values, c.InputLevel, c.InputScale)
 	if err != nil {
 		return nil, err
@@ -141,9 +154,25 @@ func (c *Client) Encrypt(values []float64) (*ckks.Ciphertext, error) {
 	return c.Encryptor.Encrypt(pt), nil
 }
 
-// Decrypt decrypts and decodes back to the slot vector.
+// Decrypt decrypts and decodes back to the slot vector (lane 0 when the
+// client targets a lane-transformed module).
 func (c *Client) Decrypt(ct *ckks.Ciphertext) []float64 {
-	return c.Encoder.DecodeReal(c.Decryptor.Decrypt(ct), c.VecLen)
+	return c.DecryptLane(ct, 0)
+}
+
+// DecryptLane decrypts a shared batched result and returns the logical
+// vector riding the given lane. With Stride <= 1 only lane 0 exists and
+// the decode is the plain solo layout.
+func (c *Client) DecryptLane(ct *ckks.Ciphertext, lane int) []float64 {
+	if c.Stride <= 1 {
+		return c.Encoder.DecodeReal(c.Decryptor.Decrypt(ct), c.VecLen)
+	}
+	wide := c.Encoder.DecodeReal(c.Decryptor.Decrypt(ct), c.VecLen*c.Stride)
+	out, err := batch.ExtractLane(wide, lane, c.Stride)
+	if err != nil {
+		panic(fmt.Sprintf("vm: lane %d out of range for stride %d", lane, c.Stride))
+	}
+	return out
 }
 
 // Run executes the module's main function on an encrypted input.
