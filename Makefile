@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test verify vet race bench bench-fusion bench-batch serve-smoke obs-smoke chaos durability
+.PHONY: build test verify vet race bench bench-fusion bench-batch serve-smoke obs-smoke chaos durability cluster-chaos
 
 build:
 	$(GO) build ./...
@@ -22,7 +22,7 @@ vet:
 # a shared session cache. ACE_WORKERS=8 forces parallel scheduling even on
 # single-core CI machines.
 race:
-	ACE_WORKERS=8 $(GO) test -race ./internal/ring/... ./internal/ckks/... ./internal/bootstrap/... ./internal/par/... ./internal/nt/... ./internal/polyir/... ./internal/serve/... ./internal/fheclient/... ./internal/vm/... ./internal/obs/... ./internal/batch/...
+	ACE_WORKERS=8 $(GO) test -race ./internal/ring/... ./internal/ckks/... ./internal/bootstrap/... ./internal/par/... ./internal/nt/... ./internal/polyir/... ./internal/serve/... ./internal/fheclient/... ./internal/vm/... ./internal/obs/... ./internal/batch/... ./internal/cluster/...
 
 # Loopback smoke test of the serving layer: start an in-process daemon,
 # register a session through the real client, infer, decrypt, compare to
@@ -57,11 +57,22 @@ durability:
 	$(GO) test -count=1 -race -run '^$$' -fuzz FuzzStoreReplay -fuzztime 10s ./internal/store/
 	$(GO) test -count=1 -race -run '^$$' -fuzz FuzzSnapshotRestore -fuzztime 10s ./internal/vm/
 
+# Cluster chaos suite: the sharded-serving proofs, all raced. The
+# subprocess e2e boots three real aced shards plus an acerouter,
+# SIGKILLs the session's primary shard mid-inference, and requires the
+# failover answer — served by the replica from the replicated key
+# bundle — to be bit-identical with zero client re-registration. The
+# in-process tests drive the same ring/shipper/router machinery through
+# the router.forward.err and replica.ship.torn injection points.
+cluster-chaos:
+	$(GO) test -count=1 -race -run 'TestChaos|TestRouter|TestShipper' ./internal/cluster/ -v -timeout 600s
+
 verify:
 	$(MAKE) vet
 	$(MAKE) race
 	$(MAKE) chaos
 	$(MAKE) durability
+	$(MAKE) cluster-chaos
 	$(MAKE) obs-smoke
 	$(GO) test ./...
 

@@ -38,10 +38,12 @@ func main() {
 	clients := flag.Int("clients", 8, "load mode: number of concurrent clients")
 	window := flag.Duration("duration", time.Minute, "load mode: measurement window (extended until at least one inference completes)")
 	reqDeadline := flag.Duration("request-deadline", 30*time.Minute, "load mode: per-request deadline forwarded to the server")
+	routerMode := flag.Bool("router", false, "load mode: the -load URL is an acerouter; scrape its cluster statz afterwards and write per-shard request counts to -cluster-out")
+	clusterOut := flag.String("cluster-out", "BENCH_cluster.json", "router mode: file the cluster report is written to")
 	flag.Parse()
 
 	if *load != "" {
-		if err := runLoad(*load, *clients, *window, *reqDeadline); err != nil {
+		if err := runLoad(*load, *clients, *window, *reqDeadline, *routerMode, *clusterOut); err != nil {
 			fmt.Fprintf(os.Stderr, "load failed: %v\n", err)
 			os.Exit(1)
 		}

@@ -34,10 +34,12 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
 	"antace"
+	"antace/internal/cluster"
 	"antace/internal/fault"
 	"antace/internal/onnx"
 	"antace/internal/serve"
@@ -64,6 +66,8 @@ func run() int {
 		ckptInterval = flag.Duration("checkpoint-interval", 0, "checkpoint journaled jobs on this wall-clock period (0 with -checkpoint-every 0 = 2s default)")
 		diskBudgetMB = flag.Int64("disk-budget-mb", 1024, "on-disk session spill budget in MiB")
 		addrFile     = flag.String("addr-file", "", "write the bound listen address to this file once serving (for scripts and tests)")
+		clusterSelf  = flag.String("cluster-self", "", "this shard's base URL as peers see it (enables session/journal replication; requires -cluster-peers)")
+		clusterPeers = flag.String("cluster-peers", "", "comma-separated base URLs of every shard in the cluster, this one included")
 		instrDelay   = flag.Duration("instr-delay", 0, "artificial per-instruction delay (chaos/e2e only)")
 		logFormat    = flag.String("log-format", "json", "log output format: json or text")
 		logLevel     = flag.String("log-level", "info", "minimum log level: debug, info, warn or error")
@@ -121,6 +125,37 @@ func run() int {
 		ace.Describe(prog, os.Stderr)
 	}
 
+	// Cluster replication: every shard computes the same consistent-hash
+	// ring from the shared peer list (placement is deterministic, no
+	// coordinator), and ships each session's durable state to that
+	// session's ring successor. The shipper is built before the server so
+	// even crash-recovery completions replicate.
+	var shipper *cluster.Shipper
+	if (*clusterSelf == "") != (*clusterPeers == "") {
+		logger.Error("-cluster-self and -cluster-peers must be set together")
+		return 1
+	}
+	if *clusterSelf != "" {
+		ring, err := cluster.NewRing(strings.Split(*clusterPeers, ","), 0)
+		if err != nil {
+			logger.Error("bad -cluster-peers", slog.String("err", err.Error()))
+			return 1
+		}
+		if shipper, err = cluster.NewShipper(ring, *clusterSelf, nil, logger); err != nil {
+			logger.Error("cluster shipper init failed", slog.String("err", err.Error()))
+			return 1
+		}
+		defer shipper.Close()
+		logger.Info("cluster replication on", slog.String("self", *clusterSelf),
+			slog.Int("shards", ring.Len()))
+	}
+
+	// A nil *Shipper must stay a nil interface, or serve would call
+	// through it.
+	var repl serve.Replicator
+	if shipper != nil {
+		repl = shipper
+	}
 	srv, err := serve.New(serve.Program{
 		Name:   name,
 		CKKS:   prog.CKKS,
@@ -138,6 +173,7 @@ func run() int {
 		BatchMax:         *batchMax,
 		BatchWindow:      *batchWindow,
 		InstrDelay:       *instrDelay,
+		Replicator:       repl,
 		Logger:           logger,
 		Pprof:            *pprofOn,
 	})

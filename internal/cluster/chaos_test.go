@@ -1,0 +1,286 @@
+package cluster_test
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+
+	"antace/internal/cluster"
+	"antace/internal/fheclient"
+	"antace/internal/ring"
+	"antace/internal/serve/api"
+)
+
+// buildBin compiles one of the repo's binaries once per test run.
+func buildBin(t *testing.T, pkg string) string {
+	t.Helper()
+	bin := filepath.Join(t.TempDir(), filepath.Base(pkg))
+	cmd := exec.Command("go", "build", "-o", bin, pkg)
+	cmd.Dir = "../.."
+	if out, err := cmd.CombinedOutput(); err != nil {
+		t.Fatalf("building %s: %v\n%s", pkg, err, out)
+	}
+	return bin
+}
+
+// freePorts reserves n distinct TCP ports by binding and releasing
+// them. Placement is a pure function of the shard list, so every shard
+// must know the full list — ports included — before any shard starts,
+// which rules out :0 self-assignment.
+func freePorts(t *testing.T, n int) []int {
+	t.Helper()
+	ports := make([]int, 0, n)
+	listeners := make([]net.Listener, 0, n)
+	for len(ports) < n {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		listeners = append(listeners, ln)
+		ports = append(ports, ln.Addr().(*net.TCPAddr).Port)
+	}
+	for _, ln := range listeners {
+		_ = ln.Close()
+	}
+	return ports
+}
+
+// startProc launches a daemon and waits for its -addr-file.
+func startProc(t *testing.T, bin string, args ...string) (*exec.Cmd, string) {
+	t.Helper()
+	addrFile := filepath.Join(t.TempDir(), "addr")
+	cmd := exec.Command(bin, append([]string{"-addr-file", addrFile}, args...)...)
+	logs := new(bytes.Buffer)
+	cmd.Stdout = logs
+	cmd.Stderr = logs
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		if cmd.ProcessState == nil {
+			_ = cmd.Process.Kill()
+			_, _ = cmd.Process.Wait()
+		}
+	})
+	deadline := time.Now().Add(90 * time.Second)
+	for {
+		if raw, err := os.ReadFile(addrFile); err == nil && len(raw) > 0 {
+			return cmd, "http://" + strings.TrimSpace(string(raw))
+		}
+		if cmd.ProcessState != nil || time.Now().After(deadline) {
+			t.Fatalf("%s never became ready; logs:\n%s", bin, logs.String())
+		}
+		time.Sleep(25 * time.Millisecond)
+	}
+}
+
+func rawInfer(t *testing.T, base, session, idemKey string, ctBytes []byte) (*http.Response, []byte) {
+	t.Helper()
+	req, err := http.NewRequest(http.MethodPost, base+api.PathInfer, bytes.NewReader(ctBytes))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set(api.HeaderSession, session)
+	req.Header.Set(api.HeaderIdemKey, idemKey)
+	req.Header.Set(api.HeaderDeadlineMs, "120000")
+	resp, err := (&http.Client{Timeout: 3 * time.Minute}).Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var buf bytes.Buffer
+	if _, err := buf.ReadFrom(resp.Body); err != nil {
+		t.Fatal(err)
+	}
+	return resp, buf.Bytes()
+}
+
+// TestChaosShardKillFailover is the tentpole's end-to-end proof against
+// the real binaries: three aced shards replicate sessions and journal
+// settlements around a hash ring, an acerouter fronts them, and a
+// SIGKILL takes the session's primary shard down mid-inference — no
+// drain, no warning. The router must fail the in-flight request over to
+// the replica shard, which re-executes it under the replicated key
+// bundle and answers bytes bit-identical to the uninterrupted reference
+// run; the pre-kill success must replay bit-identically from the
+// replicated idempotency journal; and the client never re-registers.
+func TestChaosShardKillFailover(t *testing.T) {
+	if testing.Short() {
+		t.Skip("subprocess e2e")
+	}
+	aced := buildBin(t, "antace/cmd/aced")
+	acerouter := buildBin(t, "antace/cmd/acerouter")
+
+	const shards = 3
+	ports := freePorts(t, shards)
+	urls := make([]string, shards)
+	for i, p := range ports {
+		urls[i] = fmt.Sprintf("http://127.0.0.1:%d", p)
+	}
+	peers := strings.Join(urls, ",")
+
+	procs := make(map[string]*exec.Cmd, shards)
+	dataDirs := make(map[string]string, shards)
+	for i, p := range ports {
+		dir := t.TempDir()
+		// -instr-delay stretches each instruction so "mid-inference" is a
+		// wide target; -checkpoint-every 1 makes in-flight progress visible
+		// on disk, which is the kill trigger.
+		cmd, _ := startProc(t, aced,
+			"-addr", fmt.Sprintf("127.0.0.1:%d", p),
+			"-data-dir", dir,
+			"-workers", "1",
+			"-instr-delay", "25ms",
+			"-checkpoint-every", "1",
+			"-cluster-self", urls[i],
+			"-cluster-peers", peers)
+		procs[urls[i]] = cmd
+		dataDirs[urls[i]] = dir
+	}
+	_, routerURL := startProc(t, acerouter, "-addr", "127.0.0.1:0", "-shards", peers)
+
+	ctx := context.Background()
+	c, err := fheclient.Dial(ctx, routerURL, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sessID, err := c.Register(ctx, ring.SeedFromInt(61))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rg, err := cluster.NewRing(urls, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	candidates := rg.LookupN(sessID, 2)
+	primary, replica := candidates[0], candidates[1]
+
+	input := make([]float64, c.Spec().VecLen)
+	for i := range input {
+		input[i] = float64(i%9)/9 - 0.4
+	}
+	ct, err := c.Encrypt(input)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctBytes, err := ct.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Uninterrupted reference run through the router: deterministic
+	// evaluation makes this the byte-exact answer every later attempt —
+	// failover re-execution or journal replay — must reproduce.
+	resp, want := rawInfer(t, routerURL, sessID, "warm", ctBytes)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("reference run: status %d body %s", resp.StatusCode, want)
+	}
+
+	// Wait until the warm settlement has replicated to the successor:
+	// completions ship asynchronously, and the replay check below needs
+	// the journal entry on the replica before the primary dies.
+	waitReplicaResults(t, replica)
+
+	// The doomed request: fired through the router, killed under it.
+	type result struct {
+		status   int
+		replayed string
+		body     []byte
+	}
+	doomed := make(chan result, 1)
+	go func() {
+		resp, body := rawInfer(t, routerURL, sessID, "crashy", ctBytes)
+		doomed <- result{status: resp.StatusCode, replayed: resp.Header.Get(api.HeaderIdemReplayed), body: body}
+	}()
+
+	// A checkpoint on the primary's disk proves "crashy" is mid-flight
+	// there. Then kill -9: no drain, no journal finalization, no goodbye.
+	waitForCheckpoint(t, filepath.Join(dataDirs[primary], "jobs"))
+	if err := procs[primary].Process.Signal(syscall.SIGKILL); err != nil {
+		t.Fatal(err)
+	}
+	_, _ = procs[primary].Process.Wait()
+
+	// The in-flight request survives the shard it was running on: the
+	// router fails it over to the replica, which re-executes under the
+	// replicated key bundle — bit-identical by determinism.
+	res := <-doomed
+	if res.status != http.StatusOK {
+		t.Fatalf("doomed request after shard kill: status %d body %s", res.status, res.body)
+	}
+	if !bytes.Equal(res.body, want) {
+		t.Fatal("failover re-execution differs from the uninterrupted run")
+	}
+
+	// The pre-kill success replays from the replicated journal, bit for
+	// bit, with zero client re-registration anywhere in this test.
+	resp, replayed := rawInfer(t, routerURL, sessID, "warm", ctBytes)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("warm replay after shard kill: status %d body %s", resp.StatusCode, replayed)
+	}
+	if resp.Header.Get(api.HeaderIdemReplayed) != "1" {
+		t.Error("pre-kill success was not served from the replicated idempotency journal")
+	}
+	if !bytes.Equal(replayed, want) {
+		t.Fatal("replicated journal replayed different bytes")
+	}
+
+	// Router-side accounting: at least one failover happened and the
+	// cluster replicated the session.
+	st := fetchClusterStatz(t, routerURL)
+	if st.Router.Failovers == 0 {
+		t.Error("router counted no failovers across a shard kill")
+	}
+	if st.Cluster.ReplicaSessions == 0 {
+		t.Error("cluster counted no replicated sessions")
+	}
+}
+
+func jsonBody(resp *http.Response, v any) error {
+	return json.NewDecoder(resp.Body).Decode(v)
+}
+
+func waitReplicaResults(t *testing.T, shardURL string) {
+	t.Helper()
+	deadline := time.Now().Add(30 * time.Second)
+	for time.Now().Before(deadline) {
+		resp, err := http.Get(shardURL + api.PathStatz)
+		if err == nil {
+			var st api.Statz
+			err := jsonBody(resp, &st)
+			resp.Body.Close()
+			if err == nil && st.ReplicaResults > 0 {
+				return
+			}
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Fatal("warm settlement never replicated to the successor shard")
+}
+
+func waitForCheckpoint(t *testing.T, jobDir string) {
+	t.Helper()
+	deadline := time.Now().Add(60 * time.Second)
+	for time.Now().Before(deadline) {
+		entries, err := os.ReadDir(jobDir)
+		if err == nil {
+			for _, e := range entries {
+				if strings.HasSuffix(e.Name(), ".ckpt") {
+					return
+				}
+			}
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Fatal("no checkpoint ever appeared on the primary")
+}

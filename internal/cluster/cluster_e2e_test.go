@@ -1,0 +1,392 @@
+package cluster_test
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"math"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"antace/internal/ckksir"
+	"antace/internal/cluster"
+	"antace/internal/fault"
+	"antace/internal/fheclient"
+	"antace/internal/nnir"
+	"antace/internal/obs"
+	"antace/internal/onnx"
+	"antace/internal/ring"
+	"antace/internal/serve"
+	"antace/internal/sihe"
+	"antace/internal/vecir"
+)
+
+// compileLinear lowers the paper's running-example model, mirroring the
+// serve package's test pipeline.
+func compileLinear(t testing.TB) (serve.Program, *vecir.Result) {
+	t.Helper()
+	m, err := onnx.BuildLinear(16, 4, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nn, err := nnir.Import(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vres, err := vecir.Lower(nn, vecir.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sm, err := sihe.Lower(vres.Module, sihe.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := ckksir.Lower(sm, ckksir.Options{Mode: ckksir.BootstrapNever, IgnoreSecurity: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return serve.Program{Name: "linear_infer", CKKS: res, VecLen: vres.InLayout.L}, vres
+}
+
+// testCluster is an in-process shard fleet: every shard is a real
+// serve.Server with a real Shipper behind a real TCP listener, so the
+// replication path crosses actual HTTP boundaries.
+type testCluster struct {
+	urls     []string
+	ring     *cluster.Ring
+	shards   map[string]*http.Server
+	shippers map[string]*cluster.Shipper
+	vres     *vecir.Result
+}
+
+// startCluster binds n listeners first — placement is a pure function
+// of the endpoint list, so every shard needs the full list before any
+// shard starts — then wires shipper and server per shard.
+func startCluster(t *testing.T, n int) *testCluster {
+	t.Helper()
+	prog, vres := compileLinear(t)
+	tc := &testCluster{
+		shards:   map[string]*http.Server{},
+		shippers: map[string]*cluster.Shipper{},
+		vres:     vres,
+	}
+	listeners := make([]net.Listener, n)
+	for i := range listeners {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		listeners[i] = ln
+		tc.urls = append(tc.urls, "http://"+ln.Addr().String())
+	}
+	rg, err := cluster.NewRing(tc.urls, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tc.ring = rg
+	for i, ln := range listeners {
+		self := tc.urls[i]
+		sh, err := cluster.NewShipper(rg, self, nil, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		srv, err := serve.New(prog, serve.Config{Workers: 1, Replicator: sh})
+		if err != nil {
+			t.Fatal(err)
+		}
+		hs := &http.Server{Handler: srv}
+		go func() { _ = hs.Serve(ln) }()
+		tc.shards[self] = hs
+		tc.shippers[self] = sh
+		t.Cleanup(func() {
+			_ = hs.Close()
+			sh.Close()
+			ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+			defer cancel()
+			_ = srv.Drain(ctx)
+		})
+	}
+	return tc
+}
+
+func (tc *testCluster) kill(t *testing.T, url string) {
+	t.Helper()
+	if err := tc.shards[url].Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func startRouter(t *testing.T, tc *testCluster, cfg cluster.RouterConfig) string {
+	t.Helper()
+	rt := cluster.NewRouter(tc.ring, cfg)
+	ts := httptest.NewServer(rt)
+	t.Cleanup(func() {
+		ts.Close()
+		rt.Close()
+	})
+	return ts.URL
+}
+
+func checkReference(t *testing.T, vres *vecir.Result, input, got []float64) {
+	t.Helper()
+	want, err := vecir.Run(vres.Module.Main(), input)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k := 0; k < vres.OutLayout.C; k++ {
+		slot := vres.OutLayout.Slot(k, 0, 0)
+		if math.Abs(got[slot]-want[slot]) > 1e-4 {
+			t.Fatalf("class %d: served %g, reference %g", k, got[slot], want[slot])
+		}
+	}
+}
+
+func fetchClusterStatz(t *testing.T, routerURL string) cluster.ClusterStatz {
+	t.Helper()
+	resp, err := http.Get(routerURL + "/v1/statz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var st cluster.ClusterStatz
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	return st
+}
+
+// TestRouterFailoverAfterShardDeath is the in-process half of the
+// tentpole proof: register and infer through the router, kill the
+// session's primary shard, and infer again — the router re-routes to
+// the ring successor, which holds the replicated key bundle, so the
+// request succeeds with zero client re-registration.
+func TestRouterFailoverAfterShardDeath(t *testing.T) {
+	tc := startCluster(t, 3)
+	routerURL := startRouter(t, tc, cluster.RouterConfig{ProbeEvery: -1})
+
+	ctx := context.Background()
+	c, err := fheclient.Dial(ctx, routerURL, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	id, err := c.Register(ctx, ring.SeedFromInt(51))
+	if err != nil {
+		t.Fatal(err)
+	}
+	input := make([]float64, tc.vres.InLayout.L)
+	for i := range input {
+		input[i] = float64(i%7)/7 - 0.3
+	}
+	got, err := c.Infer(ctx, input)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkReference(t, tc.vres, input, got)
+
+	// The replica already holds the bundle: registration shipped it
+	// synchronously before answering 201.
+	candidates := tc.ring.LookupN(id, 2)
+	if len(candidates) != 2 {
+		t.Fatalf("LookupN(%q, 2) = %v", id, candidates)
+	}
+	tc.kill(t, candidates[0])
+
+	got, err = c.Infer(ctx, input)
+	if err != nil {
+		t.Fatalf("inference after primary death: %v", err)
+	}
+	checkReference(t, tc.vres, input, got)
+
+	st := fetchClusterStatz(t, routerURL)
+	if st.Router.Failovers == 0 {
+		t.Errorf("router failovers = 0, want > 0 after shard death")
+	}
+	if st.Cluster.ReplicaSessions == 0 {
+		t.Errorf("cluster replica_sessions = 0, want > 0")
+	}
+	if len(st.Shards) < 2 {
+		t.Errorf("statz aggregated %d shards, want >= 2 live", len(st.Shards))
+	}
+	if st.Router.ShardRequests[candidates[0]] == 0 || st.Router.ShardRequests[candidates[1]] == 0 {
+		t.Errorf("shard_requests missing a candidate: %v", st.Router.ShardRequests)
+	}
+}
+
+// TestRouterForwardFault arms the router.forward.err injection point:
+// the first forward dies inside the router — indistinguishable from a
+// backend lost between health probes — and the request must still
+// succeed via failover.
+func TestRouterForwardFault(t *testing.T) {
+	if err := fault.Arm(fault.RouterForwardErr + ":1"); err != nil {
+		t.Fatal(err)
+	}
+	defer fault.Disarm()
+
+	tc := startCluster(t, 2)
+	routerURL := startRouter(t, tc, cluster.RouterConfig{ProbeEvery: -1})
+
+	ctx := context.Background()
+	c, err := fheclient.Dial(ctx, routerURL, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Register(ctx, ring.SeedFromInt(52)); err != nil {
+		t.Fatal(err)
+	}
+	input := make([]float64, tc.vres.InLayout.L)
+	for i := range input {
+		input[i] = float64(i%4) / 8
+	}
+	got, err := c.Infer(ctx, input)
+	if err != nil {
+		t.Fatalf("inference with forward fault armed: %v", err)
+	}
+	checkReference(t, tc.vres, input, got)
+
+	st := fetchClusterStatz(t, routerURL)
+	if st.Router.Failovers == 0 {
+		t.Error("injected forward error did not count a failover")
+	}
+	fired := false
+	for _, p := range fault.Snapshot() {
+		if p.Point == fault.RouterForwardErr && p.Fired > 0 {
+			fired = true
+		}
+	}
+	if !fired {
+		t.Error("router.forward.err never fired")
+	}
+}
+
+// TestShipperTornReship arms replica.ship.torn: the first session
+// shipment is truncated mid-frame, the replica applies the intact
+// prefix, and the shipper re-sends the cut records — after which the
+// replica must be able to serve the session on failover.
+func TestShipperTornReship(t *testing.T) {
+	if err := fault.Arm(fault.ReplicaShipTorn + ":1"); err != nil {
+		t.Fatal(err)
+	}
+	defer fault.Disarm()
+
+	tc := startCluster(t, 2)
+	routerURL := startRouter(t, tc, cluster.RouterConfig{ProbeEvery: -1})
+
+	ctx := context.Background()
+	c, err := fheclient.Dial(ctx, routerURL, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	id, err := c.Register(ctx, ring.SeedFromInt(53))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	candidates := tc.ring.LookupN(id, 2)
+	primary := candidates[0]
+	reshipped := false
+	for _, sh := range tc.shippers {
+		if st := sh.Stats(); st.Reshipped > 0 {
+			reshipped = true
+		}
+	}
+	if !reshipped {
+		t.Fatal("torn shipment was never re-shipped")
+	}
+
+	tc.kill(t, primary)
+	input := make([]float64, tc.vres.InLayout.L)
+	for i := range input {
+		input[i] = float64(i%3)/6 - 0.1
+	}
+	got, err := c.Infer(ctx, input)
+	if err != nil {
+		t.Fatalf("inference from replica after torn re-ship: %v", err)
+	}
+	checkReference(t, tc.vres, input, got)
+}
+
+// TestRouterMetricsFederation: the federated /metrics page must
+// strict-parse, carry per-shard samples labeled shard="...", and
+// include the router's own families.
+func TestRouterMetricsFederation(t *testing.T) {
+	tc := startCluster(t, 2)
+	routerURL := startRouter(t, tc, cluster.RouterConfig{ProbeEvery: -1})
+
+	ctx := context.Background()
+	c, err := fheclient.Dial(ctx, routerURL, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Register(ctx, ring.SeedFromInt(54)); err != nil {
+		t.Fatal(err)
+	}
+	input := make([]float64, tc.vres.InLayout.L)
+	if _, err := c.Infer(ctx, input); err != nil {
+		t.Fatal(err)
+	}
+
+	resp, err := http.Get(routerURL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var buf bytes.Buffer
+	if _, err := buf.ReadFrom(resp.Body); err != nil {
+		t.Fatal(err)
+	}
+	page := buf.String()
+	fams, err := obs.ParseExposition(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatalf("federated page does not strict-parse: %v\n%s", err, page)
+	}
+	served, ok := fams["ace_requests_served_total"]
+	if !ok {
+		t.Fatalf("federated page missing ace_requests_served_total:\n%s", page)
+	}
+	sawShard := false
+	for _, s := range served.Samples {
+		if s.Labels["shard"] != "" {
+			sawShard = true
+		}
+	}
+	if !sawShard {
+		t.Error("federated samples carry no shard label")
+	}
+	if _, ok := fams["ace_router_shards"]; !ok {
+		t.Error("federated page missing ace_router_shards")
+	}
+	if _, ok := fams["ace_router_forwarded_total"]; !ok {
+		t.Error("federated page missing ace_router_forwarded_total")
+	}
+}
+
+// TestRouterReadyzReflectsShards: the router reports ready while any
+// shard is, and 503 once the prober has seen every shard die.
+func TestRouterReadyzReflectsShards(t *testing.T) {
+	tc := startCluster(t, 2)
+	routerURL := startRouter(t, tc, cluster.RouterConfig{ProbeEvery: 25 * time.Millisecond})
+
+	waitStatus := func(want int) {
+		t.Helper()
+		deadline := time.Now().Add(5 * time.Second)
+		for time.Now().Before(deadline) {
+			resp, err := http.Get(routerURL + "/v1/readyz")
+			if err == nil {
+				resp.Body.Close()
+				if resp.StatusCode == want {
+					return
+				}
+			}
+			time.Sleep(10 * time.Millisecond)
+		}
+		t.Fatalf("router readyz never reached %d", want)
+	}
+	waitStatus(http.StatusOK)
+	for _, url := range tc.urls {
+		tc.kill(t, url)
+	}
+	waitStatus(http.StatusServiceUnavailable)
+}

@@ -1,0 +1,51 @@
+package cluster
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzNewRing feeds hostile endpoint lists (comma-split from arbitrary
+// bytes) to ring construction. The contract under attack: NewRing
+// either rejects the list with an error or returns a ring whose every
+// lookup lands on one of the accepted endpoints, with primary != replica
+// whenever two members exist — never a panic, never a placement outside
+// the member set.
+func FuzzNewRing(f *testing.F) {
+	f.Add("http://a:1,http://b:2,http://c:3", "deadbeef")
+	f.Add("", "k")
+	f.Add(",,,", "k")
+	f.Add("a a,b\tb", "k")
+	f.Add("x", "")
+	f.Add("http://a:1,http://a:1", "k")
+	f.Fuzz(func(t *testing.T, list, key string) {
+		eps := strings.Split(list, ",")
+		r, err := NewRing(eps, len(key)%7)
+		if err != nil {
+			return
+		}
+		members := map[string]bool{}
+		for _, ep := range r.Endpoints() {
+			members[ep] = true
+		}
+		got := r.LookupN(key, 2)
+		if len(got) == 0 {
+			t.Fatalf("accepted ring returned no placement for %q", key)
+		}
+		for _, ep := range got {
+			if !members[ep] {
+				t.Fatalf("lookup returned %q, not a ring member", ep)
+			}
+		}
+		if len(got) == 2 && got[0] == got[1] {
+			t.Fatalf("replica equals primary %q", got[0])
+		}
+		// Determinism within one ring.
+		again := r.LookupN(key, 2)
+		for i := range got {
+			if got[i] != again[i] {
+				t.Fatalf("lookup unstable: %v then %v", got, again)
+			}
+		}
+	})
+}

@@ -1,0 +1,418 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"io"
+	"log/slog"
+	"math"
+	"net/http"
+	"sync"
+	"time"
+
+	"antace/internal/fault"
+	"antace/internal/fheclient"
+	"antace/internal/serve/api"
+	"antace/internal/store"
+)
+
+// Replication record kinds. A shipment is an ACELOG1 log image whose
+// frames each hold one of these records: the kind byte followed by
+// uint16-length-prefixed strings and a trailing opaque payload — the
+// same framing discipline as the serve journal, checked end to end by
+// the store layer's CRCs.
+const (
+	// RecSession replicates a registered evaluation-key bundle:
+	// session id, bundle bytes.
+	RecSession = byte(1)
+	// RecComplete replicates one idempotency-journal completion:
+	// key, lane (uint16), stride (uint16), result bytes.
+	RecComplete = byte(2)
+	// RecForget withdraws a previously replicated completion: key.
+	RecForget = byte(3)
+)
+
+// Record is one decoded replication record.
+type Record struct {
+	Kind      byte
+	SessionID string // RecSession
+	Bundle    []byte // RecSession
+	Key       string // RecComplete, RecForget
+	Lane      int    // RecComplete
+	Stride    int    // RecComplete
+	Body      []byte // RecComplete
+}
+
+func appendString(buf []byte, s string) ([]byte, error) {
+	if len(s) > math.MaxUint16 {
+		return nil, fmt.Errorf("cluster: record string of %d bytes exceeds %d", len(s), math.MaxUint16)
+	}
+	buf = binary.LittleEndian.AppendUint16(buf, uint16(len(s)))
+	return append(buf, s...), nil
+}
+
+func readString(data []byte) (string, []byte, error) {
+	if len(data) < 2 {
+		return "", nil, fmt.Errorf("cluster: truncated record string")
+	}
+	n := int(binary.LittleEndian.Uint16(data))
+	data = data[2:]
+	if len(data) < n {
+		return "", nil, fmt.Errorf("cluster: record string %d > %d bytes", n, len(data))
+	}
+	return string(data[:n]), data[n:], nil
+}
+
+// EncodeSession builds a RecSession record.
+func EncodeSession(id string, bundle []byte) ([]byte, error) {
+	buf, err := appendString([]byte{RecSession}, id)
+	if err != nil {
+		return nil, err
+	}
+	return append(buf, bundle...), nil
+}
+
+// EncodeComplete builds a RecComplete record.
+func EncodeComplete(key string, lane, stride int, body []byte) ([]byte, error) {
+	if lane < 0 || lane > math.MaxUint16 || stride < 0 || stride > math.MaxUint16 {
+		return nil, fmt.Errorf("cluster: lane %d/stride %d out of range", lane, stride)
+	}
+	buf, err := appendString([]byte{RecComplete}, key)
+	if err != nil {
+		return nil, err
+	}
+	buf = binary.LittleEndian.AppendUint16(buf, uint16(lane))
+	buf = binary.LittleEndian.AppendUint16(buf, uint16(stride))
+	return append(buf, body...), nil
+}
+
+// EncodeForget builds a RecForget record.
+func EncodeForget(key string) ([]byte, error) {
+	return appendString([]byte{RecForget}, key)
+}
+
+// DecodeRecord parses one replication record (a frame payload that
+// already passed the store layer's CRC).
+func DecodeRecord(raw []byte) (Record, error) {
+	if len(raw) < 1 {
+		return Record{}, fmt.Errorf("cluster: empty replication record")
+	}
+	kind, rest := raw[0], raw[1:]
+	switch kind {
+	case RecSession:
+		id, rest, err := readString(rest)
+		if err != nil {
+			return Record{}, err
+		}
+		return Record{Kind: kind, SessionID: id, Bundle: rest}, nil
+	case RecComplete:
+		key, rest, err := readString(rest)
+		if err != nil {
+			return Record{}, err
+		}
+		if len(rest) < 4 {
+			return Record{}, fmt.Errorf("cluster: truncated lane in completion record")
+		}
+		lane := int(binary.LittleEndian.Uint16(rest))
+		stride := int(binary.LittleEndian.Uint16(rest[2:]))
+		return Record{Kind: kind, Key: key, Lane: lane, Stride: stride, Body: rest[4:]}, nil
+	case RecForget:
+		key, _, err := readString(rest)
+		if err != nil {
+			return Record{}, err
+		}
+		return Record{Kind: kind, Key: key}, nil
+	default:
+		return Record{}, fmt.Errorf("cluster: unknown replication record kind %d", kind)
+	}
+}
+
+// ShipperStats are the Shipper's monotone counters.
+type ShipperStats struct {
+	Shipped   uint64 `json:"shipped"`    // records acknowledged by a replica
+	Reshipped uint64 `json:"reshipped"`  // records re-sent after a torn apply
+	Errors    uint64 `json:"errors"`     // shipments abandoned after retries
+}
+
+// Shipper implements the serve layer's Replicator against a cluster
+// ring: every session's durable state ships to the ring successor of
+// that session's primary. Session-bundle shipments are synchronous —
+// when registration answers 201, the replica can already serve the
+// session — while journal completions ride an ordered async queue, so
+// the request fast path never waits on a peer (a lost completion only
+// costs a deterministic re-execution on failover).
+type Shipper struct {
+	ring *Ring
+	self string
+	hc   *http.Client
+	log  *slog.Logger
+	pol  fheclient.RetryPolicy
+
+	mu     sync.Mutex
+	queue  []shipItem
+	kick   chan struct{}
+	closed bool
+	wg     sync.WaitGroup
+
+	stats struct {
+		mu                         sync.Mutex
+		shipped, reshipped, errors uint64
+	}
+}
+
+type shipItem struct {
+	target string
+	rec    []byte
+}
+
+// NewShipper builds a Shipper for the shard at self (which must be a
+// ring member). A nil http.Client uses a dedicated one with sane
+// timeouts; a nil logger discards.
+func NewShipper(ring *Ring, self string, hc *http.Client, log *slog.Logger) (*Shipper, error) {
+	ok := false
+	for _, ep := range ring.Endpoints() {
+		if ep == self {
+			ok = true
+			break
+		}
+	}
+	if !ok {
+		return nil, fmt.Errorf("cluster: shipper self %q is not a ring member %v", self, ring.Endpoints())
+	}
+	if hc == nil {
+		hc = &http.Client{Timeout: 30 * time.Second}
+	}
+	if log == nil {
+		log = slog.New(slog.NewTextHandler(io.Discard, nil))
+	}
+	s := &Shipper{
+		ring: ring,
+		self: self,
+		hc:   hc,
+		log:  log,
+		pol:  fheclient.DefaultRetryPolicy(),
+		kick: make(chan struct{}, 1),
+	}
+	s.wg.Add(1)
+	go s.pump()
+	return s, nil
+}
+
+// Stats returns a snapshot of the shipment counters.
+func (s *Shipper) Stats() ShipperStats {
+	s.stats.mu.Lock()
+	defer s.stats.mu.Unlock()
+	return ShipperStats{Shipped: s.stats.shipped, Reshipped: s.stats.reshipped, Errors: s.stats.errors}
+}
+
+// successor picks the replica for a session key: the first ring node
+// for that key that is not this shard. When this shard is the key's
+// primary that is the ring successor; when a failover made this shard
+// the registrar, state ships back toward the (possibly dead) primary,
+// fail-open.
+func (s *Shipper) successor(key string) string {
+	for _, ep := range s.ring.LookupN(key, 2) {
+		if ep != s.self {
+			return ep
+		}
+	}
+	return ""
+}
+
+// ShipSession replicates a registered key bundle to the session's
+// successor shard, synchronously with retries: a 201 from registration
+// implies the replica holds the keys, which is what makes shard death
+// cost zero re-registration.
+func (s *Shipper) ShipSession(id string, bundle []byte) error {
+	target := s.successor(id)
+	if target == "" {
+		return nil // single-shard ring: nowhere to replicate
+	}
+	rec, err := EncodeSession(id, bundle)
+	if err != nil {
+		s.countErr()
+		return err
+	}
+	if err := s.shipSync(target, [][]byte{rec}); err != nil {
+		s.countErr()
+		return fmt.Errorf("cluster: replicating session %s to %s: %w", id, target, err)
+	}
+	return nil
+}
+
+// ShipComplete replicates one idempotency completion asynchronously.
+// The key is session-scoped ("<sessionid>/<idemkey>"), so the target is
+// derived from its session half.
+func (s *Shipper) ShipComplete(key string, lane, stride int, body []byte) {
+	rec, err := EncodeComplete(key, lane, stride, body)
+	s.enqueue(key, rec, err)
+}
+
+// ShipForget withdraws a completion from the replica asynchronously.
+func (s *Shipper) ShipForget(key string) {
+	rec, err := EncodeForget(key)
+	s.enqueue(key, rec, err)
+}
+
+func (s *Shipper) enqueue(key string, rec []byte, err error) {
+	if err != nil {
+		s.countErr()
+		return
+	}
+	target := s.successor(sessionOf(key))
+	if target == "" {
+		return
+	}
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
+	s.queue = append(s.queue, shipItem{target: target, rec: rec})
+	s.mu.Unlock()
+	select {
+	case s.kick <- struct{}{}:
+	default:
+	}
+}
+
+// sessionOf extracts the session half of a serve idempotency key
+// ("<sessionid>/<clientkey>"); a key without the separator hashes
+// whole.
+func sessionOf(key string) string {
+	for i := 0; i < len(key); i++ {
+		if key[i] == '/' {
+			return key[:i]
+		}
+	}
+	return key
+}
+
+// pump drains the async queue, batching everything queued for one
+// target into a single image per shipment.
+func (s *Shipper) pump() {
+	defer s.wg.Done()
+	for range s.kick {
+		for {
+			s.mu.Lock()
+			if len(s.queue) == 0 {
+				s.mu.Unlock()
+				break
+			}
+			// Take the longest same-target prefix so ordering per target is
+			// preserved (a forget must never overtake its complete).
+			target := s.queue[0].target
+			var recs [][]byte
+			rest := s.queue[:0]
+			taken := true
+			for _, it := range s.queue {
+				if taken && it.target == target {
+					recs = append(recs, it.rec)
+					continue
+				}
+				taken = false
+				rest = append(rest, it)
+			}
+			s.queue = append([]shipItem(nil), rest...)
+			s.mu.Unlock()
+			if err := s.shipSync(target, recs); err != nil {
+				s.countErr()
+				s.log.Warn("replica.ship.failed", slog.String("target", target),
+					slog.Int("records", len(recs)), slog.String("err", err.Error()))
+			}
+		}
+	}
+}
+
+// Close flushes the async queue and stops the pump. Safe to call once.
+func (s *Shipper) Close() {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
+	s.closed = true
+	s.mu.Unlock()
+	// One final kick so the pump drains anything still queued, then stop.
+	select {
+	case s.kick <- struct{}{}:
+	default:
+	}
+	close(s.kick)
+	s.wg.Wait()
+}
+
+// shipSync POSTs one image of records to target's /v1/replica with
+// RetryPolicy backoff, re-shipping the cut tail when the replica
+// reports a torn apply. The replica.ship.torn fault point truncates the
+// image mid-frame before the POST — the wire shape of a shard dying
+// mid-stream — to exercise exactly that path.
+func (s *Shipper) shipSync(target string, recs [][]byte) error {
+	pol := s.pol
+	var lastErr error
+	for attempt := 1; attempt <= pol.MaxAttempts; attempt++ {
+		image := store.Image(recs)
+		if ferr := fault.Inject(fault.ReplicaShipTorn); ferr != nil && len(recs) > 0 {
+			// Cut inside the last frame: the replica must apply the intact
+			// prefix and report how far it got.
+			cut := len(image) - len(recs[len(recs)-1])/2 - 1
+			if cut < len(store.ImageHeader()) {
+				cut = len(store.ImageHeader())
+			}
+			image = image[:cut]
+		}
+		applied, err := s.postImage(target, image)
+		if err == nil {
+			s.stats.mu.Lock()
+			s.stats.shipped += uint64(applied)
+			s.stats.mu.Unlock()
+			if applied >= len(recs) {
+				return nil
+			}
+			// Torn apply: everything before the cut landed; re-ship the rest.
+			s.stats.mu.Lock()
+			s.stats.reshipped += uint64(len(recs) - applied)
+			s.stats.mu.Unlock()
+			recs = recs[applied:]
+			continue
+		}
+		lastErr = err
+		if attempt < pol.MaxAttempts {
+			time.Sleep(pol.Backoff(attempt, 0))
+		}
+	}
+	return lastErr
+}
+
+func (s *Shipper) postImage(target string, image []byte) (applied int, err error) {
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, target+api.PathReplica, bytes.NewReader(image))
+	if err != nil {
+		return 0, err
+	}
+	req.Header.Set("Content-Type", api.ContentTypeBinary)
+	resp, err := s.hc.Do(req)
+	if err != nil {
+		return 0, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<12))
+		return 0, fmt.Errorf("replica apply returned %d: %s", resp.StatusCode, body)
+	}
+	var reply api.ReplicaApply
+	if err := json.NewDecoder(io.LimitReader(resp.Body, 1<<16)).Decode(&reply); err != nil {
+		return 0, fmt.Errorf("decoding replica apply reply: %w", err)
+	}
+	return reply.Applied, nil
+}
+
+func (s *Shipper) countErr() {
+	s.stats.mu.Lock()
+	s.stats.errors++
+	s.stats.mu.Unlock()
+}

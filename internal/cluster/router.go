@@ -1,0 +1,699 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"crypto/rand"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"io"
+	"log/slog"
+	"net/http"
+	"sort"
+	"sync"
+	"time"
+
+	"antace/internal/fault"
+	"antace/internal/fheclient"
+	"antace/internal/obs"
+	"antace/internal/serve/api"
+)
+
+// Router is the stateless cluster front: it consistent-hashes session
+// ids across the aced shards, forwards registration and inference with
+// retry and failover, and aggregates the shards' metrics, statz and
+// profilez pages cluster-wide. It keeps no per-session state of its own
+// — placement is recomputed from the id on every request, so any number
+// of router replicas can run behind one load balancer.
+//
+// Failover invariant: a session's key bundle lives on its primary shard
+// AND the ring successor (the shards replicate synchronously at
+// registration), so when the primary is dead, draining or freshly
+// restarted-empty the router re-routes to the successor and the request
+// succeeds with zero client re-registration. The router mints an
+// idempotency key for keyless inferences, making its own cross-shard
+// retries exactly-once.
+type Router struct {
+	ring *Ring
+	hc   *http.Client
+	log  *slog.Logger
+	pol  fheclient.RetryPolicy
+	mux  *http.ServeMux
+
+	// Health prober: shards answering /v1/readyz 200 are preferred
+	// targets; unready ones are skipped while any alternative exists
+	// (but still tried as a last resort — the prober is advisory).
+	probeEvery time.Duration
+	mu         sync.RWMutex
+	unready    map[string]bool
+
+	stats struct {
+		mu            sync.Mutex
+		forwarded     uint64
+		failovers     uint64
+		errors        uint64
+		shardRequests map[string]uint64
+	}
+
+	stop chan struct{}
+	wg   sync.WaitGroup
+}
+
+// RouterConfig tunes a Router; zero values select the noted defaults.
+type RouterConfig struct {
+	// HTTPClient used for all shard traffic (default: dedicated client,
+	// 5m timeout — inference requests legitimately run minutes).
+	HTTPClient *http.Client
+	// Retry paces cross-shard failover (default fheclient.DefaultRetryPolicy).
+	Retry fheclient.RetryPolicy
+	// ProbeEvery is the readiness poll period (default 500ms; negative
+	// disables probing and every candidate is always tried in ring order).
+	ProbeEvery time.Duration
+	// Logger receives forward/failover events; nil discards.
+	Logger *slog.Logger
+}
+
+// RouterStatz is the router's own half of the aggregated statz page.
+type RouterStatz struct {
+	Forwarded uint64 `json:"forwarded"`
+	Failovers uint64 `json:"failovers"`
+	Errors    uint64 `json:"errors"`
+	// ShardRequests counts requests the router sent to each shard
+	// (attempts, not successes — a failover counts against both shards).
+	ShardRequests map[string]uint64 `json:"shard_requests"`
+	// Ready is the prober's current view of each shard.
+	Ready map[string]bool `json:"ready"`
+}
+
+// ClusterStatz is returned by the router's GET /v1/statz: the router's
+// own counters, per-shard statz snapshots, and cluster-wide sums of the
+// shards' monotone counters.
+type ClusterStatz struct {
+	Router  RouterStatz          `json:"router"`
+	Cluster api.Statz            `json:"cluster"`
+	Shards  map[string]api.Statz `json:"shards"`
+}
+
+// NewRouter builds a router over the given shard ring and starts its
+// readiness prober; Close stops it.
+func NewRouter(ring *Ring, cfg RouterConfig) *Router {
+	hc := cfg.HTTPClient
+	if hc == nil {
+		hc = &http.Client{Timeout: 5 * time.Minute}
+	}
+	log := cfg.Logger
+	if log == nil {
+		log = slog.New(slog.NewTextHandler(io.Discard, nil))
+	}
+	probe := cfg.ProbeEvery
+	if probe == 0 {
+		probe = 500 * time.Millisecond
+	}
+	rt := &Router{
+		ring:       ring,
+		hc:         hc,
+		log:        log,
+		pol:        cfg.Retry.WithDefaults(),
+		probeEvery: probe,
+		unready:    map[string]bool{},
+		stop:       make(chan struct{}),
+	}
+	rt.stats.shardRequests = map[string]uint64{}
+
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET "+api.PathProgram, rt.handleProgram)
+	mux.HandleFunc("POST "+api.PathSessions, rt.handleRegister)
+	mux.HandleFunc("DELETE "+api.PathSessions+"/{id}", rt.handleDrop)
+	mux.HandleFunc("POST "+api.PathInfer, rt.handleInfer)
+	mux.HandleFunc("GET "+api.PathHealthz, rt.handleHealthz)
+	mux.HandleFunc("GET "+api.PathReadyz, rt.handleReadyz)
+	mux.HandleFunc("GET "+api.PathStatz, rt.handleStatz)
+	mux.HandleFunc("GET "+api.PathProfilez, rt.handleProfilez)
+	mux.HandleFunc("GET "+api.PathMetrics, rt.handleMetrics)
+	rt.mux = mux
+
+	if probe > 0 {
+		rt.wg.Add(1)
+		go rt.probeLoop()
+	}
+	return rt
+}
+
+// ServeHTTP dispatches to the router API.
+func (rt *Router) ServeHTTP(w http.ResponseWriter, r *http.Request) { rt.mux.ServeHTTP(w, r) }
+
+// Close stops the readiness prober.
+func (rt *Router) Close() {
+	select {
+	case <-rt.stop:
+	default:
+		close(rt.stop)
+	}
+	rt.wg.Wait()
+}
+
+// --- readiness probing ---------------------------------------------------
+
+func (rt *Router) probeLoop() {
+	defer rt.wg.Done()
+	rt.probeOnce()
+	t := time.NewTicker(rt.probeEvery)
+	defer t.Stop()
+	for {
+		select {
+		case <-rt.stop:
+			return
+		case <-t.C:
+			rt.probeOnce()
+		}
+	}
+}
+
+func (rt *Router) probeOnce() {
+	var wg sync.WaitGroup
+	for _, ep := range rt.ring.Endpoints() {
+		wg.Add(1)
+		go func(ep string) {
+			defer wg.Done()
+			ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+			defer cancel()
+			ready := false
+			req, err := http.NewRequestWithContext(ctx, http.MethodGet, ep+api.PathReadyz, nil)
+			if err == nil {
+				if resp, err := rt.hc.Do(req); err == nil {
+					io.Copy(io.Discard, io.LimitReader(resp.Body, 1<<12))
+					resp.Body.Close()
+					ready = resp.StatusCode == http.StatusOK
+				}
+			}
+			rt.mu.Lock()
+			was := !rt.unready[ep]
+			rt.unready[ep] = !ready
+			rt.mu.Unlock()
+			if was != ready {
+				rt.log.Info("router.shard", slog.String("shard", ep), slog.Bool("ready", ready))
+			}
+		}(ep)
+	}
+	wg.Wait()
+}
+
+// orderCandidates returns the candidates with ready shards first,
+// preserving ring order within each class: preference, not exclusion —
+// with a stale prober view the unready ones are still tried last.
+func (rt *Router) orderCandidates(candidates []string) []string {
+	rt.mu.RLock()
+	defer rt.mu.RUnlock()
+	ordered := make([]string, 0, len(candidates))
+	for _, ep := range candidates {
+		if !rt.unready[ep] {
+			ordered = append(ordered, ep)
+		}
+	}
+	for _, ep := range candidates {
+		if rt.unready[ep] {
+			ordered = append(ordered, ep)
+		}
+	}
+	return ordered
+}
+
+// --- forwarding ----------------------------------------------------------
+
+// fwdResult is one shard's complete buffered response.
+type fwdResult struct {
+	status int
+	header http.Header
+	body   []byte
+	shard  string
+}
+
+// maxRouterBody bounds any single body the router buffers (bundles and
+// ciphertexts both; buffering is what makes cross-shard retry possible).
+const maxRouterBody = 1 << 30
+
+// copiedHeaders are the response headers relayed back to the client.
+var copiedHeaders = []string{
+	"Content-Type", "Retry-After",
+	api.HeaderTrace, api.HeaderIdemReplayed, api.HeaderLane, api.HeaderLaneStride,
+}
+
+// forward tries candidates in order, with up to Retry.MaxAttempts
+// rounds and backoff between rounds. A candidate "fails over" on a
+// connection error, a 503 (draining/recovering) or — when allow404 —
+// a 404 (the shard restarted empty but its peer holds the replicated
+// session); any other response is the answer and is returned as-is.
+// The router.forward.err fault point fails the first candidate of the
+// first round artificially, forcing the failover path under test.
+func (rt *Router) forward(ctx context.Context, candidates []string, method, path string, header http.Header, body []byte, allow404 bool) (fwdResult, error) {
+	var lastRes fwdResult
+	var lastErr error
+	haveRes := false
+	first := true
+	for attempt := 1; attempt <= rt.pol.MaxAttempts; attempt++ {
+		for _, ep := range rt.orderCandidates(candidates) {
+			rt.countShard(ep)
+			if first {
+				first = false
+				if ferr := fault.Inject(fault.RouterForwardErr); ferr != nil {
+					rt.countFailover()
+					rt.log.Warn("router.forward", slog.String("shard", ep), slog.String("err", ferr.Error()))
+					lastErr = ferr
+					continue
+				}
+			}
+			res, err := rt.roundTrip(ctx, ep, method, path, header, body)
+			if err != nil {
+				rt.countFailover()
+				rt.log.Warn("router.forward", slog.String("shard", ep), slog.String("err", err.Error()))
+				lastErr = err
+				continue
+			}
+			if res.status == http.StatusServiceUnavailable || (allow404 && res.status == http.StatusNotFound) {
+				rt.countFailover()
+				rt.log.Info("router.failover", slog.String("shard", ep), slog.Int("status", res.status))
+				lastRes, haveRes = res, true
+				continue
+			}
+			return res, nil
+		}
+		if attempt < rt.pol.MaxAttempts {
+			select {
+			case <-ctx.Done():
+				return fwdResult{}, ctx.Err()
+			case <-time.After(rt.pol.Backoff(attempt, 0)):
+			}
+		}
+	}
+	if haveRes {
+		// Every candidate kept answering 503/404: relay the last shard
+		// reply rather than inventing one.
+		return lastRes, nil
+	}
+	rt.countErr()
+	if lastErr == nil {
+		lastErr = fmt.Errorf("cluster: no candidates for %s %s", method, path)
+	}
+	return fwdResult{}, lastErr
+}
+
+func (rt *Router) roundTrip(ctx context.Context, ep, method, path string, header http.Header, body []byte) (fwdResult, error) {
+	req, err := http.NewRequestWithContext(ctx, method, ep+path, bytes.NewReader(body))
+	if err != nil {
+		return fwdResult{}, err
+	}
+	for k, vs := range header {
+		req.Header[k] = vs
+	}
+	resp, err := rt.hc.Do(req)
+	if err != nil {
+		return fwdResult{}, err
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(io.LimitReader(resp.Body, maxRouterBody))
+	if err != nil {
+		return fwdResult{}, err
+	}
+	return fwdResult{status: resp.StatusCode, header: resp.Header, body: data, shard: ep}, nil
+}
+
+func (rt *Router) relay(w http.ResponseWriter, res fwdResult) {
+	for _, k := range copiedHeaders {
+		if v := res.header.Get(k); v != "" {
+			w.Header().Set(k, v)
+		}
+	}
+	w.WriteHeader(res.status)
+	_, _ = w.Write(res.body)
+}
+
+func (rt *Router) relayErr(w http.ResponseWriter, err error) {
+	writeJSON(w, http.StatusBadGateway, api.ErrorReply{Error: fmt.Sprintf("cluster: %v", err)})
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func mintHex32() (string, error) {
+	var b [16]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		return "", fmt.Errorf("cluster: minting id: %w", err)
+	}
+	return hex.EncodeToString(b[:]), nil
+}
+
+// --- request handlers ----------------------------------------------------
+
+// handleProgram forwards the spec fetch to any shard (every shard
+// serves the same compiled program).
+func (rt *Router) handleProgram(w http.ResponseWriter, r *http.Request) {
+	res, err := rt.forward(r.Context(), rt.ring.Endpoints(), http.MethodGet, api.PathProgram, nil, nil, false)
+	if err != nil {
+		rt.relayErr(w, err)
+		return
+	}
+	rt.countForwarded()
+	rt.relay(w, res)
+}
+
+// handleRegister mints the session id BEFORE the session exists — that
+// is the trick that makes stateless routing possible: the id's hash
+// decides its primary shard, the registration is forwarded there with
+// the id pre-assigned (X-ACE-Session), and the shard replicates the
+// bundle to the ring successor before answering 201. Every later
+// request re-derives both shards from the id alone.
+func (rt *Router) handleRegister(w http.ResponseWriter, r *http.Request) {
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxRouterBody))
+	if err != nil {
+		writeJSON(w, http.StatusRequestEntityTooLarge, api.ErrorReply{Error: err.Error()})
+		return
+	}
+	id, err := mintHex32()
+	if err != nil {
+		rt.relayErr(w, err)
+		return
+	}
+	header := http.Header{}
+	if ct := r.Header.Get("Content-Type"); ct != "" {
+		header.Set("Content-Type", ct)
+	}
+	header.Set(api.HeaderSession, id)
+	// Candidates are the id's primary then its successor: when the
+	// primary is down the bundle registers directly on the successor,
+	// which serves the session until the primary returns.
+	res, err := rt.forward(r.Context(), rt.ring.LookupN(id, 2), http.MethodPost, api.PathSessions, header, body, false)
+	if err != nil {
+		rt.relayErr(w, err)
+		return
+	}
+	rt.countForwarded()
+	rt.relay(w, res)
+}
+
+// handleDrop fans the delete out to the session's primary and replica;
+// 204 if either held it.
+func (rt *Router) handleDrop(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	dropped := false
+	for _, ep := range rt.ring.LookupN(id, 2) {
+		rt.countShard(ep)
+		res, err := rt.roundTrip(r.Context(), ep, http.MethodDelete, api.PathSessions+"/"+id, nil, nil)
+		if err == nil && res.status == http.StatusNoContent {
+			dropped = true
+		}
+	}
+	rt.countForwarded()
+	if dropped {
+		w.WriteHeader(http.StatusNoContent)
+		return
+	}
+	writeJSON(w, http.StatusNotFound, api.ErrorReply{Error: "unknown session"})
+}
+
+// handleInfer routes by the session id's ring placement with failover
+// to the replica. A request arriving without an idempotency key gets
+// one minted here: the router may deliver the same inference to two
+// shards (failover mid-flight), and the key is what makes that
+// exactly-once instead of twice-executed.
+func (rt *Router) handleInfer(w http.ResponseWriter, r *http.Request) {
+	id := r.Header.Get(api.HeaderSession)
+	if id == "" {
+		id = r.URL.Query().Get("session")
+	}
+	if id == "" {
+		writeJSON(w, http.StatusBadRequest, api.ErrorReply{Error: "missing " + api.HeaderSession + " header"})
+		return
+	}
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxRouterBody))
+	if err != nil {
+		writeJSON(w, http.StatusRequestEntityTooLarge, api.ErrorReply{Error: err.Error()})
+		return
+	}
+	header := http.Header{}
+	for _, k := range []string{"Content-Type", api.HeaderSession, api.HeaderIdemKey, api.HeaderDeadlineMs, api.HeaderTrace} {
+		if v := r.Header.Get(k); v != "" {
+			header.Set(k, v)
+		}
+	}
+	header.Set(api.HeaderSession, id)
+	if header.Get(api.HeaderIdemKey) == "" {
+		key, err := mintHex32()
+		if err != nil {
+			rt.relayErr(w, err)
+			return
+		}
+		header.Set(api.HeaderIdemKey, key)
+	}
+	res, err := rt.forward(r.Context(), rt.ring.LookupN(id, 2), http.MethodPost, api.PathInfer, header, body, true)
+	if err != nil {
+		rt.relayErr(w, err)
+		return
+	}
+	rt.countForwarded()
+	rt.relay(w, res)
+}
+
+// handleHealthz is the router's own liveness: it holds no state, so
+// alive means ok.
+func (rt *Router) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, api.Healthz{Status: "ok"})
+}
+
+// handleReadyz reports the router ready while at least one shard is:
+// with every shard down there is nothing to route to.
+func (rt *Router) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	rt.mu.RLock()
+	ready := 0
+	for _, ep := range rt.ring.Endpoints() {
+		if !rt.unready[ep] {
+			ready++
+		}
+	}
+	rt.mu.RUnlock()
+	if ready == 0 {
+		writeJSON(w, http.StatusServiceUnavailable, api.Readyz{Status: "no ready shards"})
+		return
+	}
+	writeJSON(w, http.StatusOK, api.Readyz{Status: "ready"})
+}
+
+// --- aggregation ---------------------------------------------------------
+
+// scrapeAll fetches one path from every shard concurrently; shards that
+// fail are reported with a nil body.
+func (rt *Router) scrapeAll(ctx context.Context, path string) map[string][]byte {
+	out := make(map[string][]byte, rt.ring.Len())
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	for _, ep := range rt.ring.Endpoints() {
+		wg.Add(1)
+		go func(ep string) {
+			defer wg.Done()
+			cctx, cancel := context.WithTimeout(ctx, 5*time.Second)
+			defer cancel()
+			var body []byte
+			if res, err := rt.roundTrip(cctx, ep, http.MethodGet, path, nil, nil); err == nil && res.status == http.StatusOK {
+				body = res.body
+			}
+			mu.Lock()
+			out[ep] = body
+			mu.Unlock()
+		}(ep)
+	}
+	wg.Wait()
+	return out
+}
+
+// handleStatz aggregates every shard's statz into per-shard snapshots
+// plus cluster-wide sums of the monotone counters.
+func (rt *Router) handleStatz(w http.ResponseWriter, r *http.Request) {
+	shards := map[string]api.Statz{}
+	var sum api.Statz
+	for ep, body := range rt.scrapeAll(r.Context(), api.PathStatz) {
+		if body == nil {
+			continue
+		}
+		var st api.Statz
+		if err := json.Unmarshal(body, &st); err != nil {
+			continue
+		}
+		shards[ep] = st
+		sum.Served += st.Served
+		sum.Rejected += st.Rejected
+		sum.TimedOut += st.TimedOut
+		sum.Failed += st.Failed
+		sum.Panics += st.Panics
+		sum.IdemReplays += st.IdemReplays
+		sum.FaultsFired += st.FaultsFired
+		sum.QueueExpired += st.QueueExpired
+		sum.QueueDepth += st.QueueDepth
+		sum.QueueCap += st.QueueCap
+		sum.Workers += st.Workers
+		sum.Batches += st.Batches
+		sum.BatchedJobs += st.BatchedJobs
+		sum.SoloFallbacks += st.SoloFallbacks
+		sum.Sessions += st.Sessions
+		sum.SessionBytes += st.SessionBytes
+		sum.SessionBudget += st.SessionBudget
+		sum.SessionHits += st.SessionHits
+		sum.SessionMisses += st.SessionMisses
+		sum.SessionEvictions += st.SessionEvictions
+		sum.Restarts += st.Restarts
+		sum.SessionsRecovered += st.SessionsRecovered
+		sum.JobsResumed += st.JobsResumed
+		sum.CheckpointBytes += st.CheckpointBytes
+		sum.StoreBytes += st.StoreBytes
+		sum.StoreErrs += st.StoreErrs
+		sum.PendingRecovery += st.PendingRecovery
+		sum.ReplicaSessions += st.ReplicaSessions
+		sum.ReplicaResults += st.ReplicaResults
+		sum.ReplicaShipErrs += st.ReplicaShipErrs
+	}
+	rt.mu.RLock()
+	ready := make(map[string]bool, rt.ring.Len())
+	for _, ep := range rt.ring.Endpoints() {
+		ready[ep] = !rt.unready[ep]
+	}
+	rt.mu.RUnlock()
+	rt.stats.mu.Lock()
+	rstat := RouterStatz{
+		Forwarded:     rt.stats.forwarded,
+		Failovers:     rt.stats.failovers,
+		Errors:        rt.stats.errors,
+		ShardRequests: make(map[string]uint64, len(rt.stats.shardRequests)),
+		Ready:         ready,
+	}
+	for ep, n := range rt.stats.shardRequests {
+		rstat.ShardRequests[ep] = n
+	}
+	rt.stats.mu.Unlock()
+	writeJSON(w, http.StatusOK, ClusterStatz{Router: rstat, Cluster: sum, Shards: shards})
+}
+
+// handleProfilez returns every shard's per-opcode FHE profile keyed by
+// shard endpoint. Profiles are dense aggregates, not counters; summing
+// them would hide exactly the per-shard skew this page exists to show.
+func (rt *Router) handleProfilez(w http.ResponseWriter, r *http.Request) {
+	out := map[string]json.RawMessage{}
+	for ep, body := range rt.scrapeAll(r.Context(), api.PathProfilez) {
+		if body == nil {
+			continue
+		}
+		out[ep] = json.RawMessage(body)
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+// handleMetrics federates the shards' Prometheus pages: every sample is
+// strict-parsed and re-emitted with a "shard" label added, one family
+// per metric name — histograms, counters and gauges all keep their
+// native type, and a scraper sees the whole cluster on one page. The
+// router's own counters ride along as ace_router_* families.
+func (rt *Router) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	type parsed struct {
+		ep  string
+		fam map[string]*obs.ParsedFamily
+	}
+	var pages []parsed
+	eps := make([]string, 0, rt.ring.Len())
+	for ep, body := range rt.scrapeAll(r.Context(), api.PathMetrics) {
+		if body == nil {
+			continue
+		}
+		fams, err := obs.ParseExposition(bytes.NewReader(body))
+		if err != nil {
+			rt.log.Warn("router.metrics.parse", slog.String("shard", ep), slog.String("err", err.Error()))
+			continue
+		}
+		pages = append(pages, parsed{ep: ep, fam: fams})
+		eps = append(eps, ep)
+	}
+	sort.Slice(pages, func(i, j int) bool { return pages[i].ep < pages[j].ep })
+
+	e := obs.NewExposition()
+	for _, pg := range pages {
+		names := make([]string, 0, len(pg.fam))
+		for name := range pg.fam {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		for _, name := range names {
+			f := pg.fam[name]
+			fw := e.Family(name, f.Help, obs.MetricType(f.Type))
+			for _, s := range f.Samples {
+				labels := make([]obs.Label, 0, len(s.Labels)+1)
+				labels = append(labels, obs.Label{Name: "shard", Value: pg.ep})
+				lnames := make([]string, 0, len(s.Labels))
+				for ln := range s.Labels {
+					lnames = append(lnames, ln)
+				}
+				sort.Strings(lnames)
+				for _, ln := range lnames {
+					labels = append(labels, obs.Label{Name: ln, Value: s.Labels[ln]})
+				}
+				fw.AddRaw(s.Name, s.Value, labels...)
+			}
+		}
+	}
+
+	rt.stats.mu.Lock()
+	fwd, fo, errs := rt.stats.forwarded, rt.stats.failovers, rt.stats.errors
+	perShard := make(map[string]uint64, len(rt.stats.shardRequests))
+	for ep, n := range rt.stats.shardRequests {
+		perShard[ep] = n
+	}
+	rt.stats.mu.Unlock()
+	e.Family("ace_router_forwarded_total", "Requests the router forwarded to a shard and answered.", obs.Counter).Add(float64(fwd))
+	e.Family("ace_router_failovers_total", "Forward attempts that failed over to the next candidate shard.", obs.Counter).Add(float64(fo))
+	e.Family("ace_router_errors_total", "Requests that exhausted every candidate shard.", obs.Counter).Add(float64(errs))
+	sf := e.Family("ace_router_shard_requests_total", "Forward attempts per shard.", obs.Counter)
+	sort.Strings(eps)
+	shardKeys := make([]string, 0, len(perShard))
+	for ep := range perShard {
+		shardKeys = append(shardKeys, ep)
+	}
+	sort.Strings(shardKeys)
+	for _, ep := range shardKeys {
+		sf.Add(float64(perShard[ep]), obs.Label{Name: "shard", Value: ep})
+	}
+	e.Family("ace_router_shards", "Shards in the routing ring.", obs.Gauge).Add(float64(rt.ring.Len()))
+
+	var buf bytes.Buffer
+	if err := e.Write(&buf); err != nil {
+		writeJSON(w, http.StatusInternalServerError, api.ErrorReply{Error: err.Error()})
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	w.WriteHeader(http.StatusOK)
+	_, _ = w.Write(buf.Bytes())
+}
+
+// --- counters ------------------------------------------------------------
+
+func (rt *Router) countForwarded() {
+	rt.stats.mu.Lock()
+	rt.stats.forwarded++
+	rt.stats.mu.Unlock()
+}
+
+func (rt *Router) countFailover() {
+	rt.stats.mu.Lock()
+	rt.stats.failovers++
+	rt.stats.mu.Unlock()
+}
+
+func (rt *Router) countErr() {
+	rt.stats.mu.Lock()
+	rt.stats.errors++
+	rt.stats.mu.Unlock()
+}
+
+func (rt *Router) countShard(ep string) {
+	rt.stats.mu.Lock()
+	rt.stats.shardRequests[ep]++
+	rt.stats.mu.Unlock()
+}

@@ -60,12 +60,22 @@ const (
 	// batch-wide failure boundary: every job in that group must fail,
 	// and no other group may be affected.
 	BatchFlushPanic = "batch.flush.panic"
+	// RouterForwardErr fails one acerouter forward before the request
+	// leaves the router — indistinguishable from a backend that died
+	// between health probes — exercising the failover path onto the
+	// session's replica shard.
+	RouterForwardErr = "router.forward.err"
+	// ReplicaShipTorn truncates one replication shipment mid-frame, the
+	// on-the-wire shape of a shard that died while streaming its journal
+	// to a successor: the apply side must keep the intact prefix and the
+	// shipper must re-ship the cut records.
+	ReplicaShipTorn = "replica.ship.torn"
 )
 
 // Points lists the injection points compiled into the runtime, for the
 // registry section of /v1/statz-style introspection and docs.
 func Points() []string {
-	return []string{ServeWorkerPanic, VMInstrPanic, VMInstrErr, CKKSRescaleErr, ClientConnReset, StoreWriteTorn, ServeRecoverErr, BatchFlushPanic}
+	return []string{ServeWorkerPanic, VMInstrPanic, VMInstrErr, CKKSRescaleErr, ClientConnReset, StoreWriteTorn, ServeRecoverErr, BatchFlushPanic, RouterForwardErr, ReplicaShipTorn}
 }
 
 // InjectedError is the error produced by a firing injection point.

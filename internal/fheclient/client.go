@@ -105,7 +105,8 @@ func DefaultRetryPolicy() RetryPolicy {
 		Budget: 15 * time.Second, ReconnectWindow: 10 * time.Second, ReconnectDelay: 250 * time.Millisecond}
 }
 
-func (p RetryPolicy) withDefaults() RetryPolicy {
+// WithDefaults fills unset policy fields with the documented defaults.
+func (p RetryPolicy) WithDefaults() RetryPolicy {
 	if p.MaxAttempts <= 0 {
 		p.MaxAttempts = 4
 	}
@@ -124,10 +125,12 @@ func (p RetryPolicy) withDefaults() RetryPolicy {
 	return p
 }
 
-// backoff computes the sleep before attempt number attempt (1-based
+// Backoff computes the sleep before attempt number attempt (1-based
 // count of failures so far), honoring a server Retry-After hint as the
-// floor when it is longer than the computed delay.
-func (p RetryPolicy) backoff(attempt int, retryAfter time.Duration) time.Duration {
+// floor when it is longer than the computed delay. Exported so other
+// retrying callers of the serving API (the cluster shipper, the router)
+// pace themselves identically.
+func (p RetryPolicy) Backoff(attempt int, retryAfter time.Duration) time.Duration {
 	d := p.BaseDelay << (attempt - 1)
 	if d > p.MaxDelay || d <= 0 {
 		d = p.MaxDelay
@@ -150,6 +153,15 @@ type Client struct {
 	hc   *http.Client
 	spec api.ProgramSpec
 
+	// Multi-endpoint dialing (DialMulti): bases is the full candidate
+	// list and epIdx the one currently in use; retryable failures rotate
+	// to the next candidate before re-attempting, so one dead or draining
+	// front does not strand the client while its siblings serve. Empty
+	// bases means the single-endpoint behavior, untouched.
+	epMu  sync.Mutex
+	bases []string
+	epIdx int
+
 	params *ckks.Parameters
 	enc    *ckks.Encoder
 
@@ -163,7 +175,7 @@ type Client struct {
 
 // SetRetryPolicy replaces the retry policy Dial installed. Not safe to
 // call concurrently with Infer.
-func (c *Client) SetRetryPolicy(p RetryPolicy) { c.retry = p.withDefaults() }
+func (c *Client) SetRetryPolicy(p RetryPolicy) { c.retry = p.WithDefaults() }
 
 // Dial fetches the program spec and compiles the matching parameters
 // (prime derivation is deterministic, so client and server rings agree
@@ -195,6 +207,50 @@ func Dial(ctx context.Context, baseURL string, hc *http.Client) (*Client, error)
 	return c, nil
 }
 
+// DialMulti is Dial over a candidate endpoint list: the spec is fetched
+// from the first endpoint that answers, and every retryable inference
+// failure afterwards rotates to the next candidate before the retry.
+// All endpoints must serve the same compiled program (a cluster of aced
+// shards behind consistent hashing, or several acerouter fronts).
+func DialMulti(ctx context.Context, baseURLs []string, hc *http.Client) (*Client, error) {
+	if len(baseURLs) == 0 {
+		return nil, fmt.Errorf("fheclient: no endpoints to dial")
+	}
+	var lastErr error
+	for i, u := range baseURLs {
+		c, err := Dial(ctx, u, hc)
+		if err == nil {
+			c.bases = append([]string(nil), baseURLs...)
+			c.epIdx = i
+			return c, nil
+		}
+		lastErr = err
+	}
+	return nil, fmt.Errorf("fheclient: all %d endpoints failed, last: %w", len(baseURLs), lastErr)
+}
+
+// endpoint returns the base URL requests currently target.
+func (c *Client) endpoint() string {
+	c.epMu.Lock()
+	defer c.epMu.Unlock()
+	if len(c.bases) == 0 {
+		return c.base
+	}
+	return c.bases[c.epIdx%len(c.bases)]
+}
+
+// rotateEndpoint advances to the next candidate; a no-op under a single
+// endpoint.
+func (c *Client) rotateEndpoint() bool {
+	c.epMu.Lock()
+	defer c.epMu.Unlock()
+	if len(c.bases) < 2 {
+		return false
+	}
+	c.epIdx = (c.epIdx + 1) % len(c.bases)
+	return true
+}
+
 // Spec returns the program spec fetched at Dial time.
 func (c *Client) Spec() api.ProgramSpec { return c.spec }
 
@@ -224,7 +280,7 @@ func (c *Client) Register(ctx context.Context, seed *[32]byte) (string, error) {
 		return "", fmt.Errorf("fheclient: encoding key bundle: %w", err)
 	}
 
-	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.base+api.PathSessions, bytes.NewReader(bundle))
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.endpoint()+api.PathSessions, bytes.NewReader(bundle))
 	if err != nil {
 		return "", err
 	}
@@ -360,13 +416,21 @@ func (c *Client) InferCipherLane(ctx context.Context, ct *ckks.Ciphertext) (*ckk
 		ctx = obs.WithTrace(ctx, trace)
 	}
 	idemKey := fmt.Sprintf("%016x%016x", rand.Uint64(), rand.Uint64())
-	pol := c.retry.withDefaults()
+	pol := c.retry.WithDefaults()
 	var slept time.Duration
 	var refusedSince time.Time
 	for attempt := 1; ; attempt++ {
 		out, lane, stride, err := c.inferOnce(ctx, id, idemKey, trace, body)
 		if err == nil {
 			return out, lane, stride, nil
+		}
+		// Under DialMulti a failed endpoint is sidestepped, not waited out:
+		// rotate to the next candidate before any retry accounting, so the
+		// reconnect probes below and the ordinary backoff attempts each hit
+		// a different front. The shared idempotency key keeps the cross-
+		// endpoint retry exactly-once.
+		if isConnRefused(err) || func() bool { _, r := classify(err); return r }() {
+			c.rotateEndpoint()
 		}
 		// A refused connection means nothing is listening — the window
 		// between a daemon crash and its recovered successor binding the
@@ -398,7 +462,7 @@ func (c *Client) InferCipherLane(ctx context.Context, ct *ckks.Ciphertext) (*ckk
 			}
 			return nil, 0, 0, err
 		}
-		d := pol.backoff(attempt, retryAfter)
+		d := pol.Backoff(attempt, retryAfter)
 		if slept+d > pol.Budget {
 			return nil, 0, 0, fmt.Errorf("fheclient: retry budget %v exhausted after %d attempts: %w", pol.Budget, attempt, err)
 		}
@@ -432,7 +496,7 @@ func classify(err error) (retryAfter time.Duration, retryable bool) {
 // reply's lane coordinates alongside the ciphertext (0, 0 on a solo
 // reply without lane headers).
 func (c *Client) inferOnce(ctx context.Context, id, idemKey, trace string, body []byte) (*ckks.Ciphertext, int, int, error) {
-	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.base+api.PathInfer, bytes.NewReader(body))
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.endpoint()+api.PathInfer, bytes.NewReader(body))
 	if err != nil {
 		return nil, 0, 0, err
 	}
@@ -525,7 +589,7 @@ func (c *Client) Drop(ctx context.Context) error {
 	if id == "" {
 		return nil
 	}
-	req, err := http.NewRequestWithContext(ctx, http.MethodDelete, c.base+api.PathSessions+"/"+id, nil)
+	req, err := http.NewRequestWithContext(ctx, http.MethodDelete, c.endpoint()+api.PathSessions+"/"+id, nil)
 	if err != nil {
 		return err
 	}

@@ -49,6 +49,19 @@ func (f *Family) Add(value float64, labels ...Label) {
 	f.samples = append(f.samples, sample{labels: labels, value: value})
 }
 
+// AddRaw appends a sample under an explicit full sample name — the
+// family name plus an optional histogram suffix (_bucket, _sum,
+// _count). It exists for federation: re-emitting a parsed page keeps
+// each sample's exact name, so histograms survive the round trip
+// without being re-bucketed.
+func (f *Family) AddRaw(fullName string, value float64, labels ...Label) {
+	f.samples = append(f.samples, sample{
+		suffix: strings.TrimPrefix(fullName, f.name),
+		labels: labels,
+		value:  value,
+	})
+}
+
 // AddHistogram appends a full histogram series under the given labels:
 // cumulative _bucket samples for each bound plus +Inf, then _sum and
 // _count. counts are per-bucket (non-cumulative) tallies aligned with

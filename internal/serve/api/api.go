@@ -12,7 +12,18 @@ const (
 	PathInfer    = "/v1/infer"
 	PathProgram  = "/v1/program"
 	PathHealthz  = "/v1/healthz"
-	PathStatz    = "/v1/statz"
+	// PathReadyz is readiness, distinct from liveness: it answers 503
+	// while the server drains or while crash recovery is still replaying
+	// the job journal, so a cluster router stops routing to shards that
+	// are alive but not yet able to serve. Healthz stays liveness-only.
+	PathReadyz = "/v1/readyz"
+	PathStatz  = "/v1/statz"
+	// PathReplica accepts replication shipments from a peer shard: the
+	// body is an ACELOG1 log image (internal/store framing) of session
+	// and idempotency-journal records, applied CRC-checked and
+	// torn-tail-tolerant so a shipper that died mid-stream leaves the
+	// replica with the intact prefix, never garbage.
+	PathReplica = "/v1/replica"
 	// PathProfilez serves the per-opcode FHE profile (JSON
 	// obs.ProfileSnapshot): aggregated instruction costs over every
 	// evaluation since boot plus the last run's level/scale trajectory.
@@ -102,6 +113,25 @@ type Healthz struct {
 	Status string `json:"status"` // "ok" or "draining"
 }
 
+// Readyz is returned by GET /v1/readyz: "ready" with 200 once the shard
+// accepts inference traffic; "recovering" (journal replay still
+// re-executing jobs) or "draining" with 503 otherwise.
+type Readyz struct {
+	Status string `json:"status"`
+	// PendingRecovery counts journaled jobs still being re-executed by
+	// crash recovery while the status is "recovering".
+	PendingRecovery int64 `json:"pending_recovery,omitempty"`
+}
+
+// ReplicaApply is returned by POST /v1/replica: how many records of the
+// shipped image were applied. Torn marks an image that ended mid-frame
+// — the intact prefix was applied and the shipper should re-send the
+// records past Applied.
+type ReplicaApply struct {
+	Applied int  `json:"applied"`
+	Torn    bool `json:"torn,omitempty"`
+}
+
 // Statz is returned by GET /v1/statz.
 type Statz struct {
 	Served   uint64 `json:"served"`
@@ -161,4 +191,14 @@ type Statz struct {
 	CheckpointBytes uint64 `json:"checkpoint_bytes"`
 	StoreBytes      int64  `json:"store_bytes"`
 	StoreErrs       uint64 `json:"store_errs"`
+
+	// Cluster replication: PendingRecovery is the readiness gate (jobs
+	// crash recovery is still re-executing); ReplicaSessions and
+	// ReplicaResults count records applied on this shard as a replica for
+	// a peer; ReplicaShipErrs counts shipments this shard failed to send
+	// to its successor (replication is fail-open — serving continued).
+	PendingRecovery int64  `json:"pending_recovery"`
+	ReplicaSessions uint64 `json:"replica_sessions"`
+	ReplicaResults  uint64 `json:"replica_results"`
+	ReplicaShipErrs uint64 `json:"replica_ship_errs"`
 }

@@ -102,6 +102,22 @@ func (c *idemCache) restore(key string, body []byte, lane, stride int) {
 	}
 }
 
+// forgetCompleted removes a retained success, the in-memory half of a
+// replicated forget: the shipping shard's attempt under this key died,
+// so a retry arriving here must re-execute rather than replay stale
+// bytes. In-flight entries are left alone — a local owner already
+// racing under the key settles it itself.
+func (c *idemCache) forgetCompleted(key string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	e, ok := c.byKey[key]
+	if !ok || e.elem == nil {
+		return
+	}
+	c.order.Remove(e.elem)
+	delete(c.byKey, key)
+}
+
 // len reports live entries (in-flight plus retained), for tests.
 func (c *idemCache) len() int {
 	c.mu.Lock()

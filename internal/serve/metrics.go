@@ -96,6 +96,11 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	e.Family("ace_store_bytes", "Durable layer's current on-disk footprint.", obs.Gauge).Add(float64(st.StoreBytes))
 	e.Family("ace_store_errs_total", "Persistence failures serving survived.", obs.Counter).Add(float64(st.StoreErrs))
 
+	e.Family("ace_pending_recovery", "Journaled jobs crash recovery is still re-executing (readiness gate).", obs.Gauge).Add(float64(st.PendingRecovery))
+	e.Family("ace_replica_sessions_total", "Replicated key bundles applied on this shard for a peer.", obs.Counter).Add(float64(st.ReplicaSessions))
+	e.Family("ace_replica_results_total", "Replicated journal completions applied on this shard.", obs.Counter).Add(float64(st.ReplicaResults))
+	e.Family("ace_replica_ship_errs_total", "Replication shipments this shard failed to send.", obs.Counter).Add(float64(st.ReplicaShipErrs))
+
 	e.Family("ace_program_info", "Compiled program served by this daemon; value is always 1.", obs.Gauge).
 		Add(1, obs.Label{Name: "name", Value: s.name})
 

@@ -24,6 +24,7 @@ import (
 	"slices"
 	"strconv"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"antace/internal/batch"
@@ -98,6 +99,13 @@ type Config struct {
 	// InstrDelay stretches every VM instruction (chaos/e2e knob for
 	// making "mid-flight" a wide target; zero in production).
 	InstrDelay time.Duration
+
+	// Replicator, when set, receives every durable state change for
+	// shipment to a successor shard (see the Replicator interface); nil
+	// keeps the exact single-node behavior. Set it here rather than after
+	// New so crash-recovery completions — which begin before the listener
+	// exists — are replicated too.
+	Replicator Replicator
 
 	// Logger receives the server's structured events (request lifecycle,
 	// recovery, checkpointing), each carrying the request's trace id. Nil
@@ -198,6 +206,14 @@ type Server struct {
 	// dir's prior start count, fixed at boot.
 	dur      *durable
 	restarts uint64
+
+	// repl ships durable state to a successor shard; nil outside cluster
+	// wiring. recovering counts journaled jobs crash recovery is still
+	// re-executing — readiness answers 503 until it reaches zero, so a
+	// router never routes to a shard whose idempotency state is still
+	// being rebuilt.
+	repl       Replicator
+	recovering atomic.Int64
 
 	mu       sync.RWMutex // guards draining/stopped vs. queue sends and close
 	draining bool
@@ -304,6 +320,7 @@ func New(prog Program, cfg Config) (*Server, error) {
 		sessions:  newSessionCache(cfg.SessionBudget),
 		idem:      newIdemCache(cfg.IdemEntries),
 		lat:       newLatencyWindow(cfg.LatencyWindow),
+		repl:      cfg.Replicator,
 		log:       cfg.Logger,
 		prof:      obs.NewAggregate(),
 		queueWait: obs.NewHistogram(nil),
@@ -338,6 +355,8 @@ func New(prog Program, cfg Config) (*Server, error) {
 	mux.HandleFunc("DELETE "+api.PathSessions+"/{id}", s.handleDrop)
 	mux.HandleFunc("POST "+api.PathInfer, s.handleInfer)
 	mux.HandleFunc("GET "+api.PathHealthz, s.handleHealthz)
+	mux.HandleFunc("GET "+api.PathReadyz, s.handleReadyz)
+	mux.HandleFunc("POST "+api.PathReplica, s.handleReplicaApply)
 	mux.HandleFunc("GET "+api.PathStatz, s.handleStatz)
 	mux.HandleFunc("GET "+api.PathProfilez, s.handleProfilez)
 	mux.HandleFunc("GET "+api.PathMetrics, s.handleMetrics)
@@ -391,12 +410,15 @@ func (s *Server) openDurability() error {
 	dur.pruneCheckpoints(st)
 
 	// Claim every pending job's idempotency entry synchronously; the
-	// actual re-execution runs in the background once workers exist.
+	// actual re-execution runs in the background once workers exist. The
+	// recovering gauge is raised here, before any goroutine starts, so
+	// readiness observes the full backlog from the first probe.
 	for _, key := range st.order {
 		entry, owner := s.idem.begin(key)
 		if !owner {
 			continue
 		}
+		s.recovering.Add(1)
 		go s.recoverJob(key, st.pending[key], entry)
 	}
 	return nil
@@ -412,6 +434,7 @@ func (s *Server) openDurability() error {
 // after the caller gave up. Jobs whose deadline already passed are
 // dropped outright (journaled as forgotten, so a retry re-executes).
 func (s *Server) recoverJob(key string, a acceptRec, entry *idemEntry) {
+	defer s.recovering.Add(-1)
 	trace := obs.NewTraceID()
 	log := s.log.With(slog.String("trace", trace), slog.String("idem_key", key))
 	if err := fault.Inject(fault.ServeRecoverErr); err != nil {
@@ -830,6 +853,14 @@ func writeErr(w http.ResponseWriter, status int, format string, args ...any) {
 	writeJSON(w, status, api.ErrorReply{Error: fmt.Sprintf(format, args...)})
 }
 
+// setRetryAfter stamps the configured back-off hint on a response about
+// to carry a retryable rejection (429 queue-full, 503 draining or
+// recovering): every load-shed answer tells the client when to come
+// back, so routers and retry loops back off instead of hammering.
+func (s *Server) setRetryAfter(w http.ResponseWriter) {
+	w.Header().Set("Retry-After", strconv.Itoa(int(s.cfg.RetryAfter/time.Second)))
+}
+
 // writeErrCode writes a failure with a stable machine-readable code from
 // the fault taxonomy alongside the human-readable message.
 func writeErrCode(w http.ResponseWriter, status int, code, format string, args ...any) {
@@ -886,7 +917,22 @@ func (s *Server) handleRegister(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusBadRequest, "%v", err)
 		return
 	}
-	sess, err := s.sessions.put(keys, int64(len(body)))
+	// A cluster router pre-assigns the session id (X-ACE-Session on the
+	// registration) so the id's hash placement is decided before the id
+	// exists anywhere: the router mints it, picks this shard by ring
+	// lookup, and every process can later re-derive primary and replica
+	// from the id alone. Anything but the exact newSessionID shape is
+	// rejected — ids become file names and ring keys.
+	var sess *session
+	if want := r.Header.Get(api.HeaderSession); want != "" {
+		if !validSessionID(want) {
+			writeErr(w, http.StatusBadRequest, "pre-assigned session id must be 32 lowercase hex characters")
+			return
+		}
+		sess, err = s.sessions.putWithID(want, keys, int64(len(body)))
+	} else {
+		sess, err = s.sessions.put(keys, int64(len(body)))
+	}
 	if err != nil {
 		writeErr(w, http.StatusRequestEntityTooLarge, "%v", err)
 		return
@@ -896,6 +942,17 @@ func (s *Server) handleRegister(w http.ResponseWriter, r *http.Request) {
 		// restarts. Fail open: a disk error leaves the session RAM-only
 		// and is counted in storeErrs rather than failing registration.
 		_ = s.dur.saveSession(sess.id, body)
+	}
+	if s.repl != nil {
+		// Synchronous: when the 201 below reaches the client, the replica
+		// already holds the keys — that is what makes shard death cost
+		// zero re-registration. Fail open past retries (counted); a lone
+		// surviving shard still serves.
+		if err := s.repl.ShipSession(sess.id, body); err != nil {
+			s.stats.replicaShipErrs.Add(1)
+			s.log.Warn("replica.ship.session", slog.String("session", sess.id),
+				slog.String("err", err.Error()))
+		}
 	}
 	writeJSON(w, http.StatusCreated, api.SessionReply{
 		SessionID: sess.id,
@@ -1026,6 +1083,7 @@ func (s *Server) handleInfer(w http.ResponseWriter, r *http.Request) {
 		// channel (finish maps it to the same 429).
 		if !s.coal.Add(sess.id, j) {
 			s.completeIdem(entry, false, nil, 0, 0)
+			s.setRetryAfter(w)
 			writeErr(w, http.StatusServiceUnavailable, "server is draining")
 			return
 		}
@@ -1034,6 +1092,7 @@ func (s *Server) handleInfer(w http.ResponseWriter, r *http.Request) {
 		ok, draining := s.tryEnqueue(j)
 		if draining {
 			s.completeIdem(entry, false, nil, 0, 0)
+			s.setRetryAfter(w)
 			writeErr(w, http.StatusServiceUnavailable, "server is draining")
 			return
 		}
@@ -1041,7 +1100,7 @@ func (s *Server) handleInfer(w http.ResponseWriter, r *http.Request) {
 			s.completeIdem(entry, false, nil, 0, 0)
 			s.stats.rejected.Add(1)
 			log.Info("infer.reject", slog.Int("queue_depth", s.cfg.QueueDepth))
-			w.Header().Set("Retry-After", strconv.Itoa(int(s.cfg.RetryAfter/time.Second)))
+			s.setRetryAfter(w)
 			writeErr(w, http.StatusTooManyRequests, "queue full (%d deep)", s.cfg.QueueDepth)
 			return
 		}
@@ -1074,7 +1133,7 @@ func (s *Server) followIdem(w http.ResponseWriter, ctx context.Context, entry *i
 		return
 	}
 	if !entry.ok {
-		w.Header().Set("Retry-After", strconv.Itoa(int(s.cfg.RetryAfter/time.Second)))
+		s.setRetryAfter(w)
 		writeErr(w, http.StatusServiceUnavailable, "previous attempt under this idempotency key failed; retry")
 		return
 	}
@@ -1105,6 +1164,17 @@ func (s *Server) completeIdem(entry *idemEntry, ok bool, body []byte, lane, stri
 			s.dur.forget(entry.key)
 		}
 	}
+	if s.repl != nil {
+		// Asynchronous: the settlement rides the shipper's ordered queue,
+		// off the reply path. A success replicates the exact reply bytes so
+		// a failover retry replays bit-identically; a failure withdraws the
+		// key so the replica re-executes rather than replaying a ghost.
+		if ok {
+			s.repl.ShipComplete(entry.key, lane, stride, body)
+		} else {
+			s.repl.ShipForget(entry.key)
+		}
+	}
 	s.idem.complete(entry, ok, body, lane, stride)
 }
 
@@ -1124,11 +1194,12 @@ func (s *Server) finish(w http.ResponseWriter, j *job, entry *idemEntry, res job
 		if errors.Is(res.err, errQueueFull) {
 			s.stats.rejected.Add(1)
 			log.Info("infer.reject", slog.Int("queue_depth", s.cfg.QueueDepth))
-			w.Header().Set("Retry-After", strconv.Itoa(int(s.cfg.RetryAfter/time.Second)))
+			s.setRetryAfter(w)
 			writeErr(w, http.StatusTooManyRequests, "queue full (%d deep)", s.cfg.QueueDepth)
 			return
 		}
 		if errors.Is(res.err, errDrainingDrop) {
+			s.setRetryAfter(w)
 			writeErr(w, http.StatusServiceUnavailable, "server is draining")
 			return
 		}
@@ -1237,6 +1308,10 @@ func (s *Server) StatzSnapshot() api.Statz {
 	st.Restarts = s.restarts
 	st.SessionsRecovered = s.stats.sessionsRecovered.Load()
 	st.JobsResumed = s.stats.jobsResumed.Load()
+	st.PendingRecovery = s.recovering.Load()
+	st.ReplicaSessions = s.stats.replicaSessions.Load()
+	st.ReplicaResults = s.stats.replicaResults.Load()
+	st.ReplicaShipErrs = s.stats.replicaShipErrs.Load()
 	if s.dur != nil {
 		st.CheckpointBytes = s.dur.ckptWritten.Load()
 		st.StoreBytes = s.dur.diskBytes()

@@ -24,6 +24,10 @@ type counters struct {
 
 	sessionsRecovered atomic.Uint64 // key bundles reloaded from disk
 	jobsResumed       atomic.Uint64 // journaled jobs resumed from a checkpoint
+
+	replicaSessions atomic.Uint64 // replicated key bundles applied on this shard
+	replicaResults  atomic.Uint64 // replicated journal completions applied here
+	replicaShipErrs atomic.Uint64 // replication shipments this shard failed to send
 }
 
 // latencyWindow keeps the most recent request latencies in a fixed ring

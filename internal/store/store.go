@@ -99,6 +99,37 @@ func Replay(data []byte) (records [][]byte, good int64, err error) {
 	return records, off, nil
 }
 
+// Image builds a complete in-memory ACELOG1 log image from records:
+// magic followed by one CRC-framed record per entry. It is the
+// log-shipping primitive — a shard streams replication batches to its
+// successor as images, so the receive side applies them with Replay and
+// inherits the same CRC checking and torn-tail tolerance a crashed
+// local log gets.
+func Image(records [][]byte) []byte {
+	n := len(logMagic)
+	for _, rec := range records {
+		n += frameHeader + len(rec)
+	}
+	buf := make([]byte, 0, n)
+	buf = append(buf, logMagic...)
+	for _, rec := range records {
+		buf = AppendFrame(buf, rec)
+	}
+	return buf
+}
+
+// AppendFrame appends one CRC-framed record to an image under
+// construction (buf must already start with the magic, e.g. from Image
+// or ImageHeader).
+func AppendFrame(buf, rec []byte) []byte {
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(rec)))
+	buf = binary.LittleEndian.AppendUint32(buf, crc32.Checksum(rec, crcTable))
+	return append(buf, rec...)
+}
+
+// ImageHeader returns the bytes every log image starts with.
+func ImageHeader() []byte { return append([]byte(nil), logMagic...) }
+
 // Log is an append-only record log backed by one file. Append frames,
 // checksums and fsyncs each record; methods are safe for one writer
 // (the serving layer serializes appends itself).
