@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test verify vet race bench bench-fusion bench-batch serve-smoke obs-smoke chaos durability cluster-chaos
+.PHONY: build test verify vet race bench bench-fusion bench-batch serve-smoke obs-smoke chaos durability cluster-chaos cluster-membership-chaos
 
 build:
 	$(GO) build ./...
@@ -67,12 +67,28 @@ durability:
 cluster-chaos:
 	$(GO) test -count=1 -race -run 'TestChaos|TestRouter|TestShipper' ./internal/cluster/ -v -timeout 600s
 
+# Live-membership chaos suite, all raced. Subprocess e2e against the
+# real binaries: a cold shard joins a loaded cluster through the
+# router's /v1/cluster/join and serves traffic with zero client
+# re-registration; a drained shard hands off every session and journal
+# entry, answers its in-flight requests bit-identically, then exits
+# zero on its own; a straggler shard (-instr-delay) is hedged around so
+# its p99 stays under 2x the healthy baseline with ace_hedge_wins > 0.
+# The in-process tests cover the epoch state machine, the membership
+# wire fuzzing seeds, the handoff readyz gate and the client's
+# membership refetch.
+cluster-membership-chaos:
+	$(GO) test -count=1 -race -run 'TestChaosMembership|TestMembership|TestLatencyEstimator' ./internal/cluster/ -v -timeout 600s
+	$(GO) test -count=1 -race -run 'TestRefreshMembership|TestAPIErrorCarriesEpoch' ./internal/fheclient/ -v
+	$(GO) test -count=1 -race -run '^$$' -fuzz FuzzMembershipWire -fuzztime 10s ./internal/cluster/
+
 verify:
 	$(MAKE) vet
 	$(MAKE) race
 	$(MAKE) chaos
 	$(MAKE) durability
 	$(MAKE) cluster-chaos
+	$(MAKE) cluster-membership-chaos
 	$(MAKE) obs-smoke
 	$(GO) test ./...
 

@@ -156,6 +156,10 @@ func run() int {
 	if shipper != nil {
 		repl = shipper
 	}
+	// Closed when a router broadcast removed this shard from the ring and
+	// the handoff was acknowledged — the daemon then drains and exits just
+	// like a SIGTERM. The serve layer fires OnLeave at most once.
+	leavec := make(chan struct{})
 	srv, err := serve.New(serve.Program{
 		Name:   name,
 		CKKS:   prog.CKKS,
@@ -174,6 +178,7 @@ func run() int {
 		BatchWindow:      *batchWindow,
 		InstrDelay:       *instrDelay,
 		Replicator:       repl,
+		OnLeave:          func() { close(leavec) },
 		Logger:           logger,
 		Pprof:            *pprofOn,
 	})
@@ -230,6 +235,8 @@ func run() int {
 				fail("serve failed", err)
 			}
 		case <-ctx.Done():
+		case <-leavec:
+			logger.Info("cluster handoff acknowledged, leaving the ring")
 		}
 	}
 

@@ -59,7 +59,12 @@ type testCluster struct {
 	ring     *cluster.Ring
 	shards   map[string]*http.Server
 	shippers map[string]*cluster.Shipper
+	prog     serve.Program
 	vres     *vecir.Result
+	// left receives a shard's URL after its OnLeave fired (the membership
+	// handoff was acknowledged) and its HTTP server drained and closed —
+	// the in-process equivalent of the aced daemon exiting.
+	left chan string
 }
 
 // startCluster binds n listeners first — placement is a pure function
@@ -71,7 +76,9 @@ func startCluster(t *testing.T, n int) *testCluster {
 	tc := &testCluster{
 		shards:   map[string]*http.Server{},
 		shippers: map[string]*cluster.Shipper{},
+		prog:     prog,
 		vres:     vres,
+		left:     make(chan string, 16),
 	}
 	listeners := make([]net.Listener, n)
 	for i := range listeners {
@@ -88,28 +95,59 @@ func startCluster(t *testing.T, n int) *testCluster {
 	}
 	tc.ring = rg
 	for i, ln := range listeners {
-		self := tc.urls[i]
-		sh, err := cluster.NewShipper(rg, self, nil, nil)
-		if err != nil {
-			t.Fatal(err)
-		}
-		srv, err := serve.New(prog, serve.Config{Workers: 1, Replicator: sh})
-		if err != nil {
-			t.Fatal(err)
-		}
-		hs := &http.Server{Handler: srv}
-		go func() { _ = hs.Serve(ln) }()
-		tc.shards[self] = hs
-		tc.shippers[self] = sh
-		t.Cleanup(func() {
-			_ = hs.Close()
-			sh.Close()
-			ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
-			defer cancel()
-			_ = srv.Drain(ctx)
-		})
+		tc.startShard(t, tc.urls[i], rg, ln)
 	}
 	return tc
+}
+
+// startShard wires one shard — shipper, server, listener — into the
+// fleet. OnLeave mirrors the aced daemon: once a membership handoff is
+// acknowledged, the shard drains its HTTP server and goes away.
+func (tc *testCluster) startShard(t *testing.T, self string, rg *cluster.Ring, ln net.Listener) {
+	t.Helper()
+	sh, err := cluster.NewShipper(rg, self, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var hs *http.Server
+	srv, err := serve.New(tc.prog, serve.Config{Workers: 1, Replicator: sh, OnLeave: func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		_ = hs.Shutdown(ctx)
+		tc.left <- self
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hs = &http.Server{Handler: srv}
+	go func() { _ = hs.Serve(ln) }()
+	tc.shards[self] = hs
+	tc.shippers[self] = sh
+	t.Cleanup(func() {
+		_ = hs.Close()
+		sh.Close()
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		_ = srv.Drain(ctx)
+	})
+}
+
+// addShard boots a brand-new shard that knows only itself — the joiner
+// pattern: it serves from an epoch-0 single-member ring until a router
+// join broadcast hands it the authoritative topology.
+func (tc *testCluster) addShard(t *testing.T) string {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	self := "http://" + ln.Addr().String()
+	solo, err := cluster.NewRing([]string{self}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tc.startShard(t, self, solo, ln)
+	return self
 }
 
 func (tc *testCluster) kill(t *testing.T, url string) {

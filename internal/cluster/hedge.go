@@ -1,0 +1,90 @@
+package cluster
+
+import (
+	"math"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Hedging defaults. The adaptive delay is the router's own per-shard p95
+// observation clamped to [DefaultHedgeMin, DefaultHedgeMax]; until a
+// shard has hedgeMinSamples observations the estimator answers the
+// conservative maximum, so a cold router never hedges eagerly.
+const (
+	DefaultHedgeMin = 20 * time.Millisecond
+	DefaultHedgeMax = 2 * time.Second
+
+	hedgeWindow     = 256
+	hedgeMinSamples = 8
+	hedgeQuantile   = 0.95
+)
+
+// latencyEstimator keeps a sliding window of observed infer latencies per
+// shard and answers ceil-rank quantiles over it. Hedge-won requests
+// record their *total* latency against the primary that failed to answer
+// — otherwise a uniformly slow shard would teach the estimator its own
+// slowness and hedging would stop firing exactly where it pays most.
+type latencyEstimator struct {
+	mu     sync.Mutex
+	shards map[string]*latencyRing
+}
+
+type latencyRing struct {
+	buf  [hedgeWindow]float64 // milliseconds
+	n    int                  // filled entries
+	next int                  // ring cursor
+}
+
+func newLatencyEstimator() *latencyEstimator {
+	return &latencyEstimator{shards: make(map[string]*latencyRing)}
+}
+
+func (e *latencyEstimator) observe(shard string, d time.Duration) {
+	if shard == "" || d < 0 {
+		return
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	r := e.shards[shard]
+	if r == nil {
+		r = &latencyRing{}
+		e.shards[shard] = r
+	}
+	r.buf[r.next] = float64(d) / float64(time.Millisecond)
+	r.next = (r.next + 1) % hedgeWindow
+	if r.n < hedgeWindow {
+		r.n++
+	}
+}
+
+// p95 returns the shard's windowed p95 latency and whether enough
+// samples back it. Quantile is ceil-rank (nearest-rank, matching the
+// serve layer's latency window) so small windows stay conservative.
+func (e *latencyEstimator) p95(shard string) (time.Duration, bool) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	r := e.shards[shard]
+	if r == nil || r.n < hedgeMinSamples {
+		return 0, false
+	}
+	samples := make([]float64, r.n)
+	copy(samples, r.buf[:r.n])
+	sort.Float64s(samples)
+	rank := int(math.Ceil(hedgeQuantile*float64(len(samples)))) - 1
+	if rank < 0 {
+		rank = 0
+	}
+	if rank >= len(samples) {
+		rank = len(samples) - 1
+	}
+	return time.Duration(samples[rank] * float64(time.Millisecond)), true
+}
+
+// forget drops a shard's window (it left the ring; a rejoin should not
+// inherit stale observations).
+func (e *latencyEstimator) forget(shard string) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	delete(e.shards, shard)
+}

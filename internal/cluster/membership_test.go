@@ -1,0 +1,228 @@
+package cluster
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+
+	"antace/internal/serve/api"
+)
+
+// TestMembershipEpochPerTransition pins the two-phase contract: every
+// committed transition costs exactly one epoch, no-ops cost none, and a
+// failed sync commits nothing at all.
+func TestMembershipEpochPerTransition(t *testing.T) {
+	m, err := NewMembership([]string{"http://a", "http://b"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ep, ring := m.Current(); ep != 0 || ring.Len() != 2 {
+		t.Fatalf("fresh membership: epoch %d, %d members", ep, ring.Len())
+	}
+
+	var synced []api.ClusterUpdate
+	record := func(u api.ClusterUpdate) error { synced = append(synced, u); return nil }
+
+	view, err := m.Join("http://c", record)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if view.Epoch != 1 || len(view.Members) != 3 {
+		t.Fatalf("join committed %+v", view)
+	}
+	if len(synced) != 1 || synced[0].Epoch != 1 || synced[0].Leaving != "" {
+		t.Fatalf("join synced %+v", synced)
+	}
+
+	// Joining an existing member spends no epoch.
+	if _, err := m.Join("http://c", record); !errors.Is(err, ErrNoChange) {
+		t.Fatalf("duplicate join: %v", err)
+	}
+	if ep, _ := m.Current(); ep != 1 {
+		t.Fatalf("duplicate join moved the epoch to %d", ep)
+	}
+
+	// A graceful leave names the leaver so the broadcast can contact it
+	// first; an ejection must not (the dead shard is not consulted).
+	view, err = m.Leave("http://b", false, record)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if view.Epoch != 2 || synced[1].Leaving != "http://b" {
+		t.Fatalf("leave committed %+v, synced %+v", view, synced[1])
+	}
+	if _, err := m.Leave("http://b", false, record); !errors.Is(err, ErrNoChange) {
+		t.Fatalf("double leave: %v", err)
+	}
+	if _, err := m.Leave("http://c", true, record); err != nil {
+		t.Fatal(err)
+	}
+	if synced[2].Leaving != "" {
+		t.Fatalf("ejection named the dead shard in Leaving: %+v", synced[2])
+	}
+
+	// Failed sync: nothing commits, the next attempt proposes the same
+	// epoch again.
+	boom := errors.New("broadcast died")
+	if _, err := m.Join("http://d", func(api.ClusterUpdate) error { return boom }); !errors.Is(err, boom) {
+		t.Fatalf("failed sync: %v", err)
+	}
+	if ep, ring := m.Current(); ep != 3 || ring.Len() != 1 {
+		t.Fatalf("failed sync committed: epoch %d, %d members", ep, ring.Len())
+	}
+	if _, err := m.Join("http://d", record); err != nil {
+		t.Fatal(err)
+	}
+	if synced[len(synced)-1].Epoch != 4 {
+		t.Fatalf("retry after failed sync proposed epoch %d, want 4", synced[len(synced)-1].Epoch)
+	}
+
+	// The last member can never be removed — the cluster would have no
+	// owner for any session.
+	if _, err := m.Leave("http://d", true, record); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Leave("http://a", true, record); err == nil || errors.Is(err, ErrNoChange) {
+		t.Fatalf("removing the last member: %v", err)
+	}
+
+	// Invalid endpoints are rejected before any sync fires.
+	before := len(synced)
+	if _, err := m.Join("http://x,http://y", record); err == nil {
+		t.Fatal("comma-bearing endpoint accepted")
+	}
+	if len(synced) != before {
+		t.Fatal("invalid join reached the sync phase")
+	}
+}
+
+// TestMembershipConcurrentConvergence hammers one Membership with
+// concurrent joins, leaves and ejections under -race. Invariants: the
+// epoch advances by exactly one per successful sync, and the final view
+// equals the last update that synced — transitions serialize, so no
+// commit can interleave with another's sync phase.
+func TestMembershipConcurrentConvergence(t *testing.T) {
+	m, err := NewMembership([]string{"http://seed"})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var mu sync.Mutex
+	var last api.ClusterUpdate
+	var commits uint64
+	record := func(u api.ClusterUpdate) error {
+		mu.Lock()
+		defer mu.Unlock()
+		if u.Epoch != commits+1 {
+			t.Errorf("sync saw epoch %d after %d commits", u.Epoch, commits)
+		}
+		commits++
+		last = u
+		return nil
+	}
+
+	const workers = 8
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			ep := fmt.Sprintf("http://shard-%d", w)
+			for i := 0; i < 25; i++ {
+				_, _ = m.Join(ep, record)
+				_, _ = m.Leave(ep, i%2 == 0, record)
+			}
+			_, _ = m.Join(ep, record)
+		}(w)
+	}
+	wg.Wait()
+
+	mu.Lock()
+	defer mu.Unlock()
+	ep, ring := m.Current()
+	if ep != commits {
+		t.Fatalf("final epoch %d, %d commits", ep, commits)
+	}
+	if ep != last.Epoch {
+		t.Fatalf("final epoch %d but last synced update was %d", ep, last.Epoch)
+	}
+	got := ring.Endpoints()
+	if len(got) != len(last.Members) {
+		t.Fatalf("final ring %v, last synced %v", got, last.Members)
+	}
+	want := map[string]bool{}
+	for _, e := range last.Members {
+		want[e] = true
+	}
+	for _, e := range got {
+		if !want[e] {
+			t.Fatalf("final ring member %q never synced; ring %v, synced %v", e, got, last.Members)
+		}
+	}
+}
+
+// FuzzMembershipWire feeds arbitrary bytes to every cluster control-
+// message parser. Contract: no panic ever; and an accepted message is
+// stable — re-encoding and re-parsing yields the same value, and its
+// member list always builds a ring (so a handler can never accept a
+// message it cannot act on).
+func FuzzMembershipWire(f *testing.F) {
+	f.Add([]byte(`{"epoch":1,"members":["http://a","http://b"],"leaving":"http://a"}`))
+	f.Add([]byte(`{"epoch":3,"members":["http://a"]}`))
+	f.Add([]byte(`{"endpoint":"http://c"}`))
+	f.Add([]byte(`{"endpoint":"http://c","force":true}`))
+	f.Add([]byte(`{"epoch":0,"members":[]}`))
+	f.Add([]byte(`{"epoch":1,"members":["http://a"]}{"epoch":2}`))
+	f.Add([]byte(`{"epoch":18446744073709551615,"members":[" http://pad "]}`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if u, ring, err := ParseUpdate(data); err == nil {
+			if ring == nil || ring.Len() != len(u.Members) {
+				t.Fatalf("accepted update %+v with ring %v", u, ring)
+			}
+			re, err := json.Marshal(u)
+			if err != nil {
+				t.Fatal(err)
+			}
+			u2, _, err := ParseUpdate(re)
+			if err != nil {
+				t.Fatalf("re-encoded update rejected: %v", err)
+			}
+			if u2.Epoch != u.Epoch || u2.Leaving != u.Leaving || len(u2.Members) != len(u.Members) {
+				t.Fatalf("update round-trip drifted: %+v vs %+v", u, u2)
+			}
+		}
+		if mv, ring, err := ParseMembership(data); err == nil {
+			if ring == nil || ring.Len() != len(mv.Members) {
+				t.Fatalf("accepted membership %+v with ring %v", mv, ring)
+			}
+			re, err := json.Marshal(mv)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if _, _, err := ParseMembership(re); err != nil {
+				t.Fatalf("re-encoded membership rejected: %v", err)
+			}
+		}
+		if jr, err := ParseJoin(data); err == nil {
+			if err := validateEndpoint(jr.Endpoint); err != nil {
+				t.Fatalf("accepted join with endpoint %q", jr.Endpoint)
+			}
+			re, _ := json.Marshal(jr)
+			if jr2, err := ParseJoin(re); err != nil || !bytes.Equal([]byte(jr2.Endpoint), []byte(jr.Endpoint)) {
+				t.Fatalf("join round-trip drifted: %v %+v", err, jr2)
+			}
+		}
+		if lr, err := ParseLeave(data); err == nil {
+			if err := validateEndpoint(lr.Endpoint); err != nil {
+				t.Fatalf("accepted leave with endpoint %q", lr.Endpoint)
+			}
+			re, _ := json.Marshal(lr)
+			if lr2, err := ParseLeave(re); err != nil || lr2 != lr {
+				t.Fatalf("leave round-trip drifted: %v %+v", err, lr2)
+			}
+		}
+	})
+}

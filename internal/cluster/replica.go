@@ -5,11 +5,13 @@ import (
 	"context"
 	"encoding/binary"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"log/slog"
 	"math"
 	"net/http"
+	"strconv"
 	"sync"
 	"time"
 
@@ -132,9 +134,10 @@ func DecodeRecord(raw []byte) (Record, error) {
 
 // ShipperStats are the Shipper's monotone counters.
 type ShipperStats struct {
-	Shipped   uint64 `json:"shipped"`    // records acknowledged by a replica
-	Reshipped uint64 `json:"reshipped"`  // records re-sent after a torn apply
-	Errors    uint64 `json:"errors"`     // shipments abandoned after retries
+	Shipped    uint64 `json:"shipped"`    // records acknowledged by a replica
+	Reshipped  uint64 `json:"reshipped"`  // records re-sent after a torn apply
+	Errors     uint64 `json:"errors"`     // shipments abandoned after retries
+	Rebalanced uint64 `json:"rebalanced"` // records re-shipped by membership changes
 }
 
 // Shipper implements the serve layer's Replicator against a cluster
@@ -145,11 +148,17 @@ type ShipperStats struct {
 // the request fast path never waits on a peer (a lost completion only
 // costs a deterministic re-execution on failover).
 type Shipper struct {
-	ring *Ring
 	self string
 	hc   *http.Client
 	log  *slog.Logger
 	pol  fheclient.RetryPolicy
+
+	// ring and epoch swap atomically on membership changes: Adopt installs
+	// the new topology first, so everything enqueued afterwards targets the
+	// new owners, then Rebalance re-ships the ownership delta.
+	ringMu sync.RWMutex
+	ring   *Ring
+	epoch  uint64
 
 	mu     sync.Mutex
 	queue  []shipItem
@@ -158,14 +167,17 @@ type Shipper struct {
 	wg     sync.WaitGroup
 
 	stats struct {
-		mu                         sync.Mutex
-		shipped, reshipped, errors uint64
+		mu                                     sync.Mutex
+		shipped, reshipped, errors, rebalanced uint64
 	}
 }
 
+// shipItem carries the session-scoped key alongside the encoded record:
+// the target shard is computed from the key at drain time, so records
+// queued across a membership change land on the post-change successor.
 type shipItem struct {
-	target string
-	rec    []byte
+	key string
+	rec []byte
 }
 
 // NewShipper builds a Shipper for the shard at self (which must be a
@@ -205,7 +217,43 @@ func NewShipper(ring *Ring, self string, hc *http.Client, log *slog.Logger) (*Sh
 func (s *Shipper) Stats() ShipperStats {
 	s.stats.mu.Lock()
 	defer s.stats.mu.Unlock()
-	return ShipperStats{Shipped: s.stats.shipped, Reshipped: s.stats.reshipped, Errors: s.stats.errors}
+	return ShipperStats{Shipped: s.stats.shipped, Reshipped: s.stats.reshipped, Errors: s.stats.errors, Rebalanced: s.stats.rebalanced}
+}
+
+// Self returns the endpoint this shipper ships on behalf of.
+func (s *Shipper) Self() string { return s.self }
+
+// current returns the topology the shipper is operating under.
+func (s *Shipper) current() (*Ring, uint64) {
+	s.ringMu.RLock()
+	defer s.ringMu.RUnlock()
+	return s.ring, s.epoch
+}
+
+// View returns the shipper's adopted membership (epoch 0 until the first
+// ClusterUpdate arrives — the static -cluster-peers boot ring).
+func (s *Shipper) View() api.Membership {
+	ring, epoch := s.current()
+	return api.Membership{Epoch: epoch, Members: ring.Endpoints()}
+}
+
+// Adopt installs a newer topology. Older or equal epochs are ignored
+// (duplicate broadcasts, races with a 409 adoption) unless the shipper is
+// still at epoch 0 and the ring differs. Returns whether it was adopted.
+// Unlike construction, self need not be a member — a draining shard
+// adopts the ring it is leaving so its final shipments target the new
+// owners.
+func (s *Shipper) Adopt(epoch uint64, ring *Ring) bool {
+	if ring == nil {
+		return false
+	}
+	s.ringMu.Lock()
+	defer s.ringMu.Unlock()
+	if epoch <= s.epoch {
+		return false
+	}
+	s.ring, s.epoch = ring, epoch
+	return true
 }
 
 // successor picks the replica for a session key: the first ring node
@@ -214,7 +262,8 @@ func (s *Shipper) Stats() ShipperStats {
 // the registrar, state ships back toward the (possibly dead) primary,
 // fail-open.
 func (s *Shipper) successor(key string) string {
-	for _, ep := range s.ring.LookupN(key, 2) {
+	ring, _ := s.current()
+	for _, ep := range ring.LookupN(key, 2) {
 		if ep != s.self {
 			return ep
 		}
@@ -227,20 +276,39 @@ func (s *Shipper) successor(key string) string {
 // implies the replica holds the keys, which is what makes shard death
 // cost zero re-registration.
 func (s *Shipper) ShipSession(id string, bundle []byte) error {
-	target := s.successor(id)
-	if target == "" {
-		return nil // single-shard ring: nowhere to replicate
-	}
 	rec, err := EncodeSession(id, bundle)
 	if err != nil {
 		s.countErr()
 		return err
 	}
-	if err := s.shipSync(target, [][]byte{rec}); err != nil {
+	if err := s.shipKeyed(id, [][]byte{rec}); err != nil {
 		s.countErr()
-		return fmt.Errorf("cluster: replicating session %s to %s: %w", id, target, err)
+		return fmt.Errorf("cluster: replicating session %s: %w", id, err)
 	}
 	return nil
+}
+
+// shipKeyed ships records for one session key to its current successor,
+// re-resolving the target when the receiver proves the topology moved
+// underneath us (a 409 epoch-stale reply adopts the newer ring).
+func (s *Shipper) shipKeyed(key string, recs [][]byte) error {
+	var lastErr error
+	for round := 0; round < 3; round++ {
+		target := s.successor(key)
+		if target == "" {
+			return nil // single-shard ring: nowhere to replicate
+		}
+		err := s.shipSync(target, recs)
+		if err == nil {
+			return nil
+		}
+		lastErr = err
+		if !errors.Is(err, errStaleEpoch) {
+			return err
+		}
+		// shipSync already adopted the newer membership; loop to re-target.
+	}
+	return lastErr
 }
 
 // ShipComplete replicates one idempotency completion asynchronously.
@@ -262,16 +330,12 @@ func (s *Shipper) enqueue(key string, rec []byte, err error) {
 		s.countErr()
 		return
 	}
-	target := s.successor(sessionOf(key))
-	if target == "" {
-		return
-	}
 	s.mu.Lock()
 	if s.closed {
 		s.mu.Unlock()
 		return
 	}
-	s.queue = append(s.queue, shipItem{target: target, rec: rec})
+	s.queue = append(s.queue, shipItem{key: sessionOf(key), rec: rec})
 	s.mu.Unlock()
 	select {
 	case s.kick <- struct{}{}:
@@ -302,15 +366,18 @@ func (s *Shipper) pump() {
 				s.mu.Unlock()
 				break
 			}
-			// Take the longest same-target prefix so ordering per target is
-			// preserved (a forget must never overtake its complete).
-			target := s.queue[0].target
+			// Take the longest prefix that resolves to one target under the
+			// current ring, so ordering per target is preserved (a forget must
+			// never overtake its complete).
+			target := s.successor(s.queue[0].key)
 			var recs [][]byte
+			var keys []string
 			rest := s.queue[:0]
 			taken := true
 			for _, it := range s.queue {
-				if taken && it.target == target {
+				if taken && s.successor(it.key) == target {
 					recs = append(recs, it.rec)
+					keys = append(keys, it.key)
 					continue
 				}
 				taken = false
@@ -318,7 +385,24 @@ func (s *Shipper) pump() {
 			}
 			s.queue = append([]shipItem(nil), rest...)
 			s.mu.Unlock()
-			if err := s.shipSync(target, recs); err != nil {
+			if target == "" {
+				continue // single-member ring: nothing to ship to
+			}
+			err := s.shipSync(target, recs)
+			if errors.Is(err, errStaleEpoch) {
+				// The receiver is on a newer ring (now adopted): re-queue the
+				// batch at the front so it re-resolves under the new topology
+				// without overtaking anything.
+				s.mu.Lock()
+				requeue := make([]shipItem, 0, len(recs)+len(s.queue))
+				for i, rec := range recs {
+					requeue = append(requeue, shipItem{key: keys[i], rec: rec})
+				}
+				s.queue = append(requeue, s.queue...)
+				s.mu.Unlock()
+				continue
+			}
+			if err != nil {
 				s.countErr()
 				s.log.Warn("replica.ship.failed", slog.String("target", target),
 					slog.Int("records", len(recs)), slog.String("err", err.Error()))
@@ -345,11 +429,18 @@ func (s *Shipper) Close() {
 	s.wg.Wait()
 }
 
+// errStaleEpoch reports that a receiver on a newer membership epoch
+// rejected a shipment; the shipper has already adopted the newer ring
+// and the caller should re-resolve targets and re-send.
+var errStaleEpoch = errors.New("cluster: shipment epoch stale, membership adopted")
+
 // shipSync POSTs one image of records to target's /v1/replica with
 // RetryPolicy backoff, re-shipping the cut tail when the replica
 // reports a torn apply. The replica.ship.torn fault point truncates the
 // image mid-frame before the POST — the wire shape of a shard dying
-// mid-stream — to exercise exactly that path.
+// mid-stream — to exercise exactly that path. A 409 epoch-stale reply
+// adopts the receiver's membership and returns errStaleEpoch so the
+// caller can re-target under the new ring.
 func (s *Shipper) shipSync(target string, recs [][]byte) error {
 	pol := s.pol
 	var lastErr error
@@ -364,7 +455,20 @@ func (s *Shipper) shipSync(target string, recs [][]byte) error {
 			}
 			image = image[:cut]
 		}
-		applied, err := s.postImage(target, image)
+		applied, stale, err := s.postImage(target, image)
+		if err == nil && stale != nil {
+			if mv, ring, perr := ParseMembership(*stale); perr == nil && s.Adopt(mv.Epoch, ring) {
+				s.log.Info("replica.ship.adopted", slog.Uint64("epoch", mv.Epoch), slog.String("from", target))
+				return errStaleEpoch
+			}
+			// Could not adopt anything newer — retry as a plain failure so a
+			// confused receiver cannot wedge the queue in a re-target loop.
+			lastErr = fmt.Errorf("replica apply at %s rejected epoch as stale", target)
+			if attempt < pol.MaxAttempts {
+				time.Sleep(pol.Backoff(attempt, 0))
+			}
+			continue
+		}
 		if err == nil {
 			s.stats.mu.Lock()
 			s.stats.shipped += uint64(applied)
@@ -387,32 +491,148 @@ func (s *Shipper) shipSync(target string, recs [][]byte) error {
 	return lastErr
 }
 
-func (s *Shipper) postImage(target string, image []byte) (applied int, err error) {
+// postImage ships one image. A 409 reply returns the receiver's
+// membership body in stale instead of an error.
+func (s *Shipper) postImage(target string, image []byte) (applied int, stale *[]byte, err error) {
 	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
 	defer cancel()
 	req, err := http.NewRequestWithContext(ctx, http.MethodPost, target+api.PathReplica, bytes.NewReader(image))
 	if err != nil {
-		return 0, err
+		return 0, nil, err
 	}
 	req.Header.Set("Content-Type", api.ContentTypeBinary)
+	_, epoch := s.current()
+	req.Header.Set(api.HeaderEpoch, strconv.FormatUint(epoch, 10))
 	resp, err := s.hc.Do(req)
 	if err != nil {
-		return 0, err
+		return 0, nil, err
 	}
 	defer resp.Body.Close()
+	if resp.StatusCode == http.StatusConflict {
+		body, _ := io.ReadAll(io.LimitReader(resp.Body, maxControlBody+1))
+		return 0, &body, nil
+	}
 	if resp.StatusCode != http.StatusOK {
 		body, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<12))
-		return 0, fmt.Errorf("replica apply returned %d: %s", resp.StatusCode, body)
+		return 0, nil, fmt.Errorf("replica apply returned %d: %s", resp.StatusCode, body)
 	}
 	var reply api.ReplicaApply
 	if err := json.NewDecoder(io.LimitReader(resp.Body, 1<<16)).Decode(&reply); err != nil {
-		return 0, fmt.Errorf("decoding replica apply reply: %w", err)
+		return 0, nil, fmt.Errorf("decoding replica apply reply: %w", err)
 	}
-	return reply.Applied, nil
+	return reply.Applied, nil, nil
 }
 
 func (s *Shipper) countErr() {
 	s.stats.mu.Lock()
 	s.stats.errors++
 	s.stats.mu.Unlock()
+}
+
+// Rebalance adopts a broadcast ClusterUpdate and re-ships the ownership
+// delta from src: every session this shard holds whose owner set gained
+// a member that cannot already hold its state gets its bundle and
+// completed results shipped there. When this shard is the one leaving,
+// the delta is everything it holds, shipped to every new owner — the
+// handoff that lets it drain without losing a session. Shipments are
+// synchronous; the returned count is records shipped. Duplicate ships
+// (two holders re-shipping the same session after an ejection) are
+// harmless: replica apply is idempotent.
+func (s *Shipper) Rebalance(update api.ClusterUpdate, newRing *Ring, src StateSource) (int, error) {
+	oldRing, _ := s.current()
+	if !s.Adopt(update.Epoch, newRing) {
+		// Already on this epoch or newer: the delta was (or is being)
+		// shipped by the adoption that got there first.
+		return 0, nil
+	}
+	if src == nil {
+		return 0, nil
+	}
+	leaving := update.Leaving == s.self
+	if !leaving {
+		leaving = true
+		for _, ep := range update.Members {
+			if ep == s.self {
+				leaving = false
+				break
+			}
+		}
+	}
+
+	oldOwners := func(id string) map[string]bool {
+		set := make(map[string]bool, 2)
+		for _, ep := range oldRing.LookupN(id, 2) {
+			set[ep] = true
+		}
+		return set
+	}
+
+	// Group completions by session so each target receives the bundle
+	// followed by its results in one ordered image.
+	completions := make(map[string][][]byte)
+	var encErr error
+	src.ForEachCompletion(func(key string, lane, stride int, body []byte) {
+		rec, err := EncodeComplete(key, lane, stride, body)
+		if err != nil {
+			encErr = err
+			return
+		}
+		sid := sessionOf(key)
+		completions[sid] = append(completions[sid], rec)
+	})
+
+	shipped := 0
+	var firstErr error
+	src.ForEachSessionBundle(func(id string, bundle []byte) {
+		was := oldOwners(id)
+		var targets []string
+		for _, ep := range newRing.LookupN(id, 2) {
+			if ep == s.self {
+				continue
+			}
+			// A leaver must place its state on every new owner; a survivor
+			// only ships to owners the old ring could not have populated.
+			if leaving || !was[ep] {
+				targets = append(targets, ep)
+			}
+		}
+		if len(targets) == 0 {
+			return
+		}
+		rec, err := EncodeSession(id, bundle)
+		if err != nil {
+			if firstErr == nil {
+				firstErr = err
+			}
+			return
+		}
+		recs := append([][]byte{rec}, completions[id]...)
+		for _, target := range targets {
+			err := s.shipSync(target, recs)
+			if errors.Is(err, errStaleEpoch) {
+				// An even newer epoch arrived mid-rebalance; its own
+				// rebalance owns the delta from here.
+				continue
+			}
+			if err != nil {
+				s.countErr()
+				s.log.Warn("replica.rebalance.failed", slog.String("target", target),
+					slog.String("session", id), slog.String("err", err.Error()))
+				if firstErr == nil {
+					firstErr = err
+				}
+				continue
+			}
+			shipped += len(recs)
+		}
+	})
+	if firstErr == nil {
+		firstErr = encErr
+	}
+	s.stats.mu.Lock()
+	s.stats.rebalanced += uint64(shipped)
+	s.stats.mu.Unlock()
+	s.log.Info("replica.rebalance", slog.Uint64("epoch", update.Epoch),
+		slog.Int("records", shipped), slog.Bool("leaving", leaving))
+	return shipped, firstErr
 }

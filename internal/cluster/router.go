@@ -6,6 +6,7 @@ import (
 	"crypto/rand"
 	"encoding/hex"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"log/slog"
@@ -35,29 +36,59 @@ import (
 // idempotency key for keyless inferences, making its own cross-shard
 // retries exactly-once.
 type Router struct {
-	ring *Ring
-	hc   *http.Client
-	log  *slog.Logger
-	pol  fheclient.RetryPolicy
-	mux  *http.ServeMux
+	mem *Membership
+	hc  *http.Client
+	log *slog.Logger
+	pol fheclient.RetryPolicy
+	mux *http.ServeMux
+
+	// Hedging: when the primary has not answered an infer within the
+	// hedge delay (fixed, or the shard's observed p95), the same request
+	// — same idempotency key — races to the replica and the first answer
+	// wins. hedgeAfter < 0 disables; 0 selects the adaptive estimate.
+	hedgeAfter time.Duration
+	hedgeMin   time.Duration
+	hedgeMax   time.Duration
+	est        *latencyEstimator
 
 	// Health prober: shards answering /v1/readyz 200 are preferred
 	// targets; unready ones are skipped while any alternative exists
 	// (but still tried as a last resort — the prober is advisory).
-	probeEvery time.Duration
-	mu         sync.RWMutex
-	unready    map[string]bool
+	// Consecutive failures past suspectAfter mark a shard suspect; a
+	// shard suspect for longer than ejectAfter is force-removed from the
+	// membership, its orphaned replicas re-replicated by the survivors.
+	probeEvery   time.Duration
+	suspectAfter int
+	ejectAfter   time.Duration
+	mu           sync.RWMutex
+	unready      map[string]bool
+	probeFails   map[string]int
+	suspectSince map[string]time.Time
+	ejecting     map[string]bool
+
+	// Per-shard statz scrape cache: an unreachable shard's last good
+	// snapshot still counts toward cluster totals (a stale lower bound
+	// beats a silent zero) and its staleness is reported explicitly.
+	scrapeMu  sync.Mutex
+	lastStatz map[string]scrapedStatz
 
 	stats struct {
 		mu            sync.Mutex
 		forwarded     uint64
 		failovers     uint64
 		errors        uint64
+		hedged        uint64
+		hedgeWins     uint64
 		shardRequests map[string]uint64
 	}
 
 	stop chan struct{}
 	wg   sync.WaitGroup
+}
+
+type scrapedStatz struct {
+	at time.Time
+	st api.Statz
 }
 
 // RouterConfig tunes a Router; zero values select the noted defaults.
@@ -72,6 +103,23 @@ type RouterConfig struct {
 	ProbeEvery time.Duration
 	// Logger receives forward/failover events; nil discards.
 	Logger *slog.Logger
+
+	// HedgeAfter is the infer hedging delay: 0 (the default) hedges
+	// adaptively at the primary's observed p95 latency, clamped to
+	// [HedgeMin, HedgeMax]; a positive value hedges at that fixed delay;
+	// a negative value disables hedging.
+	HedgeAfter time.Duration
+	// HedgeMin/HedgeMax clamp the adaptive delay (defaults
+	// DefaultHedgeMin/DefaultHedgeMax).
+	HedgeMin time.Duration
+	HedgeMax time.Duration
+
+	// SuspectAfter is how many consecutive readyz probe failures mark a
+	// shard suspect (default 3; negative disables suspicion tracking).
+	SuspectAfter int
+	// EjectAfter force-removes a shard from the membership once it has
+	// been suspect this long (default 0 = never eject automatically).
+	EjectAfter time.Duration
 }
 
 // RouterStatz is the router's own half of the aggregated statz page.
@@ -79,20 +127,38 @@ type RouterStatz struct {
 	Forwarded uint64 `json:"forwarded"`
 	Failovers uint64 `json:"failovers"`
 	Errors    uint64 `json:"errors"`
+	// Hedged counts infer requests that fired a duplicate to the replica
+	// after the hedge delay; HedgeWins counts those the replica answered
+	// first (the hedge actually cut latency).
+	Hedged    uint64 `json:"hedged"`
+	HedgeWins uint64 `json:"hedge_wins"`
+	// Epoch is the committed membership epoch the router is serving.
+	Epoch uint64 `json:"epoch"`
 	// ShardRequests counts requests the router sent to each shard
 	// (attempts, not successes — a failover counts against both shards).
 	ShardRequests map[string]uint64 `json:"shard_requests"`
 	// Ready is the prober's current view of each shard.
 	Ready map[string]bool `json:"ready"`
+	// Suspect lists shards with suspectAfter+ consecutive probe failures,
+	// with how long each has been suspect.
+	Suspect map[string]float64 `json:"suspect_sec,omitempty"`
 }
 
 // ClusterStatz is returned by the router's GET /v1/statz: the router's
 // own counters, per-shard statz snapshots, and cluster-wide sums of the
-// shards' monotone counters.
+// shards' monotone counters. An unreachable shard is named in
+// Unreachable and contributes its last successful scrape (aged per
+// ScrapeAgeSec) to Shards and Cluster — a stale lower bound, never a
+// silent zero.
 type ClusterStatz struct {
 	Router  RouterStatz          `json:"router"`
 	Cluster api.Statz            `json:"cluster"`
 	Shards  map[string]api.Statz `json:"shards"`
+	// Unreachable lists ring members whose statz scrape failed just now.
+	Unreachable []string `json:"unreachable,omitempty"`
+	// ScrapeAgeSec is the age of each shard's snapshot in Shards: 0 for a
+	// fresh scrape, the time since the last successful one otherwise.
+	ScrapeAgeSec map[string]float64 `json:"scrape_age_sec,omitempty"`
 }
 
 // NewRouter builds a router over the given shard ring and starts its
@@ -110,14 +176,37 @@ func NewRouter(ring *Ring, cfg RouterConfig) *Router {
 	if probe == 0 {
 		probe = 500 * time.Millisecond
 	}
+	hedgeMin := cfg.HedgeMin
+	if hedgeMin <= 0 {
+		hedgeMin = DefaultHedgeMin
+	}
+	hedgeMax := cfg.HedgeMax
+	if hedgeMax <= 0 {
+		hedgeMax = DefaultHedgeMax
+	}
+	suspectAfter := cfg.SuspectAfter
+	if suspectAfter == 0 {
+		suspectAfter = 3
+	}
+	mem := &Membership{ring: ring}
 	rt := &Router{
-		ring:       ring,
-		hc:         hc,
-		log:        log,
-		pol:        cfg.Retry.WithDefaults(),
-		probeEvery: probe,
-		unready:    map[string]bool{},
-		stop:       make(chan struct{}),
+		mem:          mem,
+		hc:           hc,
+		log:          log,
+		pol:          cfg.Retry.WithDefaults(),
+		hedgeAfter:   cfg.HedgeAfter,
+		hedgeMin:     hedgeMin,
+		hedgeMax:     hedgeMax,
+		est:          newLatencyEstimator(),
+		probeEvery:   probe,
+		suspectAfter: suspectAfter,
+		ejectAfter:   cfg.EjectAfter,
+		unready:      map[string]bool{},
+		probeFails:   map[string]int{},
+		suspectSince: map[string]time.Time{},
+		ejecting:     map[string]bool{},
+		lastStatz:    map[string]scrapedStatz{},
+		stop:         make(chan struct{}),
 	}
 	rt.stats.shardRequests = map[string]uint64{}
 
@@ -131,6 +220,9 @@ func NewRouter(ring *Ring, cfg RouterConfig) *Router {
 	mux.HandleFunc("GET "+api.PathStatz, rt.handleStatz)
 	mux.HandleFunc("GET "+api.PathProfilez, rt.handleProfilez)
 	mux.HandleFunc("GET "+api.PathMetrics, rt.handleMetrics)
+	mux.HandleFunc("GET "+api.PathClusterMembership, rt.handleClusterMembership)
+	mux.HandleFunc("POST "+api.PathClusterJoin, rt.handleClusterJoin)
+	mux.HandleFunc("POST "+api.PathClusterLeave, rt.handleClusterLeave)
 	rt.mux = mux
 
 	if probe > 0 {
@@ -139,6 +231,16 @@ func NewRouter(ring *Ring, cfg RouterConfig) *Router {
 	}
 	return rt
 }
+
+// curRing returns the committed membership ring; placements are always
+// computed against the epoch the cluster has actually adopted.
+func (rt *Router) curRing() *Ring {
+	_, ring := rt.mem.Current()
+	return ring
+}
+
+// Membership returns the router's committed membership view.
+func (rt *Router) Membership() api.Membership { return rt.mem.View() }
 
 // ServeHTTP dispatches to the router API.
 func (rt *Router) ServeHTTP(w http.ResponseWriter, r *http.Request) { rt.mux.ServeHTTP(w, r) }
@@ -171,8 +273,9 @@ func (rt *Router) probeLoop() {
 }
 
 func (rt *Router) probeOnce() {
+	members := rt.curRing().Endpoints()
 	var wg sync.WaitGroup
-	for _, ep := range rt.ring.Endpoints() {
+	for _, ep := range members {
 		wg.Add(1)
 		go func(ep string) {
 			defer wg.Done()
@@ -190,6 +293,17 @@ func (rt *Router) probeOnce() {
 			rt.mu.Lock()
 			was := !rt.unready[ep]
 			rt.unready[ep] = !ready
+			if ready {
+				rt.probeFails[ep] = 0
+				delete(rt.suspectSince, ep)
+			} else if rt.suspectAfter > 0 {
+				rt.probeFails[ep]++
+				if rt.probeFails[ep] == rt.suspectAfter {
+					rt.suspectSince[ep] = time.Now()
+					rt.log.Warn("router.shard.suspect", slog.String("shard", ep),
+						slog.Int("consecutive_failures", rt.probeFails[ep]))
+				}
+			}
 			rt.mu.Unlock()
 			if was != ready {
 				rt.log.Info("router.shard", slog.String("shard", ep), slog.Bool("ready", ready))
@@ -197,6 +311,54 @@ func (rt *Router) probeOnce() {
 		}(ep)
 	}
 	wg.Wait()
+	rt.maybeEject()
+}
+
+// maybeEject force-removes shards that have been suspect longer than the
+// eject deadline: a Leave with Force, so the dead member is not waited
+// on and the survivors re-replicate its orphaned sessions.
+func (rt *Router) maybeEject() {
+	if rt.ejectAfter <= 0 {
+		return
+	}
+	var victims []string
+	rt.mu.Lock()
+	for ep, since := range rt.suspectSince {
+		if time.Since(since) >= rt.ejectAfter && !rt.ejecting[ep] {
+			rt.ejecting[ep] = true
+			victims = append(victims, ep)
+		}
+	}
+	rt.mu.Unlock()
+	for _, ep := range victims {
+		go func(ep string) {
+			defer func() {
+				rt.mu.Lock()
+				delete(rt.ejecting, ep)
+				rt.mu.Unlock()
+			}()
+			if rt.curRing().Len() <= 1 {
+				return // never eject the last shard: degraded beats empty
+			}
+			rt.log.Warn("router.shard.eject", slog.String("shard", ep))
+			if _, err := rt.leave(ep, true); err != nil && !errorsIsNoChange(err) {
+				rt.log.Warn("router.shard.eject.failed", slog.String("shard", ep), slog.String("err", err.Error()))
+				return
+			}
+			rt.forgetShard(ep)
+		}(ep)
+	}
+}
+
+// forgetShard clears per-shard prober and estimator state after a member
+// left the ring.
+func (rt *Router) forgetShard(ep string) {
+	rt.mu.Lock()
+	delete(rt.unready, ep)
+	delete(rt.probeFails, ep)
+	delete(rt.suspectSince, ep)
+	rt.mu.Unlock()
+	rt.est.forget(ep)
 }
 
 // orderCandidates returns the candidates with ready shards first,
@@ -217,6 +379,152 @@ func (rt *Router) orderCandidates(candidates []string) []string {
 		}
 	}
 	return ordered
+}
+
+// --- membership ----------------------------------------------------------
+
+func errorsIsNoChange(err error) bool { return errors.Is(err, ErrNoChange) }
+
+// join runs the full join transition: propose the ring with endpoint
+// added, broadcast the update to every member (the joiner included — the
+// broadcast is what hands it the authoritative ring), wait for each ACK
+// (existing holders re-replicate the ownership delta before answering),
+// then commit the epoch.
+func (rt *Router) join(endpoint string) (api.Membership, error) {
+	return rt.mem.Join(endpoint, func(update api.ClusterUpdate) error {
+		return rt.broadcastUpdate(update, nil)
+	})
+}
+
+// leave runs the drain (or, with force, ejection) transition. A drain
+// contacts the leaver first: it re-ships everything it holds and begins
+// handoff before the survivors adopt the ring. An ejection never
+// contacts the dead shard.
+func (rt *Router) leave(endpoint string, force bool) (api.Membership, error) {
+	return rt.mem.Leave(endpoint, force, func(update api.ClusterUpdate) error {
+		var firstTargets []string
+		if !force {
+			firstTargets = []string{endpoint}
+		}
+		return rt.broadcastUpdate(update, firstTargets)
+	})
+}
+
+// broadcastUpdate POSTs the proposed update to first (in order, each
+// must ACK) and then to every update.Members concurrently, requiring an
+// ACK from each: an ACK means the shard adopted the ring and finished
+// re-shipping its share of the ownership delta, which is exactly the
+// condition for committing the epoch.
+func (rt *Router) broadcastUpdate(update api.ClusterUpdate, first []string) error {
+	body, err := json.Marshal(update)
+	if err != nil {
+		return err
+	}
+	push := func(ep string) error {
+		ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+		defer cancel()
+		res, err := rt.roundTrip(ctx, ep, http.MethodPost, api.PathClusterUpdate, http.Header{"Content-Type": []string{"application/json"}}, body)
+		if err != nil {
+			return fmt.Errorf("cluster update to %s: %w", ep, err)
+		}
+		if res.status != http.StatusOK {
+			return fmt.Errorf("cluster update to %s: status %d: %s", ep, res.status, truncateBody(res.body))
+		}
+		var reply api.ClusterUpdateReply
+		if err := json.Unmarshal(res.body, &reply); err != nil {
+			return fmt.Errorf("cluster update to %s: bad ack: %w", ep, err)
+		}
+		if reply.Epoch < update.Epoch {
+			return fmt.Errorf("cluster update to %s: acked stale epoch %d < %d", ep, reply.Epoch, update.Epoch)
+		}
+		rt.log.Info("router.cluster.update.ack", slog.String("shard", ep),
+			slog.Uint64("epoch", reply.Epoch), slog.Int("reshipped", reply.Reshipped))
+		return nil
+	}
+	seen := map[string]bool{}
+	for _, ep := range first {
+		seen[ep] = true
+		if err := push(ep); err != nil {
+			return err
+		}
+	}
+	var wg sync.WaitGroup
+	errs := make(chan error, len(update.Members))
+	for _, ep := range update.Members {
+		if seen[ep] {
+			continue
+		}
+		wg.Add(1)
+		go func(ep string) {
+			defer wg.Done()
+			if err := push(ep); err != nil {
+				errs <- err
+			}
+		}(ep)
+	}
+	wg.Wait()
+	close(errs)
+	return <-errs
+}
+
+func truncateBody(b []byte) string {
+	const n = 512
+	if len(b) > n {
+		b = b[:n]
+	}
+	return string(b)
+}
+
+func (rt *Router) handleClusterMembership(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, rt.mem.View())
+}
+
+func (rt *Router) handleClusterJoin(w http.ResponseWriter, r *http.Request) {
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxControlBody))
+	if err != nil {
+		writeJSON(w, http.StatusRequestEntityTooLarge, api.ErrorReply{Error: err.Error()})
+		return
+	}
+	jr, err := ParseJoin(body)
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, api.ErrorReply{Error: err.Error()})
+		return
+	}
+	view, err := rt.join(jr.Endpoint)
+	switch {
+	case errorsIsNoChange(err):
+		writeJSON(w, http.StatusOK, view) // already a member: idempotent
+	case err != nil:
+		writeJSON(w, http.StatusBadGateway, api.ErrorReply{Error: err.Error()})
+	default:
+		rt.log.Info("router.cluster.join", slog.String("shard", jr.Endpoint), slog.Uint64("epoch", view.Epoch))
+		writeJSON(w, http.StatusOK, view)
+	}
+}
+
+func (rt *Router) handleClusterLeave(w http.ResponseWriter, r *http.Request) {
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxControlBody))
+	if err != nil {
+		writeJSON(w, http.StatusRequestEntityTooLarge, api.ErrorReply{Error: err.Error()})
+		return
+	}
+	lr, err := ParseLeave(body)
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, api.ErrorReply{Error: err.Error()})
+		return
+	}
+	view, err := rt.leave(lr.Endpoint, lr.Force)
+	switch {
+	case errorsIsNoChange(err):
+		writeJSON(w, http.StatusOK, view) // already gone: idempotent
+	case err != nil:
+		writeJSON(w, http.StatusBadGateway, api.ErrorReply{Error: err.Error()})
+	default:
+		rt.forgetShard(lr.Endpoint)
+		rt.log.Info("router.cluster.leave", slog.String("shard", lr.Endpoint),
+			slog.Bool("force", lr.Force), slog.Uint64("epoch", view.Epoch))
+		writeJSON(w, http.StatusOK, view)
+	}
 }
 
 // --- forwarding ----------------------------------------------------------
@@ -241,9 +549,10 @@ var copiedHeaders = []string{
 
 // forward tries candidates in order, with up to Retry.MaxAttempts
 // rounds and backoff between rounds. A candidate "fails over" on a
-// connection error, a 503 (draining/recovering) or — when allow404 —
-// a 404 (the shard restarted empty but its peer holds the replicated
-// session); any other response is the answer and is returned as-is.
+// connection error, a 503 (draining/recovering), a 429 (queue full —
+// the replica may have capacity) or — when allow404 — a 404 (the shard
+// restarted empty but its peer holds the replicated session); any other
+// response is the answer and is returned as-is.
 // The router.forward.err fault point fails the first candidate of the
 // first round artificially, forcing the failover path under test.
 func (rt *Router) forward(ctx context.Context, candidates []string, method, path string, header http.Header, body []byte, allow404 bool) (fwdResult, error) {
@@ -270,7 +579,8 @@ func (rt *Router) forward(ctx context.Context, candidates []string, method, path
 				lastErr = err
 				continue
 			}
-			if res.status == http.StatusServiceUnavailable || (allow404 && res.status == http.StatusNotFound) {
+			if res.status == http.StatusServiceUnavailable || res.status == http.StatusTooManyRequests ||
+				(allow404 && res.status == http.StatusNotFound) {
 				rt.countFailover()
 				rt.log.Info("router.failover", slog.String("shard", ep), slog.Int("status", res.status))
 				lastRes, haveRes = res, true
@@ -351,7 +661,7 @@ func mintHex32() (string, error) {
 // handleProgram forwards the spec fetch to any shard (every shard
 // serves the same compiled program).
 func (rt *Router) handleProgram(w http.ResponseWriter, r *http.Request) {
-	res, err := rt.forward(r.Context(), rt.ring.Endpoints(), http.MethodGet, api.PathProgram, nil, nil, false)
+	res, err := rt.forward(r.Context(), rt.curRing().Endpoints(), http.MethodGet, api.PathProgram, nil, nil, false)
 	if err != nil {
 		rt.relayErr(w, err)
 		return
@@ -385,7 +695,7 @@ func (rt *Router) handleRegister(w http.ResponseWriter, r *http.Request) {
 	// Candidates are the id's primary then its successor: when the
 	// primary is down the bundle registers directly on the successor,
 	// which serves the session until the primary returns.
-	res, err := rt.forward(r.Context(), rt.ring.LookupN(id, 2), http.MethodPost, api.PathSessions, header, body, false)
+	res, err := rt.forward(r.Context(), rt.curRing().LookupN(id, 2), http.MethodPost, api.PathSessions, header, body, false)
 	if err != nil {
 		rt.relayErr(w, err)
 		return
@@ -399,7 +709,7 @@ func (rt *Router) handleRegister(w http.ResponseWriter, r *http.Request) {
 func (rt *Router) handleDrop(w http.ResponseWriter, r *http.Request) {
 	id := r.PathValue("id")
 	dropped := false
-	for _, ep := range rt.ring.LookupN(id, 2) {
+	for _, ep := range rt.curRing().LookupN(id, 2) {
 		rt.countShard(ep)
 		res, err := rt.roundTrip(r.Context(), ep, http.MethodDelete, api.PathSessions+"/"+id, nil, nil)
 		if err == nil && res.status == http.StatusNoContent {
@@ -448,13 +758,130 @@ func (rt *Router) handleInfer(w http.ResponseWriter, r *http.Request) {
 		}
 		header.Set(api.HeaderIdemKey, key)
 	}
-	res, err := rt.forward(r.Context(), rt.ring.LookupN(id, 2), http.MethodPost, api.PathInfer, header, body, true)
+	res, err := rt.forwardInfer(r.Context(), rt.curRing().LookupN(id, 2), header, body)
 	if err != nil {
 		rt.relayErr(w, err)
 		return
 	}
 	rt.countForwarded()
 	rt.relay(w, res)
+}
+
+// forwardInfer is the hedged infer forward: the request goes to the
+// primary, and if no answer lands within the hedge delay the identical
+// request (same idempotency key — exactly-once by construction, both
+// shards compute the same deterministic bytes) races to the replica.
+// First conclusive answer wins and the loser's context is cancelled. A
+// failover-class result (conn error / 503 / 429 / 404) from both
+// contenders falls back to the ordinary retry loop. The router.hedge.fire fault
+// point forces the hedge to fire immediately.
+func (rt *Router) forwardInfer(ctx context.Context, candidates []string, header http.Header, body []byte) (fwdResult, error) {
+	ordered := rt.orderCandidates(candidates)
+	if rt.hedgeAfter < 0 || len(ordered) < 2 {
+		return rt.forward(ctx, candidates, http.MethodPost, api.PathInfer, header, body, true)
+	}
+	primary, backup := ordered[0], ordered[1]
+	delay := rt.hedgeDelay(primary)
+	if ferr := fault.Inject(fault.RouterHedgeFire); ferr != nil {
+		delay = 0
+	}
+
+	type attempt struct {
+		res   fwdResult
+		err   error
+		ep    string
+		hedge bool
+	}
+	cctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	ch := make(chan attempt, 2)
+	start := time.Now()
+	launch := func(ep string, hedge bool) {
+		rt.countShard(ep)
+		if !hedge {
+			if ferr := fault.Inject(fault.RouterForwardErr); ferr != nil {
+				ch <- attempt{err: ferr, ep: ep, hedge: hedge}
+				return
+			}
+		}
+		res, err := rt.roundTrip(cctx, ep, http.MethodPost, api.PathInfer, header, body)
+		ch <- attempt{res: res, err: err, ep: ep, hedge: hedge}
+	}
+	go launch(primary, false)
+
+	timer := time.NewTimer(delay)
+	defer timer.Stop()
+	hedged := false
+	landed := 0
+	for {
+		select {
+		case <-timer.C:
+			if !hedged {
+				hedged = true
+				rt.countHedged()
+				rt.log.Info("router.hedge", slog.String("primary", primary),
+					slog.String("backup", backup), slog.Duration("after", delay))
+				go launch(backup, true)
+			}
+		case a := <-ch:
+			landed++
+			conclusive := a.err == nil && a.res.status != http.StatusServiceUnavailable &&
+				a.res.status != http.StatusNotFound && a.res.status != http.StatusTooManyRequests
+			if conclusive {
+				// Either way the total latency charges to the primary's window:
+				// a hedge win means the primary was too slow, and teaching the
+				// estimator that is what keeps hedging firing against a
+				// uniformly slow shard.
+				rt.est.observe(primary, time.Since(start))
+				if a.hedge {
+					rt.countHedgeWin()
+					rt.log.Info("router.hedge.win", slog.String("backup", backup),
+						slog.Duration("latency", time.Since(start)))
+				}
+				cancel()
+				return a.res, nil
+			}
+			rt.countFailover()
+			if a.err != nil {
+				rt.log.Warn("router.forward", slog.String("shard", a.ep), slog.String("err", a.err.Error()))
+			} else {
+				rt.log.Info("router.failover", slog.String("shard", a.ep), slog.Int("status", a.res.status))
+			}
+			want := 1
+			if hedged {
+				want = 2
+			}
+			if landed >= want {
+				// Both contenders (or the sole one) answered failover-class:
+				// hand the request to the ordinary retry/failover loop, which
+				// also owns relaying a final 503/404 if nothing recovers.
+				cancel()
+				return rt.forward(ctx, candidates, http.MethodPost, api.PathInfer, header, body, true)
+			}
+		case <-ctx.Done():
+			return fwdResult{}, ctx.Err()
+		}
+	}
+}
+
+// hedgeDelay picks the hedge delay for a primary: the configured fixed
+// delay, or the shard's observed p95 clamped to [hedgeMin, hedgeMax] —
+// conservative (hedgeMax) until enough samples exist.
+func (rt *Router) hedgeDelay(primary string) time.Duration {
+	if rt.hedgeAfter > 0 {
+		return rt.hedgeAfter
+	}
+	p95, ok := rt.est.p95(primary)
+	if !ok {
+		return rt.hedgeMax
+	}
+	if p95 < rt.hedgeMin {
+		return rt.hedgeMin
+	}
+	if p95 > rt.hedgeMax {
+		return rt.hedgeMax
+	}
+	return p95
 }
 
 // handleHealthz is the router's own liveness: it holds no state, so
@@ -466,9 +893,10 @@ func (rt *Router) handleHealthz(w http.ResponseWriter, r *http.Request) {
 // handleReadyz reports the router ready while at least one shard is:
 // with every shard down there is nothing to route to.
 func (rt *Router) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	members := rt.curRing().Endpoints()
 	rt.mu.RLock()
 	ready := 0
-	for _, ep := range rt.ring.Endpoints() {
+	for _, ep := range members {
 		if !rt.unready[ep] {
 			ready++
 		}
@@ -486,10 +914,11 @@ func (rt *Router) handleReadyz(w http.ResponseWriter, r *http.Request) {
 // scrapeAll fetches one path from every shard concurrently; shards that
 // fail are reported with a nil body.
 func (rt *Router) scrapeAll(ctx context.Context, path string) map[string][]byte {
-	out := make(map[string][]byte, rt.ring.Len())
+	ring := rt.curRing()
+	out := make(map[string][]byte, ring.Len())
 	var mu sync.Mutex
 	var wg sync.WaitGroup
-	for _, ep := range rt.ring.Endpoints() {
+	for _, ep := range ring.Endpoints() {
 		wg.Add(1)
 		go func(ep string) {
 			defer wg.Done()
@@ -509,17 +938,33 @@ func (rt *Router) scrapeAll(ctx context.Context, path string) map[string][]byte 
 }
 
 // handleStatz aggregates every shard's statz into per-shard snapshots
-// plus cluster-wide sums of the monotone counters.
+// plus cluster-wide sums of the monotone counters. A shard whose scrape
+// failed is named in Unreachable and represented by its last successful
+// snapshot with a nonzero ScrapeAgeSec — explicit staleness instead of
+// a silent hole in the totals.
 func (rt *Router) handleStatz(w http.ResponseWriter, r *http.Request) {
 	shards := map[string]api.Statz{}
+	var unreachable []string
+	ages := map[string]float64{}
 	var sum api.Statz
+	now := time.Now()
 	for ep, body := range rt.scrapeAll(r.Context(), api.PathStatz) {
-		if body == nil {
-			continue
-		}
 		var st api.Statz
-		if err := json.Unmarshal(body, &st); err != nil {
-			continue
+		if body != nil && json.Unmarshal(body, &st) == nil {
+			rt.scrapeMu.Lock()
+			rt.lastStatz[ep] = scrapedStatz{at: now, st: st}
+			rt.scrapeMu.Unlock()
+			ages[ep] = 0
+		} else {
+			unreachable = append(unreachable, ep)
+			rt.scrapeMu.Lock()
+			cached, ok := rt.lastStatz[ep]
+			rt.scrapeMu.Unlock()
+			if !ok {
+				continue // never scraped successfully: nothing to report
+			}
+			st = cached.st
+			ages[ep] = now.Sub(cached.at).Seconds()
 		}
 		shards[ep] = st
 		sum.Served += st.Served
@@ -553,10 +998,15 @@ func (rt *Router) handleStatz(w http.ResponseWriter, r *http.Request) {
 		sum.ReplicaResults += st.ReplicaResults
 		sum.ReplicaShipErrs += st.ReplicaShipErrs
 	}
+	epoch, ring := rt.mem.Current()
 	rt.mu.RLock()
-	ready := make(map[string]bool, rt.ring.Len())
-	for _, ep := range rt.ring.Endpoints() {
+	ready := make(map[string]bool, ring.Len())
+	for _, ep := range ring.Endpoints() {
 		ready[ep] = !rt.unready[ep]
+	}
+	suspect := map[string]float64{}
+	for ep, since := range rt.suspectSince {
+		suspect[ep] = now.Sub(since).Seconds()
 	}
 	rt.mu.RUnlock()
 	rt.stats.mu.Lock()
@@ -564,14 +1014,22 @@ func (rt *Router) handleStatz(w http.ResponseWriter, r *http.Request) {
 		Forwarded:     rt.stats.forwarded,
 		Failovers:     rt.stats.failovers,
 		Errors:        rt.stats.errors,
+		Hedged:        rt.stats.hedged,
+		HedgeWins:     rt.stats.hedgeWins,
+		Epoch:         epoch,
 		ShardRequests: make(map[string]uint64, len(rt.stats.shardRequests)),
 		Ready:         ready,
+		Suspect:       suspect,
 	}
 	for ep, n := range rt.stats.shardRequests {
 		rstat.ShardRequests[ep] = n
 	}
 	rt.stats.mu.Unlock()
-	writeJSON(w, http.StatusOK, ClusterStatz{Router: rstat, Cluster: sum, Shards: shards})
+	sort.Strings(unreachable)
+	writeJSON(w, http.StatusOK, ClusterStatz{
+		Router: rstat, Cluster: sum, Shards: shards,
+		Unreachable: unreachable, ScrapeAgeSec: ages,
+	})
 }
 
 // handleProfilez returns every shard's per-opcode FHE profile keyed by
@@ -598,8 +1056,9 @@ func (rt *Router) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		ep  string
 		fam map[string]*obs.ParsedFamily
 	}
+	epoch, ring := rt.mem.Current()
 	var pages []parsed
-	eps := make([]string, 0, rt.ring.Len())
+	eps := make([]string, 0, ring.Len())
 	for ep, body := range rt.scrapeAll(r.Context(), api.PathMetrics) {
 		if body == nil {
 			continue
@@ -642,6 +1101,7 @@ func (rt *Router) handleMetrics(w http.ResponseWriter, r *http.Request) {
 
 	rt.stats.mu.Lock()
 	fwd, fo, errs := rt.stats.forwarded, rt.stats.failovers, rt.stats.errors
+	hedged, hedgeWins := rt.stats.hedged, rt.stats.hedgeWins
 	perShard := make(map[string]uint64, len(rt.stats.shardRequests))
 	for ep, n := range rt.stats.shardRequests {
 		perShard[ep] = n
@@ -650,6 +1110,9 @@ func (rt *Router) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	e.Family("ace_router_forwarded_total", "Requests the router forwarded to a shard and answered.", obs.Counter).Add(float64(fwd))
 	e.Family("ace_router_failovers_total", "Forward attempts that failed over to the next candidate shard.", obs.Counter).Add(float64(fo))
 	e.Family("ace_router_errors_total", "Requests that exhausted every candidate shard.", obs.Counter).Add(float64(errs))
+	e.Family("ace_hedged_requests", "Infer requests that fired a duplicate to the replica after the hedge delay.", obs.Counter).Add(float64(hedged))
+	e.Family("ace_hedge_wins", "Hedged infer requests the replica answered first.", obs.Counter).Add(float64(hedgeWins))
+	e.Family("ace_cluster_epoch", "Committed cluster membership epoch.", obs.Gauge).Add(float64(epoch))
 	sf := e.Family("ace_router_shard_requests_total", "Forward attempts per shard.", obs.Counter)
 	sort.Strings(eps)
 	shardKeys := make([]string, 0, len(perShard))
@@ -660,7 +1123,7 @@ func (rt *Router) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	for _, ep := range shardKeys {
 		sf.Add(float64(perShard[ep]), obs.Label{Name: "shard", Value: ep})
 	}
-	e.Family("ace_router_shards", "Shards in the routing ring.", obs.Gauge).Add(float64(rt.ring.Len()))
+	e.Family("ace_router_shards", "Shards in the routing ring.", obs.Gauge).Add(float64(ring.Len()))
 
 	var buf bytes.Buffer
 	if err := e.Write(&buf); err != nil {
@@ -695,5 +1158,17 @@ func (rt *Router) countErr() {
 func (rt *Router) countShard(ep string) {
 	rt.stats.mu.Lock()
 	rt.stats.shardRequests[ep]++
+	rt.stats.mu.Unlock()
+}
+
+func (rt *Router) countHedged() {
+	rt.stats.mu.Lock()
+	rt.stats.hedged++
+	rt.stats.mu.Unlock()
+}
+
+func (rt *Router) countHedgeWin() {
+	rt.stats.mu.Lock()
+	rt.stats.hedgeWins++
 	rt.stats.mu.Unlock()
 }

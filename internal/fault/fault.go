@@ -70,12 +70,17 @@ const (
 	// to a successor: the apply side must keep the intact prefix and the
 	// shipper must re-ship the cut records.
 	ReplicaShipTorn = "replica.ship.torn"
+	// RouterHedgeFire forces the router's hedging timer for one infer to
+	// fire immediately, issuing the duplicate request to the replica
+	// regardless of the primary's observed latency — the deterministic
+	// way to exercise the hedge race and its exactly-once guarantee.
+	RouterHedgeFire = "router.hedge.fire"
 )
 
 // Points lists the injection points compiled into the runtime, for the
 // registry section of /v1/statz-style introspection and docs.
 func Points() []string {
-	return []string{ServeWorkerPanic, VMInstrPanic, VMInstrErr, CKKSRescaleErr, ClientConnReset, StoreWriteTorn, ServeRecoverErr, BatchFlushPanic, RouterForwardErr, ReplicaShipTorn}
+	return []string{ServeWorkerPanic, VMInstrPanic, VMInstrErr, CKKSRescaleErr, ClientConnReset, StoreWriteTorn, ServeRecoverErr, BatchFlushPanic, RouterForwardErr, ReplicaShipTorn, RouterHedgeFire}
 }
 
 // InjectedError is the error produced by a firing injection point.

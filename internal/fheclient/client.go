@@ -35,6 +35,7 @@ type APIError struct {
 	Message    string
 	Code       string        // fault-taxonomy code (EVAL_PANIC, ...) when the server sent one
 	RetryAfter time.Duration // populated on 429/503 responses carrying Retry-After
+	Epoch      uint64        // membership epoch from X-ACE-Epoch, when the server stamped one
 }
 
 func (e *APIError) Error() string {
@@ -158,9 +159,15 @@ type Client struct {
 	// to the next candidate before re-attempting, so one dead or draining
 	// front does not strand the client while its siblings serve. Empty
 	// bases means the single-endpoint behavior, untouched.
-	epMu  sync.Mutex
-	bases []string
-	epIdx int
+	//
+	// memEpoch is the cluster membership epoch behind bases: 0 until the
+	// client has adopted a live /v1/cluster/membership view, after which
+	// a 404 or an epoch-stamped error triggers a re-fetch instead of
+	// cycling the stale list (see refreshMembership).
+	epMu     sync.Mutex
+	bases    []string
+	epIdx    int
+	memEpoch uint64
 
 	params *ckks.Parameters
 	enc    *ckks.Encoder
@@ -249,6 +256,93 @@ func (c *Client) rotateEndpoint() bool {
 	}
 	c.epIdx = (c.epIdx + 1) % len(c.bases)
 	return true
+}
+
+// MembershipEpoch returns the cluster membership epoch the endpoint list
+// was adopted from, or 0 while the client still runs on its dialed list.
+func (c *Client) MembershipEpoch() uint64 {
+	c.epMu.Lock()
+	defer c.epMu.Unlock()
+	return c.memEpoch
+}
+
+// refreshMembership re-fetches /v1/cluster/membership from the current
+// candidates and adopts a strictly newer view as the endpoint list,
+// reporting whether anything changed. Two guards keep it safe:
+//
+//   - Only a view whose epoch exceeds the one already adopted counts, so
+//     one refresh per topology change — a 404 that persists after a
+//     successful refresh is a genuinely unknown session, not staleness.
+//   - The view is adopted only when at least one current base appears in
+//     its member list. Shards list themselves; a router's view lists its
+//     shards, never itself. The overlap test therefore lets shard-dialed
+//     clients track the ring while router-dialed clients stay behind the
+//     router instead of silently degrading to direct shard access.
+func (c *Client) refreshMembership(ctx context.Context) bool {
+	c.epMu.Lock()
+	bases := append([]string(nil), c.bases...)
+	if len(bases) == 0 {
+		bases = []string{c.base}
+	}
+	known := c.memEpoch
+	c.epMu.Unlock()
+
+	for _, b := range bases {
+		m, err := c.fetchMembership(ctx, b)
+		if err != nil || m.Epoch <= known || len(m.Members) == 0 {
+			continue
+		}
+		overlap := false
+		for _, member := range m.Members {
+			for _, cur := range bases {
+				if member == cur {
+					overlap = true
+					break
+				}
+			}
+			if overlap {
+				break
+			}
+		}
+		if !overlap {
+			continue
+		}
+		c.epMu.Lock()
+		adopted := m.Epoch > c.memEpoch
+		if adopted {
+			c.memEpoch = m.Epoch
+			c.bases = append([]string(nil), m.Members...)
+			c.epIdx = 0
+		}
+		c.epMu.Unlock()
+		if adopted {
+			return true
+		}
+	}
+	return false
+}
+
+// fetchMembership performs one GET /v1/cluster/membership round trip.
+func (c *Client) fetchMembership(ctx context.Context, base string) (api.Membership, error) {
+	ctx, cancel := context.WithTimeout(ctx, 5*time.Second)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, base+api.PathClusterMembership, nil)
+	if err != nil {
+		return api.Membership{}, err
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return api.Membership{}, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return api.Membership{}, apiError(resp)
+	}
+	var m api.Membership
+	if err := json.NewDecoder(io.LimitReader(resp.Body, 1<<20)).Decode(&m); err != nil {
+		return api.Membership{}, fmt.Errorf("fheclient: decoding membership: %w", err)
+	}
+	return m, nil
 }
 
 // Spec returns the program spec fetched at Dial time.
@@ -419,6 +513,7 @@ func (c *Client) InferCipherLane(ctx context.Context, ct *ckks.Ciphertext) (*ckk
 	pol := c.retry.WithDefaults()
 	var slept time.Duration
 	var refusedSince time.Time
+	refreshed := false
 	for attempt := 1; ; attempt++ {
 		out, lane, stride, err := c.inferOnce(ctx, id, idemKey, trace, body)
 		if err == nil {
@@ -455,6 +550,30 @@ func (c *Client) InferCipherLane(ctx context.Context, ct *ckks.Ciphertext) (*ckk
 			refusedSince = time.Time{}
 		}
 		retryAfter, retryable := classify(err)
+		// A 404 from a shard means it does not hold the session — after a
+		// membership change, the usual cause is that the endpoint list is
+		// stale and the session's owner moved. Instead of burning the rest
+		// of the retry budget cycling dead candidates, re-fetch the
+		// membership; a strictly newer adopted view makes this one failure
+		// retryable against the fresh list. The epoch guard inside
+		// refreshMembership bounds this to once per topology change, so a
+		// 404 that persists on current endpoints stays final.
+		if !retryable && ctx.Err() == nil {
+			var ae *APIError
+			if errors.As(err, &ae) && (ae.Status == http.StatusNotFound || ae.Epoch > c.MembershipEpoch()) {
+				switch {
+				case c.refreshMembership(ctx):
+					refreshed = true
+					retryable = true
+				case refreshed && ae.Status == http.StatusNotFound && c.rotateEndpoint():
+					// The list is already fresh (this call adopted it), so
+					// the owner is another member: keep cycling the FRESH
+					// list within the attempt budget — what made the old
+					// behavior wrong was cycling a stale one.
+					retryable = true
+				}
+			}
+		}
 		if !retryable || attempt >= pol.MaxAttempts || ctx.Err() != nil {
 			var te *transientError
 			if errors.As(err, &te) {
@@ -617,6 +736,9 @@ func apiError(resp *http.Response) error {
 	}
 	if sec, err := strconv.Atoi(resp.Header.Get("Retry-After")); err == nil {
 		e.RetryAfter = time.Duration(sec) * time.Second
+	}
+	if ep, err := strconv.ParseUint(resp.Header.Get(api.HeaderEpoch), 10, 64); err == nil {
+		e.Epoch = ep
 	}
 	return e
 }

@@ -1,0 +1,92 @@
+package fheclient
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"antace/internal/serve/api"
+)
+
+// membershipServer serves a fixed membership view.
+func membershipServer(t *testing.T, view func() api.Membership) *httptest.Server {
+	t.Helper()
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET "+api.PathClusterMembership, func(w http.ResponseWriter, r *http.Request) {
+		_ = json.NewEncoder(w).Encode(view())
+	})
+	ts := httptest.NewServer(mux)
+	t.Cleanup(ts.Close)
+	return ts
+}
+
+// TestRefreshMembershipAdoptsShardView: a client dialed at shards (the
+// serving endpoint lists itself in the view) adopts a strictly newer
+// membership and re-targets its endpoint list at it.
+func TestRefreshMembershipAdoptsShardView(t *testing.T) {
+	var self string
+	ts := membershipServer(t, func() api.Membership {
+		return api.Membership{Epoch: 3, Members: []string{self, "http://other-shard"}}
+	})
+	self = ts.URL
+
+	c := &Client{base: ts.URL, hc: http.DefaultClient, bases: []string{ts.URL}}
+	if !c.refreshMembership(context.Background()) {
+		t.Fatal("shard-dialed client refused a newer overlapping view")
+	}
+	if c.MembershipEpoch() != 3 {
+		t.Fatalf("epoch %d after adoption, want 3", c.MembershipEpoch())
+	}
+	if len(c.bases) != 2 || c.endpoint() != self {
+		t.Fatalf("adopted bases %v, endpoint %s", c.bases, c.endpoint())
+	}
+
+	// The same epoch again is a no-op: one refresh per topology change.
+	if c.refreshMembership(context.Background()) {
+		t.Fatal("equal-epoch view adopted twice")
+	}
+}
+
+// TestRefreshMembershipRejectsRouterView: a router's membership lists
+// its shards, never itself — a client dialed at the router must NOT
+// adopt that list, or it would silently degrade to direct shard access
+// behind the router's back.
+func TestRefreshMembershipRejectsRouterView(t *testing.T) {
+	ts := membershipServer(t, func() api.Membership {
+		return api.Membership{Epoch: 9, Members: []string{"http://shard-1", "http://shard-2"}}
+	})
+	c := &Client{base: ts.URL, hc: http.DefaultClient}
+	if c.refreshMembership(context.Background()) {
+		t.Fatal("router-dialed client adopted the shard list")
+	}
+	if c.MembershipEpoch() != 0 || len(c.bases) != 0 {
+		t.Fatalf("client state mutated: epoch %d bases %v", c.MembershipEpoch(), c.bases)
+	}
+}
+
+// TestAPIErrorCarriesEpoch: apiError lifts the X-ACE-Epoch stamp into
+// APIError.Epoch so the retry loop can detect an epoch mismatch.
+func TestAPIErrorCarriesEpoch(t *testing.T) {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/x", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set(api.HeaderEpoch, "17")
+		w.WriteHeader(http.StatusNotFound)
+		_ = json.NewEncoder(w).Encode(api.ErrorReply{Error: "unknown session"})
+	})
+	ts := httptest.NewServer(mux)
+	t.Cleanup(ts.Close)
+	resp, err := http.Get(ts.URL + "/x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	ae, ok := apiError(resp).(*APIError)
+	if !ok {
+		t.Fatal("apiError did not return *APIError")
+	}
+	if ae.Status != http.StatusNotFound || ae.Epoch != 17 {
+		t.Fatalf("APIError = %+v, want status 404 epoch 17", ae)
+	}
+}

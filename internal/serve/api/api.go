@@ -32,6 +32,20 @@ const (
 	// exposition format. It sits outside the /v1 prefix because
 	// scrapers conventionally expect the bare path.
 	PathMetrics = "/metrics"
+
+	// Cluster membership endpoints. The router owns the membership state
+	// machine: PathClusterJoin and PathClusterLeave mutate the ring
+	// (adding or draining a shard) and PathClusterMembership reads the
+	// current epoch + member list — served by the router authoritatively
+	// and by every shard as its last-adopted view, so clients and
+	// operators can refresh a stale endpoint list from any live process.
+	// PathClusterUpdate is shard-side only: the router broadcasts each
+	// committed ring change there and the shard re-replicates the
+	// ownership delta before acknowledging.
+	PathClusterJoin       = "/v1/cluster/join"
+	PathClusterLeave      = "/v1/cluster/leave"
+	PathClusterMembership = "/v1/cluster/membership"
+	PathClusterUpdate     = "/v1/cluster/update"
 )
 
 // Request headers.
@@ -65,6 +79,12 @@ const (
 	// response always echoes the id actually used, and every structured
 	// log event for the request carries it as the "trace" attribute.
 	HeaderTrace = "X-ACE-Trace"
+	// HeaderEpoch carries the cluster membership epoch. Replica shipments
+	// stamp the shipper's epoch so a receiver on a newer ring can answer
+	// 409 with its Membership (the shipper adopts it and re-targets);
+	// shards stamp their current epoch on /v1/infer replies so clients can
+	// notice a topology change and refresh their endpoint list.
+	HeaderEpoch = "X-ACE-Epoch"
 )
 
 // ContentTypeBinary is the media type of key and ciphertext bodies.
@@ -130,6 +150,54 @@ type Readyz struct {
 type ReplicaApply struct {
 	Applied int  `json:"applied"`
 	Torn    bool `json:"torn,omitempty"`
+}
+
+// Membership is the cluster view at one epoch: the sorted member list of
+// the consistent-hash ring. Epoch increments by exactly one per committed
+// topology change; Members is the full post-change endpoint list (the
+// ring is a pure function of it). Returned by GET /v1/cluster/membership
+// and as the 409 body of an epoch-stale /v1/replica shipment.
+type Membership struct {
+	Epoch   uint64   `json:"epoch"`
+	Members []string `json:"members"`
+}
+
+// JoinRequest is the body of POST /v1/cluster/join: the endpoint of a
+// running shard to add to the ring. The call returns only after every
+// member has adopted the new ring and the ownership delta has been
+// re-replicated.
+type JoinRequest struct {
+	Endpoint string `json:"endpoint"`
+}
+
+// LeaveRequest is the body of POST /v1/cluster/leave. A plain leave is a
+// drain: the departing shard re-ships all state it holds to the new
+// owners, finishes in-flight work, and acknowledges before the epoch
+// commits. Force skips contacting the departing shard — used by the
+// router's health prober to eject a dead member (its replicas re-ship
+// the orphaned state instead).
+type LeaveRequest struct {
+	Endpoint string `json:"endpoint"`
+	Force    bool   `json:"force,omitempty"`
+}
+
+// ClusterUpdate is broadcast by the router to every shard on a topology
+// change (POST /v1/cluster/update). Leaving names the departing endpoint
+// on a drain ("" for joins/ejections); a shard seeing itself in Leaving
+// (or absent from Members) re-ships everything it holds and begins
+// drain-for-handoff before acknowledging.
+type ClusterUpdate struct {
+	Epoch   uint64   `json:"epoch"`
+	Members []string `json:"members"`
+	Leaving string   `json:"leaving,omitempty"`
+}
+
+// ClusterUpdateReply acknowledges a ClusterUpdate: the epoch the shard
+// now serves under and how many replication records the ownership delta
+// made it re-ship.
+type ClusterUpdateReply struct {
+	Epoch     uint64 `json:"epoch"`
+	Reshipped int    `json:"reshipped"`
 }
 
 // Statz is returned by GET /v1/statz.

@@ -9,6 +9,7 @@ import (
 	"os"
 	"path/filepath"
 	"sort"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -600,6 +601,28 @@ func (d *durable) dropSession(id string) bool {
 	d.sessBytes -= info.Size()
 	d.mu.Unlock()
 	return true
+}
+
+// sessionIDs lists the session ids spilled under sessDir, for
+// membership re-replication (the disk tier outlives the RAM cache, so
+// it is the authoritative enumeration of what this shard holds).
+func (d *durable) sessionIDs() []string {
+	entries, err := os.ReadDir(d.sessDir)
+	if err != nil {
+		return nil
+	}
+	ids := make([]string, 0, len(entries))
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".key") {
+			continue
+		}
+		id := strings.TrimSuffix(name, ".key")
+		if validSessionID(id) {
+			ids = append(ids, id)
+		}
+	}
+	return ids
 }
 
 // diskBytes reports the durable layer's total footprint for statz.

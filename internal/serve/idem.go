@@ -20,6 +20,12 @@ type idemEntry struct {
 	lane   int
 	stride int
 	elem   *list.Element // non-nil once retained in the completed LRU
+	// restored stashes a replicated completion that arrived while a local
+	// attempt under the same key was still in flight (a hedged duplicate
+	// racing the original's shipped settlement). If the local attempt is
+	// abandoned or fails, the stash is promoted instead of forgetting the
+	// key — the replicated bytes are the authoritative result.
+	restored *completedResult
 }
 
 // idemCache makes /v1/infer retries safe: the first request bearing a
@@ -66,6 +72,14 @@ func (c *idemCache) begin(key string) (entry *idemEntry, owner bool) {
 // Followers blocked on entry.done observe the final state afterwards.
 func (c *idemCache) complete(e *idemEntry, ok bool, body []byte, lane, stride int) {
 	c.mu.Lock()
+	if !ok && e.restored != nil {
+		// The local attempt died, but a replicated completion for this key
+		// landed while it ran: promote it rather than forgetting the key,
+		// or a hedge loser's cancellation would destroy the winner's
+		// settled result.
+		ok, body, lane, stride = true, e.restored.body, e.restored.lane, e.restored.stride
+	}
+	e.restored = nil
 	e.ok, e.body = ok, body
 	e.lane, e.stride = lane, stride
 	if ok {
@@ -89,7 +103,13 @@ func (c *idemCache) complete(e *idemEntry, ok bool, body []byte, lane, stride in
 func (c *idemCache) restore(key string, body []byte, lane, stride int) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	if _, ok := c.byKey[key]; ok {
+	if e, ok := c.byKey[key]; ok {
+		if e.elem == nil {
+			// In flight here, already settled elsewhere (a hedged duplicate
+			// raced the original): stash the authoritative bytes so an
+			// abandoned local attempt promotes them instead of losing them.
+			e.restored = &completedResult{key: key, lane: lane, stride: stride, body: body}
+		}
 		return
 	}
 	e := &idemEntry{key: key, done: make(chan struct{}), ok: true, body: body, lane: lane, stride: stride}
@@ -116,6 +136,30 @@ func (c *idemCache) forgetCompleted(key string) {
 	}
 	c.order.Remove(e.elem)
 	delete(c.byKey, key)
+}
+
+// completedResult is one retained success, snapshotted for membership
+// re-replication.
+type completedResult struct {
+	key    string
+	lane   int
+	stride int
+	body   []byte
+}
+
+// completedSnapshot returns the retained successes oldest-first (LRU
+// back to front), so re-replication re-applies them in roughly the
+// order they were produced. In-flight entries are skipped — their
+// completion ships through the normal path when it lands.
+func (c *idemCache) completedSnapshot() []completedResult {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]completedResult, 0, c.order.Len())
+	for el := c.order.Back(); el != nil; el = el.Prev() {
+		e := el.Value.(*idemEntry)
+		out = append(out, completedResult{key: e.key, lane: e.lane, stride: e.stride, body: e.body})
+	}
+	return out
 }
 
 // len reports live entries (in-flight plus retained), for tests.

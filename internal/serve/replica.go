@@ -4,6 +4,7 @@ import (
 	"errors"
 	"log/slog"
 	"net/http"
+	"strconv"
 
 	"antace/internal/ckks"
 	"antace/internal/cluster"
@@ -37,6 +38,19 @@ type Replicator interface {
 // prefix and reports how many records landed so the shipper re-sends
 // only the remainder.
 func (s *Server) handleReplicaApply(w http.ResponseWriter, r *http.Request) {
+	// Epoch gate: a shipment stamped with an older membership epoch comes
+	// from a shard that has not adopted the current ring — its placement
+	// may be wrong. Answer 409 with this shard's membership so the
+	// shipper adopts it and re-targets; shipments without the header (or
+	// from an equal/newer epoch) apply normally.
+	if eh := r.Header.Get(api.HeaderEpoch); eh != "" {
+		if view, ok := s.clusterMembership(); ok {
+			if shipEpoch, perr := strconv.ParseUint(eh, 10, 64); perr == nil && shipEpoch < view.Epoch {
+				writeJSON(w, http.StatusConflict, view)
+				return
+			}
+		}
+	}
 	body, err := readBody(w, r, s.cfg.MaxUploadBytes+s.cfg.MaxCipherBytes)
 	if err != nil {
 		writeErr(w, http.StatusRequestEntityTooLarge, "replica image: %v", err)
@@ -127,6 +141,11 @@ var (
 // crash is alive (healthz says so) but must not receive traffic yet, so
 // readiness answers 503 with a Retry-After hint until both clear.
 func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	if s.handingOff.Load() {
+		s.setRetryAfter(w)
+		writeJSON(w, http.StatusServiceUnavailable, api.Readyz{Status: "handing-off"})
+		return
+	}
 	s.mu.RLock()
 	draining := s.draining
 	s.mu.RUnlock()

@@ -107,6 +107,13 @@ type Config struct {
 	// exists — are replicated too.
 	Replicator Replicator
 
+	// OnLeave is invoked (once, on its own goroutine) after this shard
+	// acknowledged a cluster update that removes it from the ring: the
+	// handoff re-shipped its state, readiness answers 503 "handing-off",
+	// and the process should drain and exit. cmd/aced wires this into its
+	// shutdown path; nil ignores the signal.
+	OnLeave func()
+
 	// Logger receives the server's structured events (request lifecycle,
 	// recovery, checkpointing), each carrying the request's trace id. Nil
 	// discards them — the daemon always provides one; library users and
@@ -214,6 +221,11 @@ type Server struct {
 	// being rebuilt.
 	repl       Replicator
 	recovering atomic.Int64
+	// handingOff is set when a cluster update removed this shard from the
+	// ring: state re-shipped, readiness 503s, exit imminent. leaveOnce
+	// guards the OnLeave callback.
+	handingOff atomic.Bool
+	leaveOnce  sync.Once
 
 	mu       sync.RWMutex // guards draining/stopped vs. queue sends and close
 	draining bool
@@ -357,6 +369,8 @@ func New(prog Program, cfg Config) (*Server, error) {
 	mux.HandleFunc("GET "+api.PathHealthz, s.handleHealthz)
 	mux.HandleFunc("GET "+api.PathReadyz, s.handleReadyz)
 	mux.HandleFunc("POST "+api.PathReplica, s.handleReplicaApply)
+	mux.HandleFunc("POST "+api.PathClusterUpdate, s.handleClusterUpdate)
+	mux.HandleFunc("GET "+api.PathClusterMembership, s.handleClusterMembership)
 	mux.HandleFunc("GET "+api.PathStatz, s.handleStatz)
 	mux.HandleFunc("GET "+api.PathProfilez, s.handleProfilez)
 	mux.HandleFunc("GET "+api.PathMetrics, s.handleMetrics)
@@ -1029,6 +1043,10 @@ func (s *Server) handleInfer(w http.ResponseWriter, r *http.Request) {
 	}
 	sess, ok := s.lookupSession(id)
 	if !ok {
+		// Stamp the adopted membership epoch: a 404 here after a topology
+		// change usually means the client's endpoint list is stale, and
+		// the epoch tells it to re-fetch /v1/cluster/membership.
+		s.stampEpoch(w)
 		writeErr(w, http.StatusNotFound, "unknown session %s (register keys first)", id)
 		return
 	}
@@ -1164,16 +1182,15 @@ func (s *Server) completeIdem(entry *idemEntry, ok bool, body []byte, lane, stri
 			s.dur.forget(entry.key)
 		}
 	}
-	if s.repl != nil {
+	if s.repl != nil && ok {
 		// Asynchronous: the settlement rides the shipper's ordered queue,
-		// off the reply path. A success replicates the exact reply bytes so
-		// a failover retry replays bit-identically; a failure withdraws the
-		// key so the replica re-executes rather than replaying a ghost.
-		if ok {
-			s.repl.ShipComplete(entry.key, lane, stride, body)
-		} else {
-			s.repl.ShipForget(entry.key)
-		}
+		// off the reply path, replicating the exact reply bytes so a
+		// failover retry replays bit-identically. Failures and abandoned
+		// attempts ship nothing: no completion was ever replicated under
+		// this key, so there is nothing to withdraw — and a forget crossing
+		// another shard's legitimate completion (a hedged duplicate losing
+		// the race) would destroy a settled result.
+		s.repl.ShipComplete(entry.key, lane, stride, body)
 	}
 	s.idem.complete(entry, ok, body, lane, stride)
 }

@@ -115,6 +115,19 @@ func (c *sessionCache) drop(id string) bool {
 	return true
 }
 
+// all returns the resident sessions, for membership re-replication.
+// Keys are immutable after registration, so the returned sessions stay
+// safe to marshal outside the lock.
+func (c *sessionCache) all() []*session {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]*session, 0, len(c.byID))
+	for _, el := range c.byID {
+		out = append(out, el.Value.(*session))
+	}
+	return out
+}
+
 func (c *sessionCache) snapshot() (count int, used int64, hits, misses, evictions uint64) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
