@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test verify vet race bench bench-fusion bench-batch serve-smoke obs-smoke chaos durability cluster-chaos cluster-membership-chaos
+.PHONY: build test verify vet race bench bench-fusion bench-batch serve-smoke obs-smoke chaos durability cluster-chaos cluster-membership-chaos autotune
 
 build:
 	$(GO) build ./...
@@ -82,6 +82,16 @@ cluster-membership-chaos:
 	$(GO) test -count=1 -race -run 'TestRefreshMembership|TestAPIErrorCarriesEpoch' ./internal/fheclient/ -v
 	$(GO) test -count=1 -race -run '^$$' -fuzz FuzzMembershipWire -fuzztime 10s ./internal/cluster/
 
+# Calibrated-cost-model autotune: microbenchmark the runtime, enumerate
+# compilation plans (conv split x bootstrap placement) for the reduced
+# ResNet-20 under the calibrated model, then run the hand-picked naive
+# default and the chosen plan for real. Fails if the chosen plan does
+# not beat the default in measured wall-clock or if any per-category
+# prediction (Conv / Bootstrap / ReLU) strays past 2x of measurement.
+# Writes BENCH_autotune.json.
+autotune:
+	$(GO) run ./cmd/acebench -autotune
+
 verify:
 	$(MAKE) vet
 	$(MAKE) race
@@ -90,6 +100,7 @@ verify:
 	$(MAKE) cluster-chaos
 	$(MAKE) cluster-membership-chaos
 	$(MAKE) obs-smoke
+	$(MAKE) autotune
 	$(GO) test ./...
 
 # Microbenchmarks for the limb-parallel engine and buffer pooling

@@ -1,0 +1,282 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"time"
+
+	"antace/internal/ckks"
+	"antace/internal/core"
+	"antace/internal/costmodel"
+	"antace/internal/experiments"
+	"antace/internal/obs"
+	"antace/internal/ring"
+	"antace/internal/serve/api"
+	"antace/internal/vecir"
+	"antace/internal/vm"
+)
+
+// runCalibrateFrom recalibrates the cost model from a live daemon: the
+// served geometry comes from /v1/program, the measured aggregates from
+// /v1/profilez, and costmodel.FromProfile inverts them into constants
+// for this machine. The same fit runs server-side behind /v1/costmodelz;
+// doing it client-side lets an operator recalibrate against any shard
+// without shell access to it.
+func runCalibrateFrom(base string, w io.Writer) error {
+	var spec api.ProgramSpec
+	if err := getJSON(base+api.PathProgram, &spec); err != nil {
+		return fmt.Errorf("fetching program spec: %w", err)
+	}
+	var lit ckks.ParametersLiteral
+	if err := lit.UnmarshalBinary(spec.Params); err != nil {
+		return fmt.Errorf("decoding served parameters: %w", err)
+	}
+	var snap obs.ProfileSnapshot
+	if err := getJSON(base+api.PathProfilez, &snap); err != nil {
+		return fmt.Errorf("fetching profile: %w", err)
+	}
+	geom := costmodel.Geometry{LogN: lit.LogN, Alpha: len(lit.LogP), K: len(lit.LogP)}
+	cal, fits, err := costmodel.FromProfile(snap, geom, costmodel.DefaultCalibration())
+	if err != nil {
+		return fmt.Errorf("fit: %w", err)
+	}
+
+	fmt.Fprintf(w, "recalibrated from %s (%s, %d runs, logN=%d alpha=%d)\n\n",
+		base, spec.Name, snap.Runs, geom.LogN, geom.Alpha)
+	def := costmodel.DefaultCalibration()
+	row := func(name string, fitted, base float64) {
+		fmt.Fprintf(w, "%-18s %12.3e %12.3e %8.2fx\n", name, fitted, base, fitted/base)
+	}
+	fmt.Fprintf(w, "%-18s %12s %12s %8s\n", "constant", "fitted", "default", "ratio")
+	row("ntt/butterfly", cal.NTTPerButterfly, def.NTTPerButterfly)
+	row("pointwise/coeff", cal.PointwisePerCoeff, def.PointwisePerCoeff)
+	row("bconv/coeff", cal.BConvPerCoeff, def.BConvPerCoeff)
+	row("modup/unit", cal.ModUpPerUnit, def.ModUpPerUnit)
+	row("muladd/unit", cal.MulAddPerUnit, def.MulAddPerUnit)
+	row("moddown/unit", cal.ModDownPerUnit, def.ModDownPerUnit)
+	fmt.Fprintf(w, "\nper-op agreement under the fitted constants:\n")
+	fmt.Fprintf(w, "%-18s %7s %12s %12s %7s\n", "op", "count", "measured_ms", "predicted_ms", "ratio")
+	for _, f := range fits {
+		fmt.Fprintf(w, "%-18s %7d %12.4f %12.4f %6.2fx\n", f.Op, f.Count, f.MeasuredMs, f.PredictedMs, f.Ratio)
+	}
+	return nil
+}
+
+func getJSON(url string, v any) error {
+	resp, err := http.Get(url)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<10))
+		return fmt.Errorf("GET %s: status %d: %s", url, resp.StatusCode, body)
+	}
+	return json.NewDecoder(resp.Body).Decode(v)
+}
+
+// categoryRow is one Figure-6 category's measured-vs-predicted line in
+// the autotune report.
+type categoryRow struct {
+	Category     string  `json:"category"`
+	MeasuredSec  float64 `json:"measured_sec"`
+	PredDefault  float64 `json:"predicted_default_sec"`
+	PredLive     float64 `json:"predicted_live_sec"`
+	RatioDefault float64 `json:"ratio_default"`
+	RatioLive    float64 `json:"ratio_live"`
+}
+
+// autotuneReport is the BENCH_autotune.json schema: the plan search
+// outcome, the measured wall-clock of the default and chosen plans, and
+// the per-category model agreement on the default plan's run.
+type autotuneReport struct {
+	Model       string                `json:"model"`
+	Calibration costmodel.Calibration `json:"calibration"`
+	Plans       *core.PlanReport      `json:"plan_search"`
+
+	DefaultMeasuredSec float64 `json:"default_measured_sec"`
+	ChosenMeasuredSec  float64 `json:"chosen_measured_sec"`
+	MeasuredSpeedup    float64 `json:"measured_speedup"`
+
+	Categories []categoryRow         `json:"categories"`
+	LiveCal    costmodel.Calibration `json:"live_calibration"`
+	Within2x   bool                  `json:"per_category_within_2x"`
+}
+
+// measurePlan runs one warmup and one measured encrypted inference of a
+// compiled plan and returns the measured wall-clock plus its profile
+// aggregate (runs = 1). The warmup matters for the same reason it does
+// in Calibrate: the first run builds NTT twiddle tables and faults in
+// every pooled polynomial, which would otherwise be charged to the
+// measured ops.
+func measurePlan(c *core.Compiled) (float64, obs.ProfileSnapshot, error) {
+	machine, client, err := vm.New(c.CKKS, c.VectorLen(), ring.SeedFromInt(42))
+	if err != nil {
+		return 0, obs.ProfileSnapshot{}, err
+	}
+	input := make([]float64, c.VectorLen())
+	for i := range input {
+		input[i] = float64(i%7)/7 - 0.5
+	}
+	ct, err := client.Encrypt(input)
+	if err != nil {
+		return 0, obs.ProfileSnapshot{}, err
+	}
+	if _, err := machine.Run(c.CKKS.Module, ct); err != nil {
+		return 0, obs.ProfileSnapshot{}, err
+	}
+	machine.Prof = obs.NewRunProfile()
+	start := time.Now()
+	out, err := machine.Run(c.CKKS.Module, ct)
+	if err != nil {
+		return 0, obs.ProfileSnapshot{}, err
+	}
+	wall := time.Since(start)
+	_ = client.Decrypt(out)
+	agg := obs.NewAggregate()
+	agg.Merge(machine.Prof, wall)
+	return wall.Seconds(), agg.Snapshot(), nil
+}
+
+// runAutotune is the calibrate → enumerate → measure loop behind `make
+// autotune`: microbenchmark-calibrate the cost model, search the plan
+// space for the reduced ResNet-20, then run the hand-picked default and
+// the chosen plan for real and report predicted vs measured — the
+// experiment EXPERIMENTS.md's "Autotuned layout search" table records.
+func runAutotune(w io.Writer, outPath string, cal costmodel.Calibration) error {
+	spec := experiments.ModelSpec{Name: "ResNet-20", Depth: 20, Classes: 10}
+	m, err := experiments.BuildModel(spec, experiments.ScaleReduced)
+	if err != nil {
+		return err
+	}
+	cfg := experiments.ReducedConfig()
+	// The hand-picked baseline the search must beat is the naive conv
+	// schedule — one rotation per kernel offset, the structure an expert
+	// writes by hand before any BSGS-style splitting. The enumerator's
+	// giant-step candidates share rotations across offsets and should
+	// win on any machine where rotations dominate conv time.
+	cfg.Vec.Conv = vecir.ConvNaive
+
+	fmt.Fprintf(w, "plan search over %s (reduced scale), calibration source %q\n\n", spec.Name, cal.Source)
+	chosen, report, err := core.CompileAuto(m, cfg, cal)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "%-28s %12s %6s %7s %11s %10s\n", "plan", "predicted_s", "logN", "levels", "bootstraps", "rotations")
+	for _, pc := range report.Candidates {
+		marker := " "
+		switch {
+		case pc.Chosen:
+			marker = "*"
+		case pc.Default:
+			marker = "d"
+		}
+		if pc.Err != "" {
+			fmt.Fprintf(w, "%s %-26s %12s (skipped: %s)\n", marker, pc.Plan, "-", pc.Err)
+			continue
+		}
+		fmt.Fprintf(w, "%s %-26s %12.3f %6d %7d %11d %10d\n",
+			marker, pc.Plan, pc.PredictedSec, pc.LogN, pc.Levels, pc.Bootstraps, pc.Rotations)
+	}
+	fmt.Fprintf(w, "\nchosen %s over default %s: predicted speedup %.2fx\n",
+		report.ChosenPlan, report.DefaultPlan, report.PredictedSpeedup)
+
+	// Measure the default plan with the profiler attached: its run
+	// exercises every category (the default bootstraps), so it is the
+	// run the per-category model agreement is judged on.
+	def, err := core.Compile(m, cfg)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "\nmeasuring default plan %s ...\n", report.DefaultPlan)
+	defWall, defSnap, err := measurePlan(def)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "measuring chosen plan %s ...\n", report.ChosenPlan)
+	chosenWall, _, err := measurePlan(chosen)
+	if err != nil {
+		return err
+	}
+
+	geom := costmodel.GeometryOf(def.CKKS)
+	meas, err := costmodel.MeasuredBreakdown(defSnap)
+	if err != nil {
+		return err
+	}
+	live, _, err := costmodel.FromProfile(defSnap, geom, cal)
+	if err != nil {
+		return err
+	}
+	live = costmodel.FitSchedule(live, geom, def.CKKS, defSnap)
+	predDef := geom.Model(cal).InferenceCost(def.CKKS)
+	predLive := geom.Model(live).InferenceCost(def.CKKS)
+
+	rep := autotuneReport{
+		Model:              spec.Name + "-reduced",
+		Calibration:        cal,
+		Plans:              report,
+		DefaultMeasuredSec: defWall,
+		ChosenMeasuredSec:  chosenWall,
+		LiveCal:            live,
+		Within2x:           true,
+	}
+	if chosenWall > 0 {
+		rep.MeasuredSpeedup = defWall / chosenWall
+	}
+
+	fmt.Fprintf(w, "\ndefault %s: measured %.2fs   chosen %s: measured %.2fs   speedup %.2fx\n",
+		report.DefaultPlan, defWall, report.ChosenPlan, chosenWall, rep.MeasuredSpeedup)
+
+	fmt.Fprintf(w, "\nper-category agreement on the default plan (measured vs model, s/run):\n")
+	fmt.Fprintf(w, "%-10s %10s %12s %12s %9s %9s\n", "category", "measured", "pred(def)", "pred(live)", "ratio(d)", "ratio(l)")
+	ratio := func(pred, meas float64) float64 {
+		if meas <= 0 {
+			return 0
+		}
+		return pred / meas
+	}
+	for _, cat := range []struct {
+		name      string
+		m, pd, pl float64
+	}{
+		{"Conv", meas.Conv, predDef.Conv, predLive.Conv},
+		{"Bootstrap", meas.Bootstrap, predDef.Bootstrap, predLive.Bootstrap},
+		{"ReLU", meas.ReLU, predDef.ReLU, predLive.ReLU},
+	} {
+		row := categoryRow{
+			Category: cat.name, MeasuredSec: cat.m,
+			PredDefault: cat.pd, PredLive: cat.pl,
+			RatioDefault: ratio(cat.pd, cat.m), RatioLive: ratio(cat.pl, cat.m),
+		}
+		rep.Categories = append(rep.Categories, row)
+		for _, r := range []float64{row.RatioDefault, row.RatioLive} {
+			if r < 0.5 || r > 2 {
+				rep.Within2x = false
+			}
+		}
+		fmt.Fprintf(w, "%-10s %10.3f %12.3f %12.3f %8.2fx %8.2fx\n",
+			cat.name, cat.m, cat.pd, cat.pl, row.RatioDefault, row.RatioLive)
+	}
+	fmt.Fprintf(w, "\nper-category within 2x: %v\n", rep.Within2x)
+
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(outPath, append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "report written to %s\n", outPath)
+	if rep.MeasuredSpeedup < 1 {
+		return fmt.Errorf("autotuned plan %s (%.2fs) did not beat the default %s (%.2fs)",
+			report.ChosenPlan, chosenWall, report.DefaultPlan, defWall)
+	}
+	if !rep.Within2x {
+		return fmt.Errorf("model predictions strayed past 2x of measurements")
+	}
+	return nil
+}

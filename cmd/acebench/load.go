@@ -28,18 +28,18 @@ import (
 // loadReport is the machine-readable result of one load run, printed as
 // a single JSON line on stdout so bench scripts can consume it.
 type loadReport struct {
-	URL          string  `json:"url"`
-	Clients      int     `json:"clients"`
-	WindowSec    float64 `json:"window_sec"`  // requested measurement window
-	ElapsedSec   float64 `json:"elapsed_sec"` // actual window (extended to the first completion)
-	Served       int     `json:"served"`
-	Errors       int     `json:"errors"`
-	InferPerSec  float64 `json:"inferences_per_sec"`
-	LatSecP50    float64 `json:"latency_sec_p50"`
-	LatSecP90    float64 `json:"latency_sec_p90"`
-	LatSecP99    float64 `json:"latency_sec_p99"`
-	LatSecMean   float64 `json:"latency_sec_mean"`
-	LatSecMax    float64 `json:"latency_sec_max"`
+	URL          string             `json:"url"`
+	Clients      int                `json:"clients"`
+	WindowSec    float64            `json:"window_sec"`  // requested measurement window
+	ElapsedSec   float64            `json:"elapsed_sec"` // actual window (extended to the first completion)
+	Served       int                `json:"served"`
+	Errors       int                `json:"errors"`
+	InferPerSec  float64            `json:"inferences_per_sec"`
+	LatSecP50    float64            `json:"latency_sec_p50"`
+	LatSecP90    float64            `json:"latency_sec_p90"`
+	LatSecP99    float64            `json:"latency_sec_p99"`
+	LatSecMean   float64            `json:"latency_sec_mean"`
+	LatSecMax    float64            `json:"latency_sec_max"`
 	ServerScrape map[string]float64 `json:"server_metrics,omitempty"`
 }
 

@@ -33,6 +33,9 @@ func main() {
 	images := flag.Int("images", 200, "Table 11: images for the trained-CNN accuracy run")
 	resnetImages := flag.Int("resnet-images", 50, "Table 11: images for the ResNet agreement runs")
 	calibrate := flag.Bool("calibrate", true, "microbenchmark the runtime for the cost model")
+	calibrateFrom := flag.String("calibrate-from", "", "base URL of a live aced: recalibrate the cost model from its /v1/profilez aggregates and print the fit")
+	autotune := flag.Bool("autotune", false, "calibrate, enumerate compilation plans for the reduced ResNet-20, measure chosen vs default and write -autotune-out")
+	autotuneOut := flag.String("autotune-out", "BENCH_autotune.json", "autotune mode: file the report is written to")
 	profileOps := flag.Bool("profile-ops", false, "compile the demo model, run one encrypted inference and print the measured per-opcode profile (Figure 6's measured analogue)")
 	load := flag.String("load", "", "base URL of a live aced: run the concurrent-client load generator instead of the paper artifacts")
 	clients := flag.Int("clients", 8, "load mode: number of concurrent clients")
@@ -56,6 +59,13 @@ func main() {
 		}
 		return
 	}
+	if *calibrateFrom != "" {
+		if err := runCalibrateFrom(*calibrateFrom, os.Stdout); err != nil {
+			fmt.Fprintf(os.Stderr, "calibrate-from failed: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	scale := experiments.ScaleReduced
 	if *scaleFlag == "paper" {
@@ -65,8 +75,19 @@ func main() {
 	if *calibrate {
 		if c, err := costmodel.Calibrate(); err == nil {
 			cal = c
-			fmt.Printf("calibration: ntt=%.2e/butterfly pointwise=%.2e/coeff\n\n", c.NTTPerButterfly, c.PointwisePerCoeff)
+			fmt.Printf("calibration: ntt=%.2e/butterfly pointwise=%.2e/coeff bconv=%.2e/coeff modup=%.2e muladd=%.2e moddown=%.2e (keyswitch cross-check: measured %.3gs vs predicted %.3gs)\n\n",
+				c.NTTPerButterfly, c.PointwisePerCoeff, c.BConvPerCoeff,
+				c.ModUpPerUnit, c.MulAddPerUnit, c.ModDownPerUnit,
+				c.KeySwitchMeasuredSec, c.KeySwitchPredictedSec)
 		}
+	}
+
+	if *autotune {
+		if err := runAutotune(os.Stdout, *autotuneOut, cal); err != nil {
+			fmt.Fprintf(os.Stderr, "autotune failed: %v\n", err)
+			os.Exit(1)
+		}
+		return
 	}
 
 	run := func(name string, fn func() error) {

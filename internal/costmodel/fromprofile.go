@@ -1,0 +1,334 @@
+package costmodel
+
+import (
+	"fmt"
+	"math"
+
+	"antace/internal/ckksir"
+	"antace/internal/obs"
+)
+
+// Geometry is the ring configuration a profile was recorded under —
+// everything FromProfile needs to invert measured per-op times back into
+// per-element constants.
+type Geometry struct {
+	LogN  int `json:"log_n"`
+	Alpha int `json:"alpha"`
+	K     int `json:"k"`
+	// BootstrapStages mirrors Model.BootstrapStages (0 = 3).
+	BootstrapStages int `json:"bootstrap_stages,omitempty"`
+}
+
+// GeometryOf derives the profile geometry from a compiled program.
+func GeometryOf(res *ckksir.Result) Geometry {
+	return Geometry{LogN: res.Literal.LogN, Alpha: len(res.Literal.LogP), K: len(res.Literal.LogP)}
+}
+
+// Model instantiates the cost model for this geometry.
+func (g Geometry) Model(cal Calibration) *Model {
+	return &Model{Cal: cal, LogN: g.LogN, Alpha: g.Alpha, K: g.K, BootstrapStages: g.BootstrapStages}
+}
+
+// OpFit is one opcode's measured-vs-predicted agreement after a profile
+// fit: the per-instruction mean the server measured and what the fitted
+// model predicts for the same instruction mix.
+type OpFit struct {
+	Op          string  `json:"op"`
+	Count       uint64  `json:"count"`
+	MeasuredMs  float64 `json:"measured_ms"`
+	PredictedMs float64 `json:"predicted_ms"`
+	Ratio       float64 `json:"ratio"` // measured / predicted
+}
+
+// fitClamp bounds every profile-derived scale factor: a live aggregate
+// polluted by one anomalous run must not drag a constant to nonsense.
+const (
+	fitClampLo = 0.1
+	fitClampHi = 10.0
+)
+
+func clampRatio(r float64) float64 {
+	if math.IsNaN(r) || r <= 0 {
+		return 1
+	}
+	return math.Min(fitClampHi, math.Max(fitClampLo, r))
+}
+
+// trajLevels collects, per opcode, the *input* levels of every
+// trajectory point. The trajectory records each instruction's result
+// level; rescale is the one op whose result sits a level below its
+// input.
+func trajLevels(snap obs.ProfileSnapshot) map[string][]int {
+	out := map[string][]int{}
+	for _, pt := range snap.LastTrajectory {
+		l := pt.Level
+		if pt.Op == ckksir.OpRescale {
+			l++
+		}
+		out[pt.Op] = append(out[pt.Op], l)
+	}
+	return out
+}
+
+// primitiveMean returns the model's mean predicted seconds for one
+// opcode over its trajectory levels, and whether the op is a primitive
+// the fit understands. The formulas mirror InferenceCost.
+func primitiveMean(m *Model, op string, levels []int) (float64, bool) {
+	if len(levels) == 0 {
+		return 0, false
+	}
+	sum := 0.0
+	for _, l := range levels {
+		switch op {
+		case ckksir.OpAdd, ckksir.OpAddPlain, ckksir.OpMulPlain, ckksir.OpMulConst:
+			sum += 2 * m.pw(l+1)
+		case ckksir.OpMul:
+			sum += 5 * m.pw(l+1)
+		case ckksir.OpRelin:
+			sum += m.KeySwitch(l)
+		case ckksir.OpRotate:
+			sum += m.KeySwitch(l) + 2*m.pw(l+1)
+		case ckksir.OpRescale:
+			sum += m.Rescale(l)
+		case ckksir.OpEncode:
+			sum += m.ntt(l + 1)
+		default:
+			return 0, false
+		}
+	}
+	return sum / float64(len(levels)), true
+}
+
+// pwOps are the opcodes whose cost is purely pointwise — the cleanest
+// observations of PointwisePerCoeff.
+var pwOps = []string{ckksir.OpAdd, ckksir.OpAddPlain, ckksir.OpMulPlain, ckksir.OpMulConst, ckksir.OpMul}
+
+// kernelWork returns the model's work count (in the kernel's calibration
+// units) for one fused-kernel observation at input level l.
+func kernelWork(m *Model, kernel string, l int) float64 {
+	r := l + 1
+	d := float64((r + m.Alpha - 1) / m.Alpha)
+	rk := float64(r + m.K)
+	n, logN := m.n(), float64(m.LogN)
+	switch kernel {
+	case "poly.decomp_modup":
+		return d * rk * n * (float64(m.Alpha) + logN)
+	case "poly.hw_modmuladd":
+		return 2 * d * rk * n
+	case "poly.mod_down":
+		return 2 * (float64(m.K)*n*logN + float64(r)*n*(2*logN+float64(m.K)))
+	}
+	return 0
+}
+
+// FromProfile recalibrates the cost model from a live /v1/profilez
+// snapshot: the aggregated per-opcode (and per-fused-kernel) mean times
+// measured on *this* machine under *this* geometry are inverted back
+// into the per-element constants, starting from base. The last run's
+// level/scale trajectory supplies the level each opcode executed at.
+//
+// The fit is a ratio scaling, op family by op family:
+//   - PointwisePerCoeff from the purely pointwise ops (add, add_plain,
+//     mul_plain, mul_const, mul), count-weighted;
+//   - NTTPerButterfly from rescale + encode after subtracting their
+//     fitted pointwise share;
+//   - the three fused-kernel constants from the Kernels table, priced at
+//     the key-switch levels the trajectory observed;
+//   - BConvPerCoeff rides the pointwise ratio (it is only exercised when
+//     the fused kernels are absent, in which case there is no kernel
+//     table to fit it from).
+//
+// Macro ops (ckks.poly, ckks.bootstrap) need the compiled schedule's
+// attributes; FitSchedule refines their correction scales separately.
+// Every ratio is clamped to [0.1, 10] of base.
+func FromProfile(snap obs.ProfileSnapshot, geom Geometry, base Calibration) (Calibration, []OpFit, error) {
+	if snap.Runs == 0 || len(snap.Ops) == 0 {
+		return base, nil, fmt.Errorf("costmodel: profile snapshot has no runs")
+	}
+	if len(snap.LastTrajectory) == 0 {
+		return base, nil, fmt.Errorf("costmodel: profile snapshot has no trajectory (levels unknown)")
+	}
+	levels := trajLevels(snap)
+	stats := map[string]obs.OpStat{}
+	for _, st := range snap.Ops {
+		stats[st.Op] = st
+	}
+	m := geom.Model(base)
+
+	c := base
+	c.Source = "profile"
+	c.KeySwitchMeasuredSec, c.KeySwitchPredictedSec = 0, 0
+
+	// Pointwise family: count-weighted measured vs predicted totals.
+	var measPw, predPw float64
+	for _, op := range pwOps {
+		st, ok := stats[op]
+		if !ok {
+			continue
+		}
+		pm, ok := primitiveMean(m, op, levels[op])
+		if !ok {
+			continue
+		}
+		measPw += st.TotalMs / 1e3
+		predPw += pm * float64(st.Count)
+	}
+	xPw := clampRatio(measPw / predPw)
+	c.PointwisePerCoeff = base.PointwisePerCoeff * xPw
+	c.BConvPerCoeff = base.BConvPerCoeff * xPw
+
+	// NTT family from rescale (+ encode): subtract the fitted pointwise
+	// share, attribute the rest to the butterflies.
+	var measT, predNtt, predPwShare float64
+	for _, op := range []string{ckksir.OpRescale, ckksir.OpEncode} {
+		st, ok := stats[op]
+		if !ok || len(levels[op]) == 0 {
+			continue
+		}
+		for _, l := range levels[op] {
+			var nttPart, pwPart float64
+			if op == ckksir.OpRescale {
+				nttPart = 2 * (m.ntt(1) + m.ntt(l)) // r-1 = l residues after the drop
+				pwPart = 4 * m.pw(l)                // 2 halves × 2 passes
+			} else {
+				nttPart = m.ntt(l + 1)
+			}
+			w := float64(st.Count) / float64(len(levels[op]))
+			predNtt += nttPart * w
+			predPwShare += pwPart * w * xPw
+		}
+		measT += st.TotalMs / 1e3
+	}
+	if predNtt > 0 {
+		c.NTTPerButterfly = base.NTTPerButterfly * clampRatio((measT-predPwShare)/predNtt)
+	}
+
+	// Fused kernels: the Kernels table times the three key-switch
+	// kernels directly. Price each observation at the key-switch levels
+	// the trajectory saw (rotate + relin); bootstrap-internal switches
+	// run at nearby levels, and the clamp bounds the residual error.
+	ksLevels := append(append([]int{}, levels[ckksir.OpRotate]...), levels[ckksir.OpRelin]...)
+	if len(ksLevels) > 0 && len(snap.Kernels) > 0 {
+		def := DefaultCalibration()
+		for _, st := range snap.Kernels {
+			var unit *float64
+			var seed float64
+			switch st.Op {
+			case "poly.decomp_modup":
+				unit, seed = &c.ModUpPerUnit, def.ModUpPerUnit
+			case "poly.hw_modmuladd":
+				unit, seed = &c.MulAddPerUnit, def.MulAddPerUnit
+			case "poly.mod_down":
+				unit, seed = &c.ModDownPerUnit, def.ModDownPerUnit
+			default:
+				continue
+			}
+			if *unit == 0 {
+				*unit = seed // seed a fused path for unfused bases
+			}
+			work := 0.0
+			for _, l := range ksLevels {
+				work += kernelWork(m, st.Op, l)
+			}
+			work /= float64(len(ksLevels))
+			pred := *unit * work
+			meas := st.MeanMs / 1e3
+			*unit *= clampRatio(meas / pred)
+		}
+	}
+
+	// The kernel table aggregates every key switch in the program —
+	// bootstrap-internal switches run at other levels than the module's
+	// own rotations, so the table-fitted units carry a level-mix bias.
+	// Anchor them on the measured rotate/relin op means: one uniform
+	// rescale of the three units makes the model reproduce the measured
+	// key-switch totals at the levels the trajectory recorded.
+	if c.fused() {
+		mc := geom.Model(c)
+		var measKs, fixedKs, kernKs float64
+		for _, op := range []string{ckksir.OpRotate, ckksir.OpRelin} {
+			st, ok := stats[op]
+			if !ok || len(levels[op]) == 0 {
+				continue
+			}
+			w := float64(st.Count) / float64(len(levels[op]))
+			for _, l := range levels[op] {
+				kernKs += w * (c.ModUpPerUnit*kernelWork(mc, "poly.decomp_modup", l) +
+					c.MulAddPerUnit*kernelWork(mc, "poly.hw_modmuladd", l) +
+					c.ModDownPerUnit*kernelWork(mc, "poly.mod_down", l))
+				fixed := mc.ntt(l + 1)
+				if op == ckksir.OpRotate {
+					fixed += 2 * mc.pw(l+1) // slot permutation
+				}
+				fixedKs += w * fixed
+			}
+			measKs += st.TotalMs / 1e3
+		}
+		if kernKs > 0 && measKs > fixedKs {
+			x := clampRatio((measKs - fixedKs) / kernKs)
+			c.ModUpPerUnit *= x
+			c.MulAddPerUnit *= x
+			c.ModDownPerUnit *= x
+		}
+	}
+
+	// Agreement report under the fitted constants.
+	fitted := geom.Model(c)
+	var fits []OpFit
+	for _, st := range snap.Ops {
+		pm, ok := primitiveMean(fitted, st.Op, levels[st.Op])
+		if !ok {
+			continue
+		}
+		f := OpFit{Op: st.Op, Count: st.Count, MeasuredMs: st.MeanMs, PredictedMs: pm * 1e3}
+		if f.PredictedMs > 0 {
+			f.Ratio = f.MeasuredMs / f.PredictedMs
+		}
+		fits = append(fits, f)
+	}
+	return c, fits, nil
+}
+
+// FitSchedule refines the macro-op correction scales against a compiled
+// schedule: PolyScale and BootstrapScale are set so the model's
+// structural ckks.poly / ckks.bootstrap estimates match the measured
+// per-run totals from the snapshot. The primitive constants are left
+// untouched — call FromProfile first, then FitSchedule with its result.
+func FitSchedule(cal Calibration, geom Geometry, res *ckksir.Result, snap obs.ProfileSnapshot) Calibration {
+	if snap.Runs == 0 {
+		return cal
+	}
+	probe := cal
+	probe.PolyScale, probe.BootstrapScale = 0, 0 // structural estimates
+	m := geom.Model(probe)
+	var predPoly, predBoot float64
+	for _, in := range res.Module.Main().Body {
+		switch in.Op {
+		case ckksir.OpPoly:
+			predPoly += m.polyEvalCost(in.Attrs["coeffs"].([]float64), in.Args[0].Level)
+		case ckksir.OpBootstrap:
+			predBoot += m.bootstrapCost(in.AttrInt("target", 1), in.Result.Type.Len())
+		}
+	}
+	if meas := snap.OpSecPerRun(ckksir.OpPoly); meas > 0 && predPoly > 0 {
+		cal.PolyScale = clampRatio(meas / predPoly)
+	}
+	if meas := snap.OpSecPerRun(ckksir.OpBootstrap); meas > 0 && predBoot > 0 {
+		cal.BootstrapScale = clampRatio(meas / predBoot)
+	}
+	return cal
+}
+
+// MeasuredBreakdown buckets a snapshot's measured per-opcode time into
+// the Figure-6 categories, normalised to seconds per run — the measured
+// counterpart of Model.InferenceCost for the same program.
+func MeasuredBreakdown(snap obs.ProfileSnapshot) (Breakdown, error) {
+	var b Breakdown
+	if snap.Runs == 0 {
+		return b, fmt.Errorf("costmodel: profile snapshot has no runs")
+	}
+	for _, st := range snap.Ops {
+		b.Add(CategoryOfOp(st.Op), st.TotalMs/1e3/float64(snap.Runs))
+	}
+	return b, nil
+}

@@ -226,6 +226,27 @@ type ProfileSnapshot struct {
 	LastTrajectory []TrajPoint         `json:"last_trajectory,omitempty"`
 }
 
+// Op finds one opcode's aggregated stats by name.
+func (s ProfileSnapshot) Op(name string) (OpStat, bool) {
+	for _, st := range s.Ops {
+		if st.Op == name {
+			return st, true
+		}
+	}
+	return OpStat{}, false
+}
+
+// OpSecPerRun returns one opcode's measured seconds per run (0 when the
+// op never executed or no run completed) — the unit the cost model's
+// per-run predictions are compared against.
+func (s ProfileSnapshot) OpSecPerRun(name string) float64 {
+	st, ok := s.Op(name)
+	if !ok || s.Runs == 0 {
+		return 0
+	}
+	return st.TotalMs / 1e3 / float64(s.Runs)
+}
+
 // Aggregate folds RunProfiles from concurrent workers into the
 // process-wide per-opcode table. All methods are safe for concurrent
 // use.

@@ -24,6 +24,11 @@ const (
 	// torn-tail-tolerant so a shipper that died mid-stream leaves the
 	// replica with the intact prefix, never garbage.
 	PathReplica = "/v1/replica"
+	// PathCostmodelz serves the calibrated cost model's view of the
+	// served program: the default and live-recalibrated constants, the
+	// per-opcode fit, and measured vs predicted per-category breakdowns
+	// (JSON, debug endpoint).
+	PathCostmodelz = "/v1/costmodelz"
 	// PathProfilez serves the per-opcode FHE profile (JSON
 	// obs.ProfileSnapshot): aggregated instruction costs over every
 	// evaluation since boot plus the last run's level/scale trajectory.

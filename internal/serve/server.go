@@ -177,9 +177,14 @@ type Program struct {
 
 // Server implements the v1 HTTP API over one compiled program.
 type Server struct {
-	cfg      Config
-	name     string
-	module   *ir.Module
+	cfg    Config
+	name   string
+	module *ir.Module
+	// ckks is the cost-model view of the served program: the original
+	// compile result with Module swapped for the (possibly
+	// batch-transformed) module this server actually executes, so
+	// /v1/costmodelz prices the schedule the profile measures.
+	ckks     *ckksir.Result
 	params   *ckks.Parameters
 	enc      *ckks.Encoder
 	boot     *bootstrap.Bootstrapper
@@ -306,10 +311,13 @@ func New(prog Program, cfg Config) (*Server, error) {
 	if stride > 1 {
 		specStride = stride
 	}
+	ckksView := *res
+	ckksView.Module = module
 	s := &Server{
 		cfg:      cfg,
 		name:     prog.Name,
 		module:   module,
+		ckks:     &ckksView,
 		params:   params,
 		enc:      ckks.NewEncoder(params),
 		boot:     bt,
@@ -373,6 +381,7 @@ func New(prog Program, cfg Config) (*Server, error) {
 	mux.HandleFunc("GET "+api.PathClusterMembership, s.handleClusterMembership)
 	mux.HandleFunc("GET "+api.PathStatz, s.handleStatz)
 	mux.HandleFunc("GET "+api.PathProfilez, s.handleProfilez)
+	mux.HandleFunc("GET "+api.PathCostmodelz, s.handleCostmodelz)
 	mux.HandleFunc("GET "+api.PathMetrics, s.handleMetrics)
 	if cfg.Pprof {
 		mux.HandleFunc("/debug/pprof/", pprof.Index)

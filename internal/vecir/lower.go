@@ -29,15 +29,54 @@ func init() {
 	ir.RegisterOp(ir.OpSpec{Name: OpNonlinear, Args: [][]ir.Kind{V}, Result: ir.KindVector, RequiredAttrs: []string{"kind", "bound"}})
 }
 
+// ConvMode selects where the BSGS convolution structure splits each
+// weight offset into a shared baby rotation and a per-diagonal giant
+// rotation. The decomposition rv + sj = channel displacement + spatial
+// offset is algebraically symmetric, so either component can play
+// either role; the two-level modes trade which rotations are shared
+// across diagonals (babies, hoisted on the layer input) against which
+// are issued once per accumulated diagonal (giants). The plan
+// enumerator in internal/core compiles a candidate per mode and ranks
+// them under the calibrated cost model.
+type ConvMode int
+
+const (
+	// ConvChannelGiant is the default two-level structure: spatial
+	// offsets are the shared baby rotations, cross-channel diagonal
+	// displacements the giant rotations.
+	ConvChannelGiant ConvMode = iota
+	// ConvSpatialGiant swaps the roles: channel displacements become the
+	// shared babies, spatial offsets the giants.
+	ConvSpatialGiant
+	// ConvNaive folds both components into one rotation per distinct
+	// total offset, as a hand-written implementation without diagonal
+	// grouping would issue — the Expert baseline's structure.
+	ConvNaive
+)
+
+func (m ConvMode) String() string {
+	switch m {
+	case ConvSpatialGiant:
+		return "spatial-giant"
+	case ConvNaive:
+		return "naive"
+	}
+	return "channel-giant"
+}
+
+// ConvModes lists every enumerable convolution structure.
+func ConvModes() []ConvMode { return []ConvMode{ConvChannelGiant, ConvSpatialGiant, ConvNaive} }
+
 // Options configures the lowering.
 type Options struct {
 	// VectorLen forces the slot-vector length (0 selects the smallest
 	// power of two that fits the widest layer).
 	VectorLen int
-	// NaiveConv disables the two-level rotation sharing: one rotation
-	// per distinct total offset, as a hand-written implementation
-	// without cross-channel diagonal grouping would issue. Used by the
-	// Expert baseline and the ablation benchmarks.
+	// Conv selects the BSGS split point of the convolution lowering.
+	Conv ConvMode
+	// NaiveConv is the legacy switch for ConvNaive: one rotation per
+	// distinct total offset. Used by the Expert baseline and the
+	// ablation benchmarks; equivalent to Conv = ConvNaive.
 	NaiveConv bool
 	// DefaultReLUBound bounds |x| at ReLU inputs when no calibrated
 	// bound attribute is present on the nn.relu instruction.
@@ -48,6 +87,15 @@ type Options struct {
 	// figure/table analyses at paper scale, but cannot be executed.
 	// Compile timing is unaffected — the masks are still built.
 	AnalysisOnly bool
+}
+
+// convMode resolves the effective convolution structure, honouring the
+// legacy NaiveConv flag.
+func (o Options) convMode() ConvMode {
+	if o.NaiveConv {
+		return ConvNaive
+	}
+	return o.Conv
 }
 
 // Result carries the lowered module plus the packings of its boundary.
@@ -373,11 +421,21 @@ func (lw *lowering) emitConv(x *ir.Value, li, lo *Layout, w, bias *tensor.Tensor
 						continue
 					}
 					sjRaw := dy*li.Sy*li.W0 + dx*li.Sx
-					rv, sj := mod(rvRaw), mod(sjRaw)
-					if lw.opts.NaiveConv {
+					var rv, sj int
+					switch lw.opts.convMode() {
+					case ConvSpatialGiant:
+						// Swapped split: channel displacements become the
+						// shared babies, spatial offsets the giants. The
+						// roll identity only needs rv+sj ≡ rvRaw+sjRaw
+						// (mod l), so the assignment of components to
+						// roles is free.
+						rv, sj = mod(sjRaw), mod(rvRaw)
+					case ConvNaive:
 						// One rotation per total offset: fold the channel
 						// displacement into the spatial one.
 						rv, sj = 0, mod(rvRaw+sjRaw)
+					default:
+						rv, sj = mod(rvRaw), mod(sjRaw)
 					}
 					for yo := 0; yo < lo.H; yo++ {
 						iy := yo*stride + dy

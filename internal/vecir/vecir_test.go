@@ -176,6 +176,46 @@ func TestLowerResNetMiniNaive(t *testing.T) {
 	}
 }
 
+// TestLowerConvModes: every enumerable BSGS split must compute the same
+// function; the swapped split must actually change the rotation
+// structure (otherwise the plan enumerator is choosing between clones).
+func TestLowerConvModes(t *testing.T) {
+	m, err := onnx.BuildResNet(onnx.ResNetConfig{Depth: 8, BaseChannels: 4, InputSize: 8, Classes: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := map[ConvMode]Stats{}
+	rolls := map[ConvMode][]int{}
+	for _, mode := range ConvModes() {
+		res, _ := lowerAndCompare(t, m, Options{Conv: mode}, []uint64{9}, 1e-9)
+		counts[mode] = Analyze(res.Module.Main())
+		for _, in := range res.Module.Main().Body {
+			if in.Op == OpRoll {
+				rolls[mode] = append(rolls[mode], in.AttrInt("k", 0))
+			}
+		}
+	}
+	// The swap transposes the (rv, sj) table, so aggregate counts tie —
+	// the *sequence* of roll amounts (which offsets are shared babies vs
+	// per-diagonal giants) is what must change.
+	same := len(rolls[ConvChannelGiant]) == len(rolls[ConvSpatialGiant])
+	if same {
+		for i, k := range rolls[ConvChannelGiant] {
+			if rolls[ConvSpatialGiant][i] != k {
+				same = false
+				break
+			}
+		}
+	}
+	if same {
+		t.Fatal("spatial-giant split produced the identical roll schedule to channel-giant")
+	}
+	if counts[ConvNaive].Rotations <= counts[ConvChannelGiant].Rotations {
+		t.Fatalf("naive (%d rotations) not above channel-giant (%d)",
+			counts[ConvNaive].Rotations, counts[ConvChannelGiant].Rotations)
+	}
+}
+
 func TestVectorLenAuto(t *testing.T) {
 	m, _ := onnx.BuildSmallCNN(onnx.SmallCNNConfig{InputSize: 8, Channels: 4, Classes: 4})
 	nn, err := nnir.Import(m)
